@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures and
+asserts its qualitative shape.  Suite profiling (the expensive,
+shared step) is warmed once per session so the measured time is the
+*analysis* being benchmarked, mirroring the paper's claim that static
+estimation costs about as much as a conventional optimization pass.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+)
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+sys.setrecursionlimit(max(sys.getrecursionlimit(), 82_000))
+
+
+@pytest.fixture(scope="session")
+def warm_suite():
+    """Compile every suite program and collect every profile once."""
+    from repro.suite import SUITE, collect_profiles, load_program
+
+    for entry in SUITE:
+        load_program(entry.name)
+        collect_profiles(entry.name)
+    return True
+
+
+@pytest.fixture(scope="session")
+def warm_compress():
+    from repro.suite import collect_profiles, load_program
+
+    program = load_program("compress")
+    profiles = collect_profiles("compress")
+    return program, profiles
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Benchmark a heavy experiment with a single measured round."""
+    return benchmark.pedantic(
+        function, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

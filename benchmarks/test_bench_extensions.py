@@ -1,0 +1,164 @@
+"""Extension benchmarks: beyond the paper's published results.
+
+1. **Calibrated probabilities** — the paper leaves open "whether static
+   branch prediction can be accurate enough to make good use of the
+   intra-procedural Markov model (for example, by using a static
+   predictor that generates probabilities directly)".  We implement the
+   Wu-Larus answer and measure whether calibrated, evidence-combined
+   probabilities beat the flat 0.8/0.2 inside the Markov model.
+
+2. **CFG-level idioms** — the Ball-Larus call and loop-exit heuristics
+   (which need post-dominators the AST view lacks) layered under the
+   paper's smart predictor, scored by dynamic miss rate.
+
+3. **Arc frequencies** — the abstract's "arc ... frequency estimates",
+   scored with the same weight-matching protocol as blocks.
+"""
+
+from conftest import run_once
+
+PROGRAMS = ("eqntott", "compress", "awk", "xlisp", "cc", "bison")
+
+
+def test_bench_extension_calibrated_markov(benchmark, warm_suite):
+    """Calibrated probabilities inside the intra-procedural Markov
+    model, vs the paper's flat 0.8."""
+
+    def sweep():
+        from repro.estimators.intra.markov import markov_estimator
+        from repro.metrics.protocol import intra_score_over_profiles
+        from repro.prediction import (
+            CalibratedPredictor,
+            HeuristicPredictor,
+            settings_for_program,
+        )
+        from repro.suite import collect_profiles, load_program
+
+        totals = {"flat-0.8": 0.0, "calibrated": 0.0, "combined": 0.0}
+        for name in PROGRAMS:
+            program = load_program(name)
+            profiles = collect_profiles(name)
+            settings = settings_for_program(program)
+            predictors = {
+                "flat-0.8": HeuristicPredictor(settings),
+                "calibrated": CalibratedPredictor(
+                    settings, combine_evidence=False
+                ),
+                "combined": CalibratedPredictor(
+                    settings, combine_evidence=True
+                ),
+            }
+            for label, predictor in predictors.items():
+                estimates = {
+                    function: markov_estimator(
+                        program, function, predictor
+                    )
+                    for function in program.function_names
+                }
+                totals[label] += intra_score_over_profiles(
+                    program, estimates, profiles, 0.05
+                )
+        return {k: v / len(PROGRAMS) for k, v in totals.items()}
+
+    scores = run_once(benchmark, sweep)
+    print()
+    for label, score in scores.items():
+        print(f"{label:12} {score:.1%}")
+    # The paper's implicit conjecture: probabilities alone do not
+    # change intra-procedural rankings much.  Verify the three agree
+    # within a few points (direction, not magnitude, drives rankings).
+    spread = max(scores.values()) - min(scores.values())
+    assert spread < 0.05
+
+
+def test_bench_extension_cfg_heuristics_missrate(benchmark, warm_suite):
+    """The CFG-level call/loop-exit idioms' effect on miss rate."""
+
+    def sweep():
+        from repro.prediction import (
+            HeuristicPredictor,
+            ProgramExtendedPredictor,
+            measure_miss_rate,
+            settings_for_program,
+        )
+        from repro.suite import collect_profiles, load_program
+
+        totals = {"smart": 0.0, "extended": 0.0}
+        for name in PROGRAMS:
+            program = load_program(name)
+            profiles = collect_profiles(name)
+            predictors = {
+                "smart": HeuristicPredictor(
+                    settings_for_program(program)
+                ),
+                "extended": ProgramExtendedPredictor(program),
+            }
+            for label, predictor in predictors.items():
+                rates = [
+                    measure_miss_rate(
+                        program, predictor, profile
+                    ).miss_rate
+                    for profile in profiles
+                ]
+                totals[label] += sum(rates) / len(rates)
+        return {k: v / len(PROGRAMS) for k, v in totals.items()}
+
+    rates = run_once(benchmark, sweep)
+    print()
+    for label, rate in rates.items():
+        print(f"{label:10} miss rate {rate:.1%}")
+    # The extra idioms must not hurt, and normally help.
+    assert rates["extended"] <= rates["smart"] + 0.01
+
+
+def test_bench_extension_arc_frequencies(benchmark, warm_suite):
+    """Arc-level weight matching (the abstract's promise), Markov
+    blocks x predicted probabilities vs profiled arc counts."""
+
+    def sweep():
+        from repro.estimators import arc_score_over_profiles
+        from repro.suite import collect_profiles, load_program
+
+        total = 0.0
+        for name in PROGRAMS:
+            program = load_program(name)
+            profiles = collect_profiles(name)
+            total += arc_score_over_profiles(
+                program, profiles, cutoff=0.05
+            )
+        return total / len(PROGRAMS)
+
+    score = run_once(benchmark, sweep)
+    print()
+    print(f"arc weight-matching (5% cutoff): {score:.1%}")
+    assert 0.5 <= score <= 1.0 + 1e-9
+
+
+def test_bench_extension_code_layout(benchmark, warm_suite):
+    """Pettis-Hansen block layout driven by static arc estimates vs
+    profile-guided, measured as held-out fall-through fraction — the
+    paper's i-cache motivation made concrete."""
+
+    def sweep():
+        from repro.optimize import evaluate_layout_strategies
+        from repro.suite import collect_profiles, load_program
+
+        totals = {"original": 0.0, "estimate": 0.0, "profile": 0.0}
+        for name in PROGRAMS:
+            program = load_program(name)
+            profiles = collect_profiles(name)
+            result = evaluate_layout_strategies(
+                program, profiles[0], profiles[-1]
+            )
+            for key in totals:
+                totals[key] += result[key]
+        return {k: v / len(PROGRAMS) for k, v in totals.items()}
+
+    fractions = run_once(benchmark, sweep)
+    print()
+    for strategy, fraction in fractions.items():
+        print(f"{strategy:10} fall-through {fraction:.1%}")
+    # Static layout must clearly beat source order and stay within
+    # ~10 points of profile-guided layout.
+    assert fractions["estimate"] > fractions["original"] + 0.10
+    assert fractions["estimate"] > fractions["profile"] - 0.10

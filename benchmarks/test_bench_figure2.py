@@ -1,0 +1,28 @@
+"""Figure 2: branch-prediction miss rates across the suite.
+
+Paper's shape: the heuristic predictor's miss rate is roughly twice
+profiling's, and the perfect static predictor (PSP) is the floor.
+"""
+
+from conftest import run_once
+
+
+def test_bench_figure2(benchmark, warm_suite):
+    from repro.experiments.figure2 import run_figure2
+
+    result = run_once(benchmark, run_figure2)
+    averages = result.averages()
+
+    # Shape assertions (paper Figure 2).
+    assert averages["PSP"] <= averages["profiling"] + 1e-9
+    assert averages["profiling"] < averages["predictor"]
+    # "about twice that for profiling": allow a generous band.
+    ratio = averages["predictor"] / max(averages["profiling"], 1e-9)
+    assert 1.2 <= ratio <= 3.5
+
+    # Every program individually respects the PSP floor.
+    for name, rates in result.miss_rates.items():
+        assert rates["PSP"] <= rates["predictor"] + 1e-9, name
+
+    print()
+    print(result.render())

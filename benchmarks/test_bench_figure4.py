@@ -1,0 +1,29 @@
+"""Figure 4: intra-procedural weight matching at the 5% cutoff.
+
+Paper's shape: the loop model alone captures essentially all the
+benefit; smart and Markov refine it only slightly; static estimates are
+competitive with (within ~15 points of) leave-one-out profiling.
+"""
+
+from conftest import run_once
+
+
+def test_bench_figure4(benchmark, warm_suite):
+    from repro.experiments.figure4 import run_figure4
+
+    result = run_once(benchmark, run_figure4)
+    averages = result.averages()
+
+    # All static techniques in a believable band.
+    for column in ("loop", "smart", "markov"):
+        assert 0.6 <= averages[column] <= 1.0, column
+
+    # smart refines loop; markov does not dramatically beat smart.
+    assert averages["smart"] >= averages["loop"] - 1e-9
+    assert averages["markov"] - averages["smart"] < 0.10
+
+    # Static is competitive with profiling (the paper's headline).
+    assert averages["profiling"] - averages["smart"] < 0.15
+
+    print()
+    print(result.render())

@@ -1,0 +1,39 @@
+"""Figure 5: function-invocation estimation.
+
+Paper's shape: among the simple combiners, direct/all_rec2 lead; the
+call-graph Markov model beats direct by roughly 10 points at both the
+10% and 25% cutoffs, landing around 80% at 25%.
+"""
+
+from conftest import run_once
+
+
+def test_bench_figure5(benchmark, warm_suite):
+    from repro.experiments.figure5 import run_figure5
+
+    result = run_once(benchmark, run_figure5)
+
+    simple = result._averages(
+        result.simple_scores,
+        ("call_site", "direct", "all_rec", "all_rec2", "profiling"),
+    )
+    markov_10 = result._averages(
+        result.markov_scores_10, ("direct", "markov", "profiling")
+    )
+    markov_25 = result._averages(
+        result.markov_scores_25, ("direct", "markov", "profiling")
+    )
+
+    # 5a: recursion handling helps over plain call_site.
+    assert simple["direct"] >= simple["call_site"] - 0.02
+    # Profiling is the ceiling.
+    assert simple["profiling"] >= simple["direct"]
+
+    # 5b/5c: Markov improves appreciably on direct at both cutoffs
+    # (paper: ~10 points) and lands near the paper's ~80% at 25%.
+    assert markov_10["markov"] > markov_10["direct"]
+    assert markov_25["markov"] > markov_25["direct"] + 0.03
+    assert 0.65 <= markov_25["markov"] <= 1.0
+
+    print()
+    print(result.render())

@@ -1,0 +1,26 @@
+"""Figure 9: global call-site frequency estimation at the 25% cutoff.
+
+Paper's shape: the smart-intra × Markov-inter combination identifies
+the busiest quarter of call sites with ~76% accuracy, at or above the
+direct backend, below profiling.
+"""
+
+from conftest import run_once
+
+
+def test_bench_figure9(benchmark, warm_suite):
+    from repro.experiments.figure9 import run_figure9
+
+    result = run_once(benchmark, run_figure9)
+    averages = result.averages()
+
+    # The paper's headline: ~76% at the 25% cutoff for the Markov
+    # combination.  In our suite direct and Markov are statistically
+    # tied (see EXPERIMENTS.md); assert the band and the ceiling.
+    assert 0.65 <= averages["markov"] <= 0.90
+    assert abs(averages["markov"] - averages["direct"]) < 0.10
+    assert averages["profiling"] >= averages["markov"]
+    assert averages["profiling"] >= averages["direct"]
+
+    print()
+    print(result.render())

@@ -1,0 +1,33 @@
+"""Figures 3, 6, and 7: the strchr running example.
+
+These must reproduce the paper's numbers exactly: the smart AST walk
+(Figure 3) and the Markov CFG solution with its 2.78 test count
+(Figures 6/7).
+"""
+
+import pytest
+
+from conftest import run_once
+
+
+def test_bench_figure3_ast_walk(benchmark):
+    from repro.experiments.examples import run_figure3
+
+    result = run_once(benchmark, run_figure3)
+    text = result.render()
+    assert "[test = 5]" in text  # the while test count
+    print()
+    print(text)
+
+
+def test_bench_figures6_7_markov_solution(benchmark):
+    from repro.experiments.examples import run_markov_example
+
+    result = run_once(benchmark, run_markov_example)
+    assert result.frequency("while") == pytest.approx(2.7778, abs=1e-3)
+    assert result.frequency("if") == pytest.approx(2.2222, abs=1e-3)
+    assert result.frequency("incr") == pytest.approx(1.7778, abs=1e-3)
+    assert result.frequency("return1") == pytest.approx(0.4444, abs=1e-3)
+    assert result.frequency("return2") == pytest.approx(0.5556, abs=1e-3)
+    print()
+    print(result.render())

@@ -1,0 +1,24 @@
+"""Figure 8: the count_nodes recursion pathology and its repair.
+
+Paper: the mispredicted NULL test gives the self-arc weight 1.6; the
+unrepaired system solves to a negative frequency; clamping to 0.8
+yields a sane estimate bounded by the ceiling of 5.
+"""
+
+import pytest
+
+from conftest import run_once
+
+
+def test_bench_figure8(benchmark):
+    from repro.experiments.examples import run_figure8
+
+    result = run_once(benchmark, run_figure8)
+    assert result.raw_self_arc_weight == pytest.approx(1.6)
+    assert result.unrepaired_solution is not None
+    assert result.unrepaired_solution["count_nodes"] < 0
+    assert result.repaired_invocations["count_nodes"] == pytest.approx(
+        5.0
+    )
+    print()
+    print(result.render())

@@ -1,0 +1,31 @@
+"""Benchmarks regenerating Table 1 and Table 2."""
+
+import pytest
+
+from conftest import run_once
+
+
+def test_bench_table1(benchmark):
+    """Table 1: the suite roster with line counts."""
+    from repro.experiments.table1 import run_table1
+
+    result = run_once(benchmark, run_table1)
+    assert len(result.rows) == 14
+    categories = {row.category for row in result.rows}
+    assert categories == {"numerical", "symbolic", "indirect"}
+    print()
+    print(result.render())
+
+
+def test_bench_table2(benchmark):
+    """Table 2: strchr weight matching at 20% and 60% cutoffs.
+
+    Paper: 100% and 88% (7/8).
+    """
+    from repro.experiments.table2 import run_table2
+
+    result = run_once(benchmark, run_table2)
+    assert result.score_20 == pytest.approx(1.0)
+    assert result.score_60 == pytest.approx(7.0 / 8.0)
+    print()
+    print(result.render())

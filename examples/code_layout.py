@@ -1,0 +1,51 @@
+"""Basic-block layout from static estimates (the paper's i-cache
+motivation, via Pettis-Hansen chaining).
+
+Lays out every function of a suite program three ways — source order,
+static-estimate-driven, and profile-guided — and measures on held-out
+real executions what fraction of dynamic control transfers fall through
+to the next block (the quantity i-cache packing cares about).
+
+Run with:  python examples/code_layout.py [program]
+"""
+
+import sys
+
+from repro.optimize import evaluate_layout_strategies, layout_from_estimates
+from repro.suite import collect_profiles, load_program
+
+
+def main(program_name: str = "compress") -> None:
+    program = load_program(program_name)
+    profiles = collect_profiles(program_name)
+    training, evaluation = profiles[0], profiles[-1]
+
+    result = evaluate_layout_strategies(program, training, evaluation)
+    print(
+        f"fall-through fraction for {program_name} "
+        f"(evaluated on a held-out input):\n"
+    )
+    for strategy in ("original", "estimate", "profile"):
+        bar = "#" * int(result[strategy] * 40)
+        print(f"  {strategy:9} {result[strategy]:6.1%} |{bar}")
+
+    print(
+        "\nthe 'estimate' layout used zero profiling runs — only the "
+        "Markov block\nestimates and predicted branch probabilities."
+    )
+
+    # Show one concrete relayout.
+    name = max(
+        program.function_names,
+        key=lambda n: len(program.cfg(n)),
+    )
+    layout = layout_from_estimates(program, name)
+    labels = {
+        block.block_id: block.label for block in program.cfg(name)
+    }
+    print(f"\nestimated layout of {name}:")
+    print("  " + " -> ".join(labels[b] for b in layout))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "compress")

@@ -1,0 +1,16 @@
+"""repro: a reproduction of "Accurate Static Estimators for Program
+Optimization" (Wagner, Maverick, Graham, Harrison; PLDI 1994).
+
+The public API centres on :class:`~repro.program.Program` (compile C
+source to AST + CFGs + call graph), the estimators in
+:mod:`repro.estimators`, the profiling interpreter in
+:mod:`repro.interp`, and Wall's weight-matching metric in
+:mod:`repro.metrics`.  The paper's full evaluation is reproducible via
+:mod:`repro.experiments` (or ``python -m repro run all``).
+"""
+
+from repro.program import Program
+
+__version__ = "1.0.0"
+
+__all__ = ["Program", "__version__"]

@@ -1,0 +1,23 @@
+"""Call graphs: construction, the pointer node, SCCs."""
+
+from repro.callgraph.builder import (
+    block_expressions,
+    build_call_graph,
+    calls_in_block,
+)
+from repro.callgraph.graph import POINTER_NODE, CallGraph, CallSite
+from repro.callgraph.scc import (
+    recursive_functions,
+    strongly_connected_components,
+)
+
+__all__ = [
+    "POINTER_NODE",
+    "CallGraph",
+    "CallSite",
+    "block_expressions",
+    "build_call_graph",
+    "calls_in_block",
+    "recursive_functions",
+    "strongly_connected_components",
+]

@@ -1,0 +1,85 @@
+"""Tarjan's strongly-connected-components algorithm (iterative).
+
+Used by the ``all_rec`` estimators (which scale every function involved
+in recursion) and by the call-graph Markov model's recursion repair
+(paper §5.2.2: failed solutions are re-solved per-SCC).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+
+def strongly_connected_components(
+    nodes: Sequence[str], successors: Callable[[str], Sequence[str]]
+) -> list[list[str]]:
+    """SCCs in reverse topological order (callees before callers).
+
+    ``successors`` may return nodes outside ``nodes``; they are ignored.
+    """
+    node_set = set(nodes)
+    index_of: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    components: list[list[str]] = []
+    counter = 0
+
+    for root in nodes:
+        if root in index_of:
+            continue
+        # Iterative Tarjan: work items are (node, iterator position).
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_index = work[-1]
+            if child_index == 0:
+                index_of[node] = counter
+                lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            children = [
+                child for child in successors(node) if child in node_set
+            ]
+            for position in range(child_index, len(children)):
+                child = children[position]
+                if child not in index_of:
+                    work[-1] = (node, position + 1)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def recursive_functions(
+    nodes: Sequence[str], successors: Callable[[str], Sequence[str]]
+) -> set[str]:
+    """Functions involved in any recursion: members of a multi-node SCC,
+    plus self-recursive single nodes."""
+    result: set[str] = set()
+    for component in strongly_connected_components(nodes, successors):
+        if len(component) > 1:
+            result.update(component)
+        else:
+            node = component[0]
+            if node in successors(node):
+                result.add(node)
+    return result

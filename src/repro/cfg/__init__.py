@@ -1,0 +1,50 @@
+"""Control-flow graphs: blocks, construction, dominators, loops, DOT."""
+
+from repro.cfg.block import (
+    BasicBlock,
+    CondBranch,
+    ControlFlowGraph,
+    Jump,
+    ReturnTerm,
+    SwitchArm,
+    SwitchBranch,
+    Terminator,
+)
+from repro.cfg.builder import CFGConstructionError, build_all_cfgs, build_cfg
+from repro.cfg.dominators import immediate_dominators, reverse_postorder
+from repro.cfg.dot import cfg_to_dot
+from repro.cfg.postdominators import (
+    VIRTUAL_EXIT,
+    post_dominates,
+    post_dominators,
+)
+from repro.cfg.loops import (
+    NaturalLoop,
+    find_back_edges,
+    find_natural_loops,
+    loop_nesting_depth,
+)
+
+__all__ = [
+    "BasicBlock",
+    "CFGConstructionError",
+    "CondBranch",
+    "ControlFlowGraph",
+    "Jump",
+    "NaturalLoop",
+    "ReturnTerm",
+    "SwitchArm",
+    "SwitchBranch",
+    "Terminator",
+    "build_all_cfgs",
+    "build_cfg",
+    "cfg_to_dot",
+    "find_back_edges",
+    "find_natural_loops",
+    "immediate_dominators",
+    "loop_nesting_depth",
+    "post_dominates",
+    "post_dominators",
+    "reverse_postorder",
+    "VIRTUAL_EXIT",
+]

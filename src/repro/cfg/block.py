@@ -1,0 +1,222 @@
+"""Basic blocks, terminators, and the control-flow graph container.
+
+Blocks hold straight-line statements; all control transfers live in the
+block's *terminator*.  Conditional terminators keep a reference to the
+AST construct they came from (``origin``) and a ``kind`` tag so the
+branch-prediction heuristics can see the syntax that produced each CFG
+branch — the paper's predictor works "at the level of the abstract
+syntax and the C type system".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.frontend import ast_nodes as ast
+
+#: Values a conditional terminator's ``kind`` may take.  ``loop`` marks
+#: the controlling test of a while/for (exit test at the top),
+#: ``do-loop`` the bottom test of a do-while, ``if`` an if statement,
+#: ``logical-and``/``logical-or`` a decomposed short-circuit operand,
+#: and ``ternary`` the test of a ``?:`` in condition position.
+BRANCH_KINDS = (
+    "if",
+    "loop",
+    "do-loop",
+    "logical-and",
+    "logical-or",
+    "ternary",
+)
+
+
+class Terminator:
+    """Base class for block terminators."""
+
+    def successor_ids(self) -> list[int]:
+        raise NotImplementedError
+
+
+@dataclass
+class Jump(Terminator):
+    target: int = -1
+
+    def successor_ids(self) -> list[int]:
+        return [self.target]
+
+
+@dataclass
+class CondBranch(Terminator):
+    """Two-way branch on ``condition``.
+
+    ``origin`` is the AST statement or expression whose test this is
+    (If, While, For, DoWhile, LogicalOp, Conditional); ``kind`` is one
+    of :data:`BRANCH_KINDS`.
+    """
+
+    condition: ast.Expression = None  # type: ignore[assignment]
+    true_target: int = -1
+    false_target: int = -1
+    origin: Optional[ast.Node] = None
+    kind: str = "if"
+
+    def successor_ids(self) -> list[int]:
+        return [self.true_target, self.false_target]
+
+
+@dataclass
+class SwitchArm:
+    values: tuple[int, ...]
+    target: int
+
+
+@dataclass
+class SwitchBranch(Terminator):
+    """Multi-way branch for ``switch``.  ``default_target`` receives
+    control when no arm value matches (it is the join block when the
+    switch has no ``default`` label)."""
+
+    condition: ast.Expression = None  # type: ignore[assignment]
+    arms: list[SwitchArm] = field(default_factory=list)
+    default_target: int = -1
+    origin: Optional[ast.Switch] = None
+
+    def successor_ids(self) -> list[int]:
+        targets = [arm.target for arm in self.arms]
+        targets.append(self.default_target)
+        return targets
+
+    def case_label_count(self, target: int) -> int:
+        """Number of case labels that lead to ``target`` (for the
+        paper's label-weighted switch prediction)."""
+        return sum(len(arm.values) for arm in self.arms if arm.target == target)
+
+
+@dataclass
+class ReturnTerm(Terminator):
+    value: Optional[ast.Expression] = None
+    origin: Optional[ast.Return] = None
+
+    def successor_ids(self) -> list[int]:
+        return []
+
+
+@dataclass
+class BasicBlock:
+    """One basic block: label, straight-line statements, terminator."""
+
+    block_id: int
+    label: str = ""
+    statements: list[ast.Statement] = field(default_factory=list)
+    terminator: Terminator = field(default_factory=lambda: ReturnTerm())
+
+    def successor_ids(self) -> list[int]:
+        return self.terminator.successor_ids()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BasicBlock({self.block_id}, {self.label!r})"
+
+
+class ControlFlowGraph:
+    """The CFG of one function."""
+
+    def __init__(self, function_name: str):
+        self.function_name = function_name
+        self.blocks: dict[int, BasicBlock] = {}
+        self.entry_id: int = -1
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Construction.
+
+    def new_block(self, label: str = "") -> BasicBlock:
+        block = BasicBlock(self._next_id, label or f"B{self._next_id}")
+        self.blocks[block.block_id] = block
+        self._next_id += 1
+        return block
+
+    def remove_block(self, block_id: int) -> None:
+        del self.blocks[block_id]
+
+    # ------------------------------------------------------------------
+    # Queries.
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[self.entry_id]
+
+    def block(self, block_id: int) -> BasicBlock:
+        return self.blocks[block_id]
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks.values())
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def successors(self, block_id: int) -> list[int]:
+        return self.blocks[block_id].successor_ids()
+
+    def predecessor_map(self) -> dict[int, list[int]]:
+        """block id -> list of predecessor ids (with multiplicity)."""
+        predecessors: dict[int, list[int]] = {
+            block_id: [] for block_id in self.blocks
+        }
+        for block in self:
+            for successor in block.successor_ids():
+                predecessors[successor].append(block.block_id)
+        return predecessors
+
+    def edges(self) -> list[tuple[int, int]]:
+        """All (source, target) edges, deduplicated, in id order."""
+        seen: set[tuple[int, int]] = set()
+        result: list[tuple[int, int]] = []
+        for block_id in sorted(self.blocks):
+            for successor in self.blocks[block_id].successor_ids():
+                edge = (block_id, successor)
+                if edge not in seen:
+                    seen.add(edge)
+                    result.append(edge)
+        return result
+
+    def exit_ids(self) -> list[int]:
+        return [
+            block.block_id
+            for block in self
+            if isinstance(block.terminator, ReturnTerm)
+        ]
+
+    def reachable_ids(self) -> set[int]:
+        """Blocks reachable from the entry."""
+        seen: set[int] = set()
+        stack = [self.entry_id]
+        while stack:
+            block_id = stack.pop()
+            if block_id in seen:
+                continue
+            seen.add(block_id)
+            stack.extend(self.blocks[block_id].successor_ids())
+        return seen
+
+    def prune_unreachable(self) -> list[int]:
+        """Drop blocks unreachable from entry; returns removed ids."""
+        reachable = self.reachable_ids()
+        removed = [bid for bid in self.blocks if bid not in reachable]
+        for block_id in removed:
+            self.remove_block(block_id)
+        return removed
+
+    def conditional_branches(self) -> list[tuple[BasicBlock, CondBranch]]:
+        """All two-way branches, in block id order."""
+        return [
+            (block, block.terminator)
+            for block in sorted(self, key=lambda b: b.block_id)
+            if isinstance(block.terminator, CondBranch)
+        ]
+
+    def switch_branches(self) -> list[tuple[BasicBlock, SwitchBranch]]:
+        return [
+            (block, block.terminator)
+            for block in sorted(self, key=lambda b: b.block_id)
+            if isinstance(block.terminator, SwitchBranch)
+        ]

@@ -1,0 +1,377 @@
+"""Lowering from the AST to a control-flow graph.
+
+The builder decomposes short-circuit operators *in condition position*
+into separate blocks (so ``if (a && b)`` yields two conditional
+branches, matching how the paper counts branches), threads
+``break``/``continue``/``goto``/``return`` through explicit edges, and
+lowers ``switch`` to a multi-way terminator with fall-through edges
+between arms.
+
+``&&``/``||``/``?:`` appearing in *value* position (e.g. ``x = a && b``)
+stay inside expressions and are evaluated by the interpreter without
+introducing blocks — the paper's analyses are AST-level and treat those
+the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cfg.block import (
+    BasicBlock,
+    CondBranch,
+    ControlFlowGraph,
+    Jump,
+    ReturnTerm,
+    SwitchArm,
+    SwitchBranch,
+)
+from repro.frontend import ast_nodes as ast
+from repro.frontend.errors import FrontendError
+
+
+class CFGConstructionError(FrontendError):
+    """Raised for control-flow errors (e.g. goto to a missing label)."""
+
+
+class CFGBuilder:
+    """Builds the CFG of one function."""
+
+    def __init__(self, function: ast.FunctionDef):
+        self._function = function
+        self._graph = ControlFlowGraph(function.name)
+        self._current: Optional[BasicBlock] = None
+        self._break_targets: list[int] = []
+        self._continue_targets: list[int] = []
+        self._label_blocks: dict[str, BasicBlock] = {}
+        self._defined_labels: set[str] = set()
+
+    def build(self) -> ControlFlowGraph:
+        entry = self._graph.new_block("entry")
+        self._graph.entry_id = entry.block_id
+        self._current = entry
+        self._compound(self._function.body)
+        if self._current is not None:
+            self._current.terminator = ReturnTerm(None)
+        undefined = set(self._label_blocks) - self._defined_labels
+        if undefined:
+            raise CFGConstructionError(
+                f"goto to undefined label(s): {sorted(undefined)}",
+                self._function.location,
+            )
+        self._graph.prune_unreachable()
+        _name_return_blocks(self._graph)
+        return self._graph
+
+    # ------------------------------------------------------------------
+    # Block management.
+
+    def _fresh(self, label: str) -> BasicBlock:
+        return self._graph.new_block(label)
+
+    def _append(self, statement: ast.Statement) -> None:
+        if self._current is None:
+            # Unreachable statement (e.g. after return): park it in a
+            # dead block so side-effect-free analyses can still see it;
+            # pruning removes it afterwards.
+            self._current = self._fresh("dead")
+        self._current.statements.append(statement)
+
+    def _seal_with_jump(self, target_id: int) -> None:
+        if self._current is not None:
+            self._current.terminator = Jump(target_id)
+            self._current = None
+
+    # ------------------------------------------------------------------
+    # Statements.
+
+    def _compound(self, compound: ast.Compound) -> None:
+        for item in compound.items:
+            self._statement(item)
+
+    def _statement(self, statement: ast.Statement) -> None:
+        if isinstance(statement, ast.Compound):
+            self._compound(statement)
+        elif isinstance(statement, (ast.Declaration, ast.ExpressionStatement)):
+            if (
+                isinstance(statement, ast.ExpressionStatement)
+                and statement.expression is None
+            ):
+                return
+            self._append(statement)
+        elif isinstance(statement, ast.If):
+            self._if_statement(statement)
+        elif isinstance(statement, ast.While):
+            self._while_statement(statement)
+        elif isinstance(statement, ast.DoWhile):
+            self._do_while_statement(statement)
+        elif isinstance(statement, ast.For):
+            self._for_statement(statement)
+        elif isinstance(statement, ast.Switch):
+            self._switch_statement(statement)
+        elif isinstance(statement, ast.Break):
+            if not self._break_targets:
+                raise CFGConstructionError(
+                    "break outside loop or switch", statement.location
+                )
+            self._seal_with_jump(self._break_targets[-1])
+        elif isinstance(statement, ast.Continue):
+            if not self._continue_targets:
+                raise CFGConstructionError(
+                    "continue outside loop", statement.location
+                )
+            self._seal_with_jump(self._continue_targets[-1])
+        elif isinstance(statement, ast.Return):
+            if self._current is None:
+                self._current = self._fresh("dead")
+            self._current.terminator = ReturnTerm(statement.value, statement)
+            self._current = None
+        elif isinstance(statement, ast.Goto):
+            self._seal_with_jump(self._label_block(statement.label).block_id)
+        elif isinstance(statement, ast.LabeledStatement):
+            self._labeled_statement(statement)
+        else:  # pragma: no cover - grammar covers all statement forms
+            raise CFGConstructionError(
+                f"cannot lower statement {type(statement).__name__}",
+                statement.location,
+            )
+
+    def _label_block(self, label: str) -> BasicBlock:
+        if label not in self._label_blocks:
+            self._label_blocks[label] = self._fresh(f"label.{label}")
+        return self._label_blocks[label]
+
+    def _labeled_statement(self, statement: ast.LabeledStatement) -> None:
+        if statement.label in self._defined_labels:
+            raise CFGConstructionError(
+                f"duplicate label {statement.label!r}", statement.location
+            )
+        self._defined_labels.add(statement.label)
+        block = self._label_block(statement.label)
+        self._seal_with_jump(block.block_id)
+        self._current = block
+        self._statement(statement.statement)
+
+    def _if_statement(self, statement: ast.If) -> None:
+        then_block = self._fresh("if.then")
+        join_block = self._fresh("if.join")
+        if statement.else_branch is not None:
+            else_block = self._fresh("if.else")
+            false_id = else_block.block_id
+        else:
+            else_block = None
+            false_id = join_block.block_id
+        self._condition(
+            statement.condition,
+            then_block.block_id,
+            false_id,
+            origin=statement,
+            kind="if",
+        )
+        self._current = then_block
+        self._statement(statement.then_branch)
+        self._seal_with_jump(join_block.block_id)
+        if else_block is not None:
+            self._current = else_block
+            assert statement.else_branch is not None
+            self._statement(statement.else_branch)
+            self._seal_with_jump(join_block.block_id)
+        self._current = join_block
+
+    def _while_statement(self, statement: ast.While) -> None:
+        header = self._fresh("while")
+        body = self._fresh("while.body")
+        join = self._fresh("while.join")
+        self._seal_with_jump(header.block_id)
+        self._current = header
+        self._condition(
+            statement.condition,
+            body.block_id,
+            join.block_id,
+            origin=statement,
+            kind="loop",
+        )
+        self._break_targets.append(join.block_id)
+        self._continue_targets.append(header.block_id)
+        self._current = body
+        self._statement(statement.body)
+        self._seal_with_jump(header.block_id)
+        self._break_targets.pop()
+        self._continue_targets.pop()
+        self._current = join
+
+    def _do_while_statement(self, statement: ast.DoWhile) -> None:
+        body = self._fresh("do.body")
+        test = self._fresh("do.test")
+        join = self._fresh("do.join")
+        self._seal_with_jump(body.block_id)
+        self._break_targets.append(join.block_id)
+        self._continue_targets.append(test.block_id)
+        self._current = body
+        self._statement(statement.body)
+        self._seal_with_jump(test.block_id)
+        self._break_targets.pop()
+        self._continue_targets.pop()
+        self._current = test
+        self._condition(
+            statement.condition,
+            body.block_id,
+            join.block_id,
+            origin=statement,
+            kind="do-loop",
+        )
+        self._current = join
+
+    def _for_statement(self, statement: ast.For) -> None:
+        if statement.init is not None:
+            self._statement(statement.init)
+        header = self._fresh("for")
+        body = self._fresh("for.body")
+        step = self._fresh("for.step")
+        join = self._fresh("for.join")
+        self._seal_with_jump(header.block_id)
+        self._current = header
+        if statement.condition is not None:
+            self._condition(
+                statement.condition,
+                body.block_id,
+                join.block_id,
+                origin=statement,
+                kind="loop",
+            )
+        else:
+            self._seal_with_jump(body.block_id)
+        self._break_targets.append(join.block_id)
+        self._continue_targets.append(step.block_id)
+        self._current = body
+        self._statement(statement.body)
+        self._seal_with_jump(step.block_id)
+        self._break_targets.pop()
+        self._continue_targets.pop()
+        self._current = step
+        if statement.step is not None:
+            self._current.statements.append(
+                ast.ExpressionStatement(
+                    location=statement.step.location,
+                    expression=statement.step,
+                )
+            )
+        self._seal_with_jump(header.block_id)
+        self._current = join
+
+    def _switch_statement(self, statement: ast.Switch) -> None:
+        if self._current is None:
+            self._current = self._fresh("dead")
+        join = self._fresh("switch.join")
+        arm_blocks = [
+            self._fresh(
+                "switch.default" if case.is_default else "switch.case"
+            )
+            for case in statement.cases
+        ]
+        arms: list[SwitchArm] = []
+        default_target = join.block_id
+        for case, block in zip(statement.cases, arm_blocks):
+            if case.is_default:
+                default_target = block.block_id
+            if case.values:
+                arms.append(SwitchArm(tuple(case.values), block.block_id))
+        self._current.terminator = SwitchBranch(
+            condition=statement.condition,
+            arms=arms,
+            default_target=default_target,
+            origin=statement,
+        )
+        self._current = None
+        self._break_targets.append(join.block_id)
+        for index, (case, block) in enumerate(
+            zip(statement.cases, arm_blocks)
+        ):
+            self._current = block
+            for item in case.body:
+                self._statement(item)
+            # Fall through into the next arm, or out of the switch.
+            if index + 1 < len(arm_blocks):
+                self._seal_with_jump(arm_blocks[index + 1].block_id)
+            else:
+                self._seal_with_jump(join.block_id)
+        self._break_targets.pop()
+        self._current = join
+
+    # ------------------------------------------------------------------
+    # Conditions (with short-circuit decomposition).
+
+    def _condition(
+        self,
+        expression: ast.Expression,
+        true_id: int,
+        false_id: int,
+        origin: ast.Node,
+        kind: str,
+    ) -> None:
+        """Terminate the current block(s) with branches implementing
+        ``expression`` as a condition targeting ``true_id``/``false_id``."""
+        if self._current is None:
+            self._current = self._fresh("dead")
+        if isinstance(expression, ast.LogicalOp):
+            logical_kind = (
+                "logical-and" if expression.op == "&&" else "logical-or"
+            )
+            rest = self._fresh("cond.rest")
+            if expression.op == "&&":
+                self._condition(
+                    expression.left,
+                    rest.block_id,
+                    false_id,
+                    origin,
+                    kind if kind in ("loop", "do-loop") else logical_kind,
+                )
+            else:
+                self._condition(
+                    expression.left,
+                    true_id,
+                    rest.block_id,
+                    origin,
+                    kind if kind in ("loop", "do-loop") else logical_kind,
+                )
+            self._current = rest
+            self._condition(
+                expression.right, true_id, false_id, origin, logical_kind
+            )
+            return
+        if isinstance(expression, ast.UnaryOp) and expression.op == "!":
+            self._condition(
+                expression.operand, false_id, true_id, origin, kind
+            )
+            return
+        self._current.terminator = CondBranch(
+            condition=expression,
+            true_target=true_id,
+            false_target=false_id,
+            origin=origin,
+            kind=kind,
+        )
+        self._current = None
+
+
+def _name_return_blocks(graph: ControlFlowGraph) -> None:
+    """Give return blocks the paper's ``return1``, ``return2``, ... names."""
+    counter = 1
+    for block in sorted(graph, key=lambda b: b.block_id):
+        if isinstance(block.terminator, ReturnTerm):
+            block.label = f"return{counter}"
+            counter += 1
+
+
+def build_cfg(function: ast.FunctionDef) -> ControlFlowGraph:
+    """Build and return the CFG for ``function``."""
+    return CFGBuilder(function).build()
+
+
+def build_all_cfgs(
+    unit: ast.TranslationUnit,
+) -> dict[str, ControlFlowGraph]:
+    """CFGs for every function in the translation unit, by name."""
+    return {
+        function.name: build_cfg(function) for function in unit.functions
+    }

@@ -1,0 +1,94 @@
+"""Graphviz DOT rendering of CFGs, optionally annotated with
+frequencies or probabilities (paper Figure 6 shows such a rendering)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.cfg.block import (
+    CondBranch,
+    ControlFlowGraph,
+    Jump,
+    ReturnTerm,
+    SwitchBranch,
+)
+
+
+def cfg_to_dot(
+    graph: ControlFlowGraph,
+    block_annotations: Optional[Mapping[int, str]] = None,
+    edge_annotations: Optional[Mapping[tuple[int, int], str]] = None,
+) -> str:
+    """Render ``graph`` as DOT text.
+
+    ``block_annotations`` adds a second label line per block (e.g. an
+    estimated frequency); ``edge_annotations`` labels edges (e.g. branch
+    probabilities).
+    """
+    lines = [f'digraph "{graph.function_name}" {{', "  node [shape=box];"]
+    for block_id in sorted(graph.blocks):
+        block = graph.blocks[block_id]
+        label = block.label
+        if block_annotations and block_id in block_annotations:
+            label = f"{label}\\n{block_annotations[block_id]}"
+        shape = ""
+        if block_id == graph.entry_id:
+            shape = ", penwidth=2"
+        lines.append(f'  n{block_id} [label="{label}"{shape}];')
+    for block_id in sorted(graph.blocks):
+        block = graph.blocks[block_id]
+        terminator = block.terminator
+        if isinstance(terminator, Jump):
+            lines.append(
+                _edge(block_id, terminator.target, edge_annotations)
+            )
+        elif isinstance(terminator, CondBranch):
+            lines.append(
+                _edge(
+                    block_id,
+                    terminator.true_target,
+                    edge_annotations,
+                    fallback="T",
+                )
+            )
+            lines.append(
+                _edge(
+                    block_id,
+                    terminator.false_target,
+                    edge_annotations,
+                    fallback="F",
+                )
+            )
+        elif isinstance(terminator, SwitchBranch):
+            for arm in terminator.arms:
+                values = ",".join(str(v) for v in arm.values)
+                lines.append(
+                    _edge(
+                        block_id, arm.target, edge_annotations, fallback=values
+                    )
+                )
+            lines.append(
+                _edge(
+                    block_id,
+                    terminator.default_target,
+                    edge_annotations,
+                    fallback="default",
+                )
+            )
+        elif isinstance(terminator, ReturnTerm):
+            pass
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _edge(
+    source: int,
+    target: int,
+    annotations: Optional[Mapping[tuple[int, int], str]],
+    fallback: str = "",
+) -> str:
+    label = fallback
+    if annotations and (source, target) in annotations:
+        label = annotations[(source, target)]
+    suffix = f' [label="{label}"]' if label else ""
+    return f"  n{source} -> n{target}{suffix};"

@@ -1,0 +1,67 @@
+"""Natural-loop detection over the CFG.
+
+A back edge is an edge ``t -> h`` where ``h`` dominates ``t``; the
+natural loop of that edge is ``h`` plus every block that can reach ``t``
+without passing through ``h``.  Loops with the same header are merged.
+Nesting depth per block feeds diagnostics and the structural tests that
+check the AST-level loop estimator against real CFG structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg.block import ControlFlowGraph
+from repro.cfg.dominators import dominates, immediate_dominators
+
+
+@dataclass
+class NaturalLoop:
+    """One natural loop: header block, members (including header), and
+    the back edges ``(tail, header)`` that define it."""
+
+    header: int
+    body: set[int] = field(default_factory=set)
+    back_edges: list[tuple[int, int]] = field(default_factory=list)
+
+    def __contains__(self, block_id: int) -> bool:
+        return block_id in self.body
+
+
+def find_back_edges(graph: ControlFlowGraph) -> list[tuple[int, int]]:
+    """All edges ``(tail, header)`` where header dominates tail."""
+    idom = immediate_dominators(graph)
+    back_edges: list[tuple[int, int]] = []
+    for source, target in graph.edges():
+        if source in idom and target in idom and dominates(
+            idom, target, source
+        ):
+            back_edges.append((source, target))
+    return back_edges
+
+
+def find_natural_loops(graph: ControlFlowGraph) -> list[NaturalLoop]:
+    """Natural loops, merged per header, sorted by header id."""
+    predecessors = graph.predecessor_map()
+    loops: dict[int, NaturalLoop] = {}
+    for tail, header in find_back_edges(graph):
+        loop = loops.setdefault(header, NaturalLoop(header, {header}))
+        loop.back_edges.append((tail, header))
+        # Walk backwards from the tail, stopping at the header.
+        stack = [tail]
+        while stack:
+            block_id = stack.pop()
+            if block_id in loop.body:
+                continue
+            loop.body.add(block_id)
+            stack.extend(predecessors[block_id])
+    return [loops[header] for header in sorted(loops)]
+
+
+def loop_nesting_depth(graph: ControlFlowGraph) -> dict[int, int]:
+    """Map block id -> number of natural loops containing it."""
+    depth = {block_id: 0 for block_id in graph.blocks}
+    for loop in find_natural_loops(graph):
+        for block_id in loop.body:
+            depth[block_id] += 1
+    return depth

@@ -1,0 +1,62 @@
+"""Post-dominator computation.
+
+The post-dominator relation ("every path from B to exit passes through
+P") drives the Ball–Larus *call* and *loop-exit* heuristics: a branch
+successor that contains a call and does **not** post-dominate the
+branch is unlikely to be taken.  Computed as dominators of the reverse
+CFG with a virtual exit node joining all returns.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.block import ControlFlowGraph
+
+#: Identifier of the virtual exit node in the post-dominator maps.
+VIRTUAL_EXIT = -1
+
+
+def post_dominators(graph: ControlFlowGraph) -> dict[int, set[int]]:
+    """Map each reachable block to the set of blocks post-dominating it
+    (including itself; :data:`VIRTUAL_EXIT` is omitted from sets).
+
+    Blocks that cannot reach any exit (infinite loops) post-dominate
+    nothing beyond themselves and the loop members that trap them.
+    Iterative dataflow: small CFGs make O(n^2) perfectly fine.
+    """
+    blocks = set(graph.blocks)
+    exits = set(graph.exit_ids())
+    successors = {
+        block_id: set(graph.successors(block_id)) for block_id in blocks
+    }
+    # Initialize: exits post-dominated by themselves; others by all.
+    pdom: dict[int, set[int]] = {}
+    for block_id in blocks:
+        if block_id in exits:
+            pdom[block_id] = {block_id}
+        else:
+            pdom[block_id] = set(blocks)
+    changed = True
+    while changed:
+        changed = False
+        for block_id in blocks:
+            if block_id in exits:
+                continue
+            succ = successors[block_id]
+            if succ:
+                meet = set.intersection(
+                    *(pdom[s] for s in succ)
+                )
+            else:  # pragma: no cover - non-exit blocks have successors
+                meet = set()
+            updated = meet | {block_id}
+            if updated != pdom[block_id]:
+                pdom[block_id] = updated
+                changed = True
+    return pdom
+
+
+def post_dominates(
+    pdom: dict[int, set[int]], candidate: int, block_id: int
+) -> bool:
+    """True when ``candidate`` post-dominates ``block_id``."""
+    return candidate in pdom.get(block_id, set())

@@ -1,0 +1,195 @@
+"""Command-line interface.
+
+Usage (after installing the package)::
+
+    python -m repro list                    # available experiments
+    python -m repro run table2              # one table/figure
+    python -m repro run all                 # everything
+    python -m repro suite                   # run every suite program
+    python -m repro exec compress --input 1 # run one program, show stdout
+    python -m repro cfg compress table_lookup --dot  # dump a CFG
+    python -m repro predict compress        # per-branch predictions
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cfg import cfg_to_dot
+from repro.experiments import EXPERIMENTS, run_all, run_experiment
+from repro.prediction.error_functions import settings_for_program
+from repro.prediction.predictor import HeuristicPredictor
+from repro.suite import (
+    SUITE,
+    load_program,
+    program_inputs,
+    run_on_input,
+)
+
+
+def _command_list(_: argparse.Namespace) -> int:
+    for name, experiment in EXPERIMENTS.items():
+        print(f"{name:12} {experiment.description}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    if args.experiment == "all":
+        print(run_all())
+        return 0
+    try:
+        print(run_experiment(args.experiment))
+    except KeyError as error:
+        print(error, file=sys.stderr)
+        return 2
+    return 0
+
+
+def _command_suite(_: argparse.Namespace) -> int:
+    for entry in SUITE:
+        for index, stdin in enumerate(program_inputs(entry.name), start=1):
+            result = run_on_input(entry.name, stdin, f"input{index}")
+            status = "ok" if result.status == 0 else f"exit {result.status}"
+            print(
+                f"{entry.name}.{index}: {status}, "
+                f"{result.blocks_executed} blocks"
+            )
+    return 0
+
+
+def _command_exec(args: argparse.Namespace) -> int:
+    inputs = program_inputs(args.program)
+    index = args.input
+    if not 1 <= index <= len(inputs):
+        print(
+            f"{args.program} has inputs 1..{len(inputs)}", file=sys.stderr
+        )
+        return 2
+    result = run_on_input(args.program, inputs[index - 1], f"input{index}")
+    sys.stdout.write(result.stdout)
+    return result.status
+
+
+def _command_cfg(args: argparse.Namespace) -> int:
+    program = load_program(args.program)
+    if args.function not in program.cfgs:
+        print(
+            f"no function {args.function!r}; choices: "
+            f"{program.function_names}",
+            file=sys.stderr,
+        )
+        return 2
+    cfg = program.cfg(args.function)
+    if args.dot:
+        print(cfg_to_dot(cfg))
+        return 0
+    for block in sorted(cfg, key=lambda b: b.block_id):
+        successors = ", ".join(str(s) for s in block.successor_ids())
+        print(
+            f"B{block.block_id} [{block.label}] "
+            f"{len(block.statements)} stmts -> {successors or 'exit'}"
+        )
+    return 0
+
+
+def _command_layout(args: argparse.Namespace) -> int:
+    from repro.optimize import layout_from_estimates
+
+    program = load_program(args.program)
+    if args.function not in program.cfgs:
+        print(
+            f"no function {args.function!r}; choices: "
+            f"{program.function_names}",
+            file=sys.stderr,
+        )
+        return 2
+    cfg = program.cfg(args.function)
+    layout = layout_from_estimates(program, args.function)
+    labels = {block.block_id: block.label for block in cfg}
+    print(f"estimate-driven layout of {args.function}:")
+    for position, block_id in enumerate(layout):
+        print(f"  {position:3}  B{block_id:<3} {labels[block_id]}")
+    return 0
+
+
+def _command_predict(args: argparse.Namespace) -> int:
+    program = load_program(args.program)
+    predictor = HeuristicPredictor(settings_for_program(program))
+    for name, cfg in program.cfgs.items():
+        for block, branch in cfg.conditional_branches():
+            prediction = predictor.predict_branch(name, block, branch)
+            direction = "T" if prediction.predicted_taken else "F"
+            print(
+                f"{name}:{block.label} @ {branch.condition.location.line} "
+                f"-> {direction} p={prediction.taken_probability:.2f} "
+                f"({prediction.reason})"
+            )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse CLI parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Accurate Static Estimators for Program "
+            "Optimization' (PLDI 1994)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser(
+        "list", help="list experiments"
+    ).set_defaults(handler=_command_list)
+
+    run_parser = subparsers.add_parser(
+        "run", help="run one experiment (or 'all')"
+    )
+    run_parser.add_argument("experiment")
+    run_parser.set_defaults(handler=_command_run)
+
+    subparsers.add_parser(
+        "suite", help="run every suite program on every input"
+    ).set_defaults(handler=_command_suite)
+
+    exec_parser = subparsers.add_parser(
+        "exec", help="run one suite program and print its stdout"
+    )
+    exec_parser.add_argument("program")
+    exec_parser.add_argument("--input", type=int, default=1)
+    exec_parser.set_defaults(handler=_command_exec)
+
+    cfg_parser = subparsers.add_parser(
+        "cfg", help="show a function's control-flow graph"
+    )
+    cfg_parser.add_argument("program")
+    cfg_parser.add_argument("function")
+    cfg_parser.add_argument("--dot", action="store_true")
+    cfg_parser.set_defaults(handler=_command_cfg)
+
+    predict_parser = subparsers.add_parser(
+        "predict", help="show per-branch static predictions"
+    )
+    predict_parser.add_argument("program")
+    predict_parser.set_defaults(handler=_command_predict)
+
+    layout_parser = subparsers.add_parser(
+        "layout",
+        help="show an estimate-driven basic-block layout",
+    )
+    layout_parser.add_argument("program")
+    layout_parser.add_argument("function")
+    layout_parser.set_defaults(handler=_command_layout)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""All of the paper's estimators, intra- and inter-procedural."""
+
+from repro.estimators.arcs import (
+    actual_arc_frequencies,
+    arc_frequencies_from_blocks,
+    arc_score_over_profiles,
+    estimate_arc_frequencies,
+)
+from repro.estimators.base import (
+    INTRA_ESTIMATORS,
+    intra_estimates,
+    local_call_site_frequency,
+    make_profile_intra_estimator,
+    profile_block_estimates,
+    resolve_intra_estimator,
+)
+from repro.estimators.callsites import (
+    actual_call_site_frequencies,
+    direct_call_site_estimator,
+    estimate_call_site_frequencies,
+    markov_call_site_estimator,
+    rankable_call_sites,
+)
+from repro.estimators.inter import (
+    SIMPLE_INTER_ESTIMATORS,
+    all_rec2_invocations,
+    all_rec_invocations,
+    call_site_invocations,
+    direct_invocations,
+    markov_invocations,
+)
+from repro.estimators.synthesize import synthesize_profile
+from repro.estimators.intra import (
+    loop_estimator,
+    markov_estimator,
+    smart_estimator,
+)
+
+__all__ = [
+    "INTRA_ESTIMATORS",
+    "actual_arc_frequencies",
+    "arc_frequencies_from_blocks",
+    "arc_score_over_profiles",
+    "estimate_arc_frequencies",
+    "SIMPLE_INTER_ESTIMATORS",
+    "actual_call_site_frequencies",
+    "all_rec2_invocations",
+    "all_rec_invocations",
+    "call_site_invocations",
+    "direct_call_site_estimator",
+    "direct_invocations",
+    "estimate_call_site_frequencies",
+    "intra_estimates",
+    "local_call_site_frequency",
+    "loop_estimator",
+    "make_profile_intra_estimator",
+    "markov_call_site_estimator",
+    "markov_estimator",
+    "markov_invocations",
+    "profile_block_estimates",
+    "rankable_call_sites",
+    "resolve_intra_estimator",
+    "smart_estimator",
+    "synthesize_profile",
+]

@@ -1,0 +1,31 @@
+"""Inter-procedural invocation estimators: simple combiners and Markov."""
+
+from repro.estimators.inter.markov import (
+    CallGraphSystem,
+    build_call_graph_system,
+    clamp_direct_recursion,
+    markov_invocations,
+    repair_sccs,
+    solve_with_repair,
+)
+from repro.estimators.inter.simple import (
+    SIMPLE_INTER_ESTIMATORS,
+    all_rec2_invocations,
+    all_rec_invocations,
+    call_site_invocations,
+    direct_invocations,
+)
+
+__all__ = [
+    "CallGraphSystem",
+    "SIMPLE_INTER_ESTIMATORS",
+    "all_rec2_invocations",
+    "all_rec_invocations",
+    "build_call_graph_system",
+    "call_site_invocations",
+    "clamp_direct_recursion",
+    "direct_invocations",
+    "markov_invocations",
+    "repair_sccs",
+    "solve_with_repair",
+]

@@ -1,0 +1,253 @@
+"""Markov (call-graph linear-system) invocation estimation (paper §5.2).
+
+Functions are nodes; the multiplier on arc F→G is the estimated number
+of calls from F to G per invocation of F (the summed local frequencies
+of F's call sites targeting G).  ``main`` receives external flow 1 and
+the system ``f = e + W^T f`` is solved for all functions at once.
+
+Two C realities need repair (paper §5.2.1–5.2.2):
+
+* **Function pointers** — indirect calls route through a synthetic
+  pointer node whose outgoing arcs reach every address-taken function,
+  weighted by static address-of counts.
+* **Recursion** — estimated arc weights can be numerically impossible
+  (a self-arc above 1 means "calls itself more than once per call",
+  i.e. never returns), yielding negative solutions.  Repair sequence:
+  (1) clamp direct-recursion arcs above 1 to 0.8; (2) if the global
+  solution still has negative entries, solve each SCC in isolation
+  against an artificial main (entry flow ``m/n`` per member), scaling
+  the SCC's internal arcs down by a constant until its solution is
+  nonnegative and below a ceiling of 5; (3) re-solve the global system
+  with the scaled arcs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.callgraph.graph import POINTER_NODE
+from repro.callgraph.scc import strongly_connected_components
+from repro.estimators.base import (
+    IntraEstimator,
+    intra_estimates,
+    local_call_site_frequency,
+)
+from repro.linalg.solve import SingularMatrixError, solve_linear_system
+from repro.program import Program
+
+#: Clamp value for impossible direct-recursion arcs (paper: 0.8).
+DEFAULT_RECURSION_CLAMP = 0.8
+
+#: Ceiling on per-function estimates inside SCC subproblems (paper: 5).
+DEFAULT_SCC_CEILING = 5.0
+
+#: Factor applied repeatedly to an SCC's internal arcs until solvable.
+SCC_SCALE_STEP = 0.75
+
+_NEGATIVE_TOLERANCE = -1e-9
+
+
+@dataclass
+class CallGraphSystem:
+    """The weighted call graph the Markov model solves."""
+
+    nodes: list[str]
+    #: (caller, callee) -> estimated calls per caller invocation.
+    weights: dict[tuple[str, str], float] = field(default_factory=dict)
+    entry: str = "main"
+
+    def successors(self, node: str) -> list[str]:
+        return [
+            callee for (caller, callee) in self.weights if caller == node
+        ]
+
+    def solve(self) -> dict[str, float]:
+        """Solve ``f = e + W^T f``; raises SingularMatrixError."""
+        index = {name: i for i, name in enumerate(self.nodes)}
+        n = len(self.nodes)
+        matrix = [[0.0] * n for _ in range(n)]
+        for i in range(n):
+            matrix[i][i] = 1.0
+        for (caller, callee), weight in self.weights.items():
+            matrix[index[callee]][index[caller]] -= weight
+        rhs = [0.0] * n
+        if self.entry in index:
+            rhs[index[self.entry]] = 1.0
+        solution = solve_linear_system(matrix, rhs)
+        return {name: solution[index[name]] for name in self.nodes}
+
+
+def build_call_graph_system(
+    program: Program,
+    estimates: dict[str, dict[int, float]],
+) -> CallGraphSystem:
+    """Arc weights from intra-procedural estimates (merged per pair)."""
+    weights: dict[tuple[str, str], float] = {}
+    uses_pointer_node = False
+    for site in program.call_sites():
+        frequency = local_call_site_frequency(site, estimates)
+        if site.callee is not None:
+            key = (site.caller, site.callee)
+        else:
+            key = (site.caller, POINTER_NODE)
+            uses_pointer_node = True
+        weights[key] = weights.get(key, 0.0) + frequency
+    nodes = list(program.function_names)
+    if uses_pointer_node:
+        nodes.append(POINTER_NODE)
+        address_taken = program.call_graph.address_taken
+        total = sum(address_taken.values())
+        if total > 0:
+            for name, count in address_taken.items():
+                if name in program.cfgs:
+                    weights[(POINTER_NODE, name)] = count / total
+    return CallGraphSystem(nodes=nodes, weights=weights)
+
+
+def clamp_direct_recursion(
+    system: CallGraphSystem, clamp: float = DEFAULT_RECURSION_CLAMP
+) -> list[str]:
+    """Repair #1: self-arcs above 1 become ``clamp``.  Returns the
+    functions whose arcs were clamped."""
+    repaired: list[str] = []
+    for (caller, callee), weight in list(system.weights.items()):
+        if caller == callee and weight > 1.0:
+            system.weights[(caller, callee)] = clamp
+            repaired.append(caller)
+    return repaired
+
+
+def _has_negative(solution: dict[str, float]) -> bool:
+    return any(value < _NEGATIVE_TOLERANCE for value in solution.values())
+
+
+def _scc_subproblem_solves(
+    system: CallGraphSystem,
+    members: list[str],
+    scale: float,
+    ceiling: float,
+) -> bool:
+    """Solve one SCC against an artificial main; True when the solution
+    is nonnegative and below the ceiling (paper's stricter criterion)."""
+    member_set = set(members)
+    incoming: dict[str, float] = {name: 0.0 for name in members}
+    for (caller, callee), weight in system.weights.items():
+        if callee in member_set and caller not in member_set:
+            incoming[callee] += weight
+    if system.entry in member_set:
+        incoming[system.entry] += 1.0
+    total_in = sum(incoming.values())
+    if total_in <= 0:
+        # Unreachable SCC: its estimates are all zero, trivially fine.
+        return True
+    artificial = "<artificial-main>"
+    sub = CallGraphSystem(nodes=[artificial] + members, entry=artificial)
+    for name in members:
+        sub.weights[(artificial, name)] = incoming[name] / total_in
+    for (caller, callee), weight in system.weights.items():
+        if caller in member_set and callee in member_set:
+            sub.weights[(caller, callee)] = weight * scale
+    try:
+        solution = sub.solve()
+    except SingularMatrixError:
+        return False
+    # A pure self-loop clamped to 0.8 amplifies exactly 1/(1-0.8) = 5,
+    # the paper's ceiling; a relative tolerance keeps round-off from
+    # rejecting that boundary case.
+    ceiling_with_slack = ceiling * (1.0 + 1e-9) + 1e-9
+    for name in members:
+        value = solution[name]
+        if value < _NEGATIVE_TOLERANCE or value > ceiling_with_slack:
+            return False
+    return True
+
+
+def repair_sccs(
+    system: CallGraphSystem,
+    ceiling: float = DEFAULT_SCC_CEILING,
+    scale_step: float = SCC_SCALE_STEP,
+    max_rounds: int = 60,
+) -> dict[str, float]:
+    """Repair #2: per-SCC probability scaling.  Returns the scale
+    applied to each SCC (keyed by a member name) for diagnostics."""
+    applied: dict[str, float] = {}
+    components = strongly_connected_components(
+        system.nodes, system.successors
+    )
+    for members in components:
+        cyclic = len(members) > 1 or (
+            (members[0], members[0]) in system.weights
+        )
+        if not cyclic:
+            continue
+        scale = 1.0
+        rounds = 0
+        while not _scc_subproblem_solves(
+            system, members, scale, ceiling
+        ):
+            scale *= scale_step
+            rounds += 1
+            if rounds >= max_rounds:
+                break
+        if scale != 1.0:
+            member_set = set(members)
+            for key in list(system.weights):
+                caller, callee = key
+                if caller in member_set and callee in member_set:
+                    system.weights[key] *= scale
+            applied[members[0]] = scale
+    return applied
+
+
+def solve_with_repair(
+    system: CallGraphSystem,
+    clamp: float = DEFAULT_RECURSION_CLAMP,
+    ceiling: float = DEFAULT_SCC_CEILING,
+) -> dict[str, float]:
+    """The full §5.2.2 pipeline on an already-built system."""
+    clamp_direct_recursion(system, clamp)
+    try:
+        solution = system.solve()
+        if not _has_negative(solution):
+            return solution
+    except SingularMatrixError:
+        pass
+    repair_sccs(system, ceiling)
+    try:
+        solution = system.solve()
+        if not _has_negative(solution):
+            return solution
+    except SingularMatrixError:
+        pass
+    # Last resort: damp every arc uniformly until the system yields.
+    damping = 0.9
+    for _ in range(20):
+        for key in system.weights:
+            system.weights[key] *= damping
+        try:
+            solution = system.solve()
+            if not _has_negative(solution):
+                return solution
+        except SingularMatrixError:
+            continue
+    raise SingularMatrixError(
+        "call-graph system unsolvable even after damping"
+    )
+
+
+def markov_invocations(
+    program: Program,
+    estimator: "str | IntraEstimator" = "smart",
+    clamp: float = DEFAULT_RECURSION_CLAMP,
+    ceiling: float = DEFAULT_SCC_CEILING,
+) -> dict[str, float]:
+    """Function invocation estimates from the call-graph Markov model.
+
+    The pointer node's internal estimate is dropped from the result.
+    """
+    estimates = intra_estimates(program, estimator)
+    system = build_call_graph_system(program, estimates)
+    solution = solve_with_repair(system, clamp, ceiling)
+    solution.pop(POINTER_NODE, None)
+    # Clip the tiny negatives tolerated above.
+    return {name: max(value, 0.0) for name, value in solution.items()}

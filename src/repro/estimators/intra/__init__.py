@@ -1,0 +1,25 @@
+"""Intra-procedural block-frequency estimators: loop, smart, markov."""
+
+from repro.estimators.intra.astwalk import (
+    AstFrequencyWalker,
+    estimate_block_frequencies,
+    loop_estimator,
+    map_frequencies_to_blocks,
+    smart_estimator,
+)
+from repro.estimators.intra.markov import (
+    markov_estimator,
+    solve_flow_system,
+    transition_probabilities,
+)
+
+__all__ = [
+    "AstFrequencyWalker",
+    "estimate_block_frequencies",
+    "loop_estimator",
+    "map_frequencies_to_blocks",
+    "markov_estimator",
+    "smart_estimator",
+    "solve_flow_system",
+    "transition_probabilities",
+]

@@ -1,0 +1,238 @@
+"""The *loop* and *smart* intra-procedural estimators (paper §4.2).
+
+Both are a single top-down AST walk that assigns every statement an
+estimated execution frequency, normalized to one entry of the function
+(Figure 3).  The walk:
+
+* multiplies loop bodies by ``iterations - 1`` and loop tests by
+  ``iterations`` (a loop "executing five times" runs its body four
+  times per the paper's Figure 3);
+* splits ``if`` arms 50/50 (*loop*) or by the branch-prediction
+  heuristics with the 0.8/0.2 split (*smart*);
+* weights ``switch`` arms uniformly or by case-label count;
+* **ignores** ``break``, ``continue``, ``goto``, and ``return`` — the
+  paper is explicit that the AST-based model does not account for them
+  (that is the Markov model's edge).
+
+The statement frequencies are then mapped onto CFG basic blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cfg.block import (
+    BasicBlock,
+    CondBranch,
+    ControlFlowGraph,
+    Jump,
+    ReturnTerm,
+    SwitchBranch,
+)
+from repro.cfg.dominators import reverse_postorder
+from repro.frontend import ast_nodes as ast
+from repro.prediction.heuristics import (
+    HeuristicSettings,
+    predict_condition,
+)
+from repro.prediction.predictor import label_weighted_switch_weights
+from repro.program import Program
+
+
+class AstFrequencyWalker:
+    """Computes statement and test frequencies for one function."""
+
+    def __init__(
+        self,
+        use_branch_heuristics: bool,
+        settings: Optional[HeuristicSettings] = None,
+    ):
+        self.use_branch_heuristics = use_branch_heuristics
+        self.settings = settings or HeuristicSettings()
+        #: statement node id -> estimated executions per function entry.
+        self.statement_frequency: dict[int, float] = {}
+        #: construct node id (If/While/For/DoWhile/Switch) -> frequency
+        #: of its controlling test.
+        self.test_frequency: dict[int, float] = {}
+
+    def walk_function(self, function: ast.FunctionDef) -> None:
+        self._statement(function.body, 1.0)
+
+    # ------------------------------------------------------------------
+
+    def _branch_probability(
+        self, statement: ast.If
+    ) -> float:
+        """Probability that the condition is true."""
+        if not self.use_branch_heuristics:
+            return 0.5
+        prediction = predict_condition(
+            statement.condition, "if", statement, self.settings
+        )
+        if prediction.is_constant:
+            return prediction.taken_probability
+        if prediction.reason == "default":
+            return 0.5
+        return prediction.taken_probability
+
+    def _statement(self, statement: ast.Statement, frequency: float) -> None:
+        self.statement_frequency[statement.node_id] = frequency
+        iterations = self.settings.loop_iterations
+        if isinstance(statement, ast.Compound):
+            for item in statement.items:
+                self._statement(item, frequency)
+        elif isinstance(statement, ast.If):
+            self.test_frequency[statement.node_id] = frequency
+            probability = self._branch_probability(statement)
+            self._statement(statement.then_branch, frequency * probability)
+            if statement.else_branch is not None:
+                self._statement(
+                    statement.else_branch, frequency * (1.0 - probability)
+                )
+        elif isinstance(statement, ast.While):
+            self.test_frequency[statement.node_id] = frequency * iterations
+            self._statement(statement.body, frequency * (iterations - 1))
+        elif isinstance(statement, ast.DoWhile):
+            # A do-while body runs at least once; with the same trip
+            # guess the body matches the while body's count.
+            body_frequency = frequency * max(iterations - 1, 1)
+            self.test_frequency[statement.node_id] = body_frequency
+            self._statement(statement.body, body_frequency)
+        elif isinstance(statement, ast.For):
+            if statement.init is not None:
+                self._statement(statement.init, frequency)
+            self.test_frequency[statement.node_id] = frequency * iterations
+            body_frequency = frequency * (iterations - 1)
+            self._statement(statement.body, body_frequency)
+            # The step expression is not a statement node; its
+            # frequency rides along with the body.
+        elif isinstance(statement, ast.Switch):
+            self.test_frequency[statement.node_id] = frequency
+            weights = self._switch_case_weights(statement)
+            for case, weight in zip(statement.cases, weights):
+                for item in case.body:
+                    self._statement(item, frequency * weight)
+        elif isinstance(statement, ast.LabeledStatement):
+            self._statement(statement.statement, frequency)
+        # Return/Break/Continue/Goto/Declaration/ExpressionStatement:
+        # recorded above, no children to scale.
+
+    def _switch_case_weights(self, statement: ast.Switch) -> list[float]:
+        arm_count = len(statement.cases) + (
+            0 if statement.has_default else 1
+        )
+        if arm_count == 0:
+            return []
+        if not (
+            self.use_branch_heuristics
+            and self.settings.weight_switch_by_labels
+        ):
+            return [1.0 / arm_count] * len(statement.cases)
+        label_counts = [
+            (1 if case.is_default else len(case.values))
+            for case in statement.cases
+        ]
+        total = sum(label_counts) + (0 if statement.has_default else 1)
+        if total == 0:
+            return [1.0 / arm_count] * len(statement.cases)
+        return [count / total for count in label_counts]
+
+
+def map_frequencies_to_blocks(
+    cfg: ControlFlowGraph, walker: AstFrequencyWalker
+) -> dict[int, float]:
+    """Project AST statement frequencies onto CFG basic blocks.
+
+    A block takes the frequency of its first statement; condition-only
+    blocks take the test frequency of their originating construct;
+    return blocks take their return statement's frequency.  Structural
+    connector blocks (empty, unconditional jump) inherit from their
+    successor; the entry block is pinned at 1.
+    """
+    frequencies: dict[int, float] = {}
+    for block in cfg:
+        frequency = _mapped_frequency(block, walker)
+        if frequency is not None:
+            frequencies[block.block_id] = frequency
+    frequencies[cfg.entry_id] = frequencies.get(cfg.entry_id, 1.0)
+    # Connectors: propagate from successors in reverse order of
+    # reverse-postorder so chains resolve in one pass most of the time.
+    order = reverse_postorder(cfg)
+    for _ in range(len(order)):
+        changed = False
+        for block_id in reversed(order):
+            if block_id in frequencies:
+                continue
+            successors = cfg.successors(block_id)
+            known = [
+                frequencies[s] for s in successors if s in frequencies
+            ]
+            if known:
+                frequencies[block_id] = known[0]
+                changed = True
+        if not changed:
+            break
+    for block_id in cfg.blocks:
+        frequencies.setdefault(block_id, 0.0)
+    return frequencies
+
+
+def _mapped_frequency(
+    block: BasicBlock, walker: AstFrequencyWalker
+) -> Optional[float]:
+    for statement in block.statements:
+        frequency = walker.statement_frequency.get(statement.node_id)
+        if frequency is not None:
+            return frequency
+    terminator = block.terminator
+    if isinstance(terminator, (CondBranch, SwitchBranch)):
+        origin = terminator.origin
+        if origin is not None:
+            frequency = walker.test_frequency.get(origin.node_id)
+            if frequency is not None:
+                return frequency
+    if isinstance(terminator, ReturnTerm) and terminator.origin is not None:
+        return walker.statement_frequency.get(terminator.origin.node_id)
+    if isinstance(terminator, Jump):
+        return None  # Connector: resolved by successor propagation.
+    return None
+
+
+def estimate_block_frequencies(
+    program: Program,
+    function_name: str,
+    use_branch_heuristics: bool,
+    settings: Optional[HeuristicSettings] = None,
+) -> dict[int, float]:
+    """Block frequency estimates for one function, one entry = 1."""
+    if settings is None:
+        from repro.prediction.error_functions import settings_for_program
+
+        settings = settings_for_program(program)
+    walker = AstFrequencyWalker(use_branch_heuristics, settings)
+    walker.walk_function(program.function(function_name))
+    return map_frequencies_to_blocks(program.cfg(function_name), walker)
+
+
+def loop_estimator(
+    program: Program,
+    function_name: str,
+    settings: Optional[HeuristicSettings] = None,
+) -> dict[int, float]:
+    """The paper's *loop* estimator: loop structure only."""
+    return estimate_block_frequencies(
+        program, function_name, use_branch_heuristics=False,
+        settings=settings,
+    )
+
+
+def smart_estimator(
+    program: Program,
+    function_name: str,
+    settings: Optional[HeuristicSettings] = None,
+) -> dict[int, float]:
+    """The paper's *smart* estimator: loops + branch heuristics."""
+    return estimate_block_frequencies(
+        program, function_name, use_branch_heuristics=True,
+        settings=settings,
+    )

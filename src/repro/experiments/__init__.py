@@ -1,0 +1,5 @@
+"""Experiment harnesses: one module per table/figure in the paper."""
+
+from repro.experiments.runner import EXPERIMENTS, run_all, run_experiment
+
+__all__ = ["EXPERIMENTS", "run_all", "run_experiment"]

@@ -1,0 +1,98 @@
+"""Figure 10: selective optimization of compress.
+
+Functions are optimized one at a time in three ranking orders — the
+static call-graph Markov estimate, the first input's profile, and the
+normalized-and-summed aggregate of the remaining profiles — and the
+simulated speedup is measured on a held-out evaluation input none of
+the rankings saw (paper §6).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.estimators.inter.markov import markov_invocations
+from repro.experiments.render import text_table
+from repro.interp.machine import Machine
+from repro.optimize.selective import (
+    SelectiveSweep,
+    ranking_from_estimate,
+    ranking_from_profile,
+    sweep_selective_optimization,
+)
+from repro.profiles.aggregate import aggregate_profiles
+from repro.profiles.profile import Profile
+from repro.suite import collect_profiles, load_program
+from repro.suite.registry import INPUTS_DIR
+
+
+@dataclass
+class Figure10Result:
+    sweeps: list[SelectiveSweep]
+
+    def render(self) -> str:
+        counts = self.sweeps[0].counts
+        headers = ["ranking"] + [f"k={count}" for count in counts]
+        rows = []
+        for sweep in self.sweeps:
+            rows.append(
+                [sweep.ranking_name]
+                + [f"{speedup:.3f}" for speedup in sweep.speedups]
+            )
+        table = text_table(headers, rows)
+        top = "\n".join(
+            f"  {sweep.ranking_name:10} top-4: "
+            f"{', '.join(sweep.ordered_functions[:4])}"
+            for sweep in self.sweeps
+        )
+        return (
+            "Figure 10: selective optimization of compress "
+            "(simulated speedup)\n\n"
+            f"{table}\n\nRanking heads:\n{top}"
+        )
+
+    def sweep(self, name: str) -> SelectiveSweep:
+        for sweep in self.sweeps:
+            if sweep.ranking_name == name:
+                return sweep
+        raise KeyError(name)
+
+
+def evaluation_profile() -> Profile:
+    """Profile of compress on the held-out evaluation input."""
+    program = load_program("compress")
+    path = os.path.join(INPUTS_DIR, "compress.eval.txt")
+    with open(path, encoding="utf-8") as handle:
+        stdin = handle.read()
+    profile = Profile("compress", "eval")
+    machine = Machine(program, stdin=stdin, profile=profile)
+    result = machine.run()
+    if result.status != 0:
+        raise RuntimeError("compress failed on the evaluation input")
+    return profile
+
+
+def run_figure10() -> Figure10Result:
+    """Run the Figure 10 sweeps for all three rankings."""
+    program = load_program("compress")
+    profiles = collect_profiles("compress")
+    held_out = evaluation_profile()
+    rankings = [
+        (
+            "estimate",
+            ranking_from_estimate(markov_invocations(program, "smart")),
+        ),
+        ("profile", ranking_from_profile(program, profiles[0])),
+        (
+            "aggregate",
+            ranking_from_profile(
+                program, aggregate_profiles(profiles[1:])
+            ),
+        ),
+    ]
+    sweeps = [
+        sweep_selective_optimization(program, held_out, ranking, name)
+        for name, ranking in rankings
+    ]
+    return Figure10Result(sweeps)

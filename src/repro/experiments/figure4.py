@@ -1,0 +1,76 @@
+"""Figure 4: intra-procedural basic-block frequency estimation.
+
+Weight-matching scores at the paper's 5% cutoff for the *loop*,
+*smart*, and *markov* estimators and the leave-one-out *profiling*
+baseline, per program plus the all-program average.  The paper's
+finding: essentially all the benefit comes from the loop model; smart
+and Markov add little; static estimation is close to profiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.estimators.base import intra_estimates
+from repro.experiments.render import percent, series_table
+from repro.metrics.protocol import (
+    INTRA_CUTOFF,
+    intra_profiling_baseline,
+    intra_score_over_profiles,
+)
+from repro.suite import SUITE, collect_profiles, load_program
+
+COLUMNS = ("loop", "smart", "markov", "profiling")
+
+
+@dataclass
+class Figure4Result:
+    cutoff: float
+    #: program -> column -> score (0..1).
+    scores: dict[str, dict[str, float]]
+
+    def averages(self) -> dict[str, float]:
+        programs = list(self.scores)
+        return {
+            column: sum(self.scores[name][column] for name in programs)
+            / len(programs)
+            for column in COLUMNS
+        }
+
+    def render(self) -> str:
+        rows = dict(self.scores)
+        rows["AVERAGE"] = self.averages()
+        table = series_table(list(rows), list(COLUMNS), rows, percent)
+        return (
+            f"Figure 4: intra-procedural weight matching "
+            f"({self.cutoff:.0%} cutoff)\n\n{table}"
+        )
+
+
+def scores_for_program(
+    name: str, cutoff: float = INTRA_CUTOFF
+) -> dict[str, float]:
+    """The four Figure 4 columns for one suite program."""
+    program = load_program(name)
+    profiles = collect_profiles(name)
+    scores: dict[str, float] = {}
+    for estimator in ("loop", "smart", "markov"):
+        estimates = intra_estimates(program, estimator)
+        scores[estimator] = intra_score_over_profiles(
+            program, estimates, profiles, cutoff
+        )
+    scores["profiling"] = intra_profiling_baseline(
+        program, profiles, cutoff
+    )
+    return scores
+
+
+def run_figure4(cutoff: float = INTRA_CUTOFF) -> Figure4Result:
+    """Compute Figure 4 for the whole suite."""
+    return Figure4Result(
+        cutoff,
+        {
+            entry.name: scores_for_program(entry.name, cutoff)
+            for entry in SUITE
+        },
+    )

@@ -1,0 +1,114 @@
+"""Plain-text rendering helpers shared by the experiment modules.
+
+Every experiment renders to monospace text — tables for the paper's
+tables, horizontal bar charts for its figures — so results can be read
+in a terminal and diffed in CI.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def text_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render rows as an aligned text table."""
+    columns = len(headers)
+    widths = [len(str(header)) for header in headers]
+    rendered_rows = []
+    for row in rows:
+        rendered = [str(cell) for cell in row]
+        if len(rendered) != columns:
+            raise ValueError("row width does not match headers")
+        rendered_rows.append(rendered)
+        for index, cell in enumerate(rendered):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        str(header).ljust(widths[index])
+        for index, header in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for rendered in rendered_rows:
+        lines.append(
+            "  ".join(
+                cell.rjust(widths[index]) if _is_numeric(cell) else
+                cell.ljust(widths[index])
+                for index, cell in enumerate(rendered)
+            )
+        )
+    return "\n".join(lines)
+
+
+def _is_numeric(cell: str) -> bool:
+    stripped = cell.rstrip("%x")
+    try:
+        float(stripped)
+    except ValueError:
+        return False
+    return True
+
+
+def percent(value: float, digits: int = 1) -> str:
+    """Format a 0..1 score as a percentage string."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def bar_chart(
+    series: Mapping[str, Mapping[str, float]],
+    value_format: str = "{:6.1f}",
+    width: int = 40,
+    title: str = "",
+    maximum: float | None = None,
+) -> str:
+    """Grouped horizontal bars: ``series[group][label] = value``.
+
+    Values are scaled to ``maximum`` (default: the largest value).
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    all_values = [
+        value for group in series.values() for value in group.values()
+    ]
+    scale_max = maximum if maximum is not None else max(all_values, default=1.0)
+    if scale_max <= 0:
+        scale_max = 1.0
+    label_width = max(
+        (len(label) for group in series.values() for label in group),
+        default=4,
+    )
+    for group_name, group in series.items():
+        lines.append(f"{group_name}:")
+        for label, value in group.items():
+            bar = "#" * max(int(round(width * value / scale_max)), 0)
+            lines.append(
+                f"  {label.ljust(label_width)} "
+                f"{value_format.format(value)} |{bar}"
+            )
+    return "\n".join(lines)
+
+
+def series_table(
+    row_labels: Sequence[str],
+    column_labels: Sequence[str],
+    values: Mapping[str, Mapping[str, float]],
+    formatter=percent,
+    corner: str = "program",
+) -> str:
+    """Matrix rendering: ``values[row][column]`` with shared columns."""
+    headers = [corner] + list(column_labels)
+    rows = []
+    for row_label in row_labels:
+        row: list[object] = [row_label]
+        for column_label in column_labels:
+            value = values.get(row_label, {}).get(column_label)
+            row.append("-" if value is None else formatter(value))
+        rows.append(row)
+    return text_table(headers, rows)

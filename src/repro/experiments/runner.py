@@ -1,0 +1,109 @@
+"""Registry mapping experiment names to runnable entry points.
+
+Every table and figure in the paper's evaluation has an entry here;
+the CLI and the benchmark harness both dispatch through this table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments.examples import (
+    run_figure3,
+    run_figure8,
+    run_markov_example,
+)
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure9 import run_figure9
+from repro.experiments.figure10 import run_figure10
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible table or figure."""
+
+    name: str
+    description: str
+    run: Callable[[], object]  # Result object with a .render() method.
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    experiment.name: experiment
+    for experiment in (
+        Experiment(
+            "table1",
+            "The benchmark suite roster with line counts",
+            run_table1,
+        ),
+        Experiment(
+            "table2",
+            "Weight matching on the strchr example (20%/60% cutoffs)",
+            run_table2,
+        ),
+        Experiment(
+            "figure2",
+            "Branch-prediction miss rates: heuristic vs profiling vs PSP",
+            run_figure2,
+        ),
+        Experiment(
+            "figure3",
+            "strchr AST annotated with smart-heuristic frequencies",
+            run_figure3,
+        ),
+        Experiment(
+            "figure4",
+            "Intra-procedural weight matching at the 5% cutoff",
+            run_figure4,
+        ),
+        Experiment(
+            "figure5",
+            "Function-invocation estimators at 10%/25% cutoffs",
+            run_figure5,
+        ),
+        Experiment(
+            "figure6_7",
+            "strchr CFG probabilities, linear system, and solution",
+            run_markov_example,
+        ),
+        Experiment(
+            "figure8",
+            "count_nodes recursion pathology and its repair",
+            run_figure8,
+        ),
+        Experiment(
+            "figure9",
+            "Call-site weight matching at the 25% cutoff",
+            run_figure9,
+        ),
+        Experiment(
+            "figure10",
+            "Selective optimization of compress",
+            run_figure10,
+        ),
+    )
+}
+
+
+def run_experiment(name: str) -> str:
+    """Run one experiment by name and return its rendered text."""
+    try:
+        experiment = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; choices: {sorted(EXPERIMENTS)}"
+        ) from None
+    result = experiment.run()
+    return result.render()  # type: ignore[attr-defined]
+
+
+def run_all() -> str:
+    """Run every experiment, concatenating the rendered sections."""
+    sections = []
+    for name in EXPERIMENTS:
+        sections.append(f"=== {name} ===\n\n{run_experiment(name)}")
+    return "\n\n\n".join(sections)

@@ -1,0 +1,104 @@
+"""Canonical signatures of the library functions the runtime provides.
+
+The frontend owns this list so the parser can type calls to library
+functions without importing the interpreter; :mod:`repro.interp.libc`
+implements every entry.  The paper's "error calls are unlikely" branch
+heuristic also keys off :data:`ERROR_FUNCTIONS`.
+"""
+
+from __future__ import annotations
+
+from repro.frontend import ctypes as ct
+
+_INT = ct.INT
+_LONG = ct.LONG
+_DOUBLE = ct.DOUBLE
+_VOID = ct.VOID
+_CHAR_PTR = ct.CHAR_PTR
+_CONST_CHAR_PTR = ct.CHAR_PTR
+_VOID_PTR = ct.VOID_PTR
+
+
+def _fn(
+    ret: ct.CType, *params: ct.CType, variadic: bool = False
+) -> ct.FunctionType:
+    return ct.FunctionType(ret, tuple(params), variadic)
+
+
+#: name -> FunctionType for every runtime-provided function.
+BUILTIN_FUNCTIONS: dict[str, ct.FunctionType] = {
+    # <stdio.h>
+    "printf": _fn(_INT, _CONST_CHAR_PTR, variadic=True),
+    "sprintf": _fn(_INT, _CHAR_PTR, _CONST_CHAR_PTR, variadic=True),
+    "putchar": _fn(_INT, _INT),
+    "puts": _fn(_INT, _CONST_CHAR_PTR),
+    "getchar": _fn(_INT),
+    "gets": _fn(_CHAR_PTR, _CHAR_PTR),
+    # <stdlib.h>
+    "malloc": _fn(_VOID_PTR, ct.ULONG),
+    "calloc": _fn(_VOID_PTR, ct.ULONG, ct.ULONG),
+    "realloc": _fn(_VOID_PTR, _VOID_PTR, ct.ULONG),
+    "free": _fn(_VOID, _VOID_PTR),
+    "exit": _fn(_VOID, _INT),
+    "abort": _fn(_VOID),
+    "atoi": _fn(_INT, _CONST_CHAR_PTR),
+    "atol": _fn(_LONG, _CONST_CHAR_PTR),
+    "atof": _fn(_DOUBLE, _CONST_CHAR_PTR),
+    "abs": _fn(_INT, _INT),
+    "labs": _fn(_LONG, _LONG),
+    "rand": _fn(_INT),
+    "srand": _fn(_VOID, ct.UINT),
+    "qsort": _fn(
+        _VOID,
+        _VOID_PTR,
+        ct.ULONG,
+        ct.ULONG,
+        ct.PointerType(ct.FunctionType(_INT, (_VOID_PTR, _VOID_PTR))),
+    ),
+    # <string.h>
+    "strlen": _fn(ct.ULONG, _CONST_CHAR_PTR),
+    "strcmp": _fn(_INT, _CONST_CHAR_PTR, _CONST_CHAR_PTR),
+    "strncmp": _fn(_INT, _CONST_CHAR_PTR, _CONST_CHAR_PTR, ct.ULONG),
+    "strcpy": _fn(_CHAR_PTR, _CHAR_PTR, _CONST_CHAR_PTR),
+    "strncpy": _fn(_CHAR_PTR, _CHAR_PTR, _CONST_CHAR_PTR, ct.ULONG),
+    "strcat": _fn(_CHAR_PTR, _CHAR_PTR, _CONST_CHAR_PTR),
+    "strchr": _fn(_CHAR_PTR, _CONST_CHAR_PTR, _INT),
+    "strstr": _fn(_CHAR_PTR, _CONST_CHAR_PTR, _CONST_CHAR_PTR),
+    "memset": _fn(_VOID_PTR, _VOID_PTR, _INT, ct.ULONG),
+    "memcpy": _fn(_VOID_PTR, _VOID_PTR, _VOID_PTR, ct.ULONG),
+    "memcmp": _fn(_INT, _VOID_PTR, _VOID_PTR, ct.ULONG),
+    # <ctype.h>
+    "isdigit": _fn(_INT, _INT),
+    "isalpha": _fn(_INT, _INT),
+    "isalnum": _fn(_INT, _INT),
+    "isspace": _fn(_INT, _INT),
+    "isupper": _fn(_INT, _INT),
+    "islower": _fn(_INT, _INT),
+    "ispunct": _fn(_INT, _INT),
+    "toupper": _fn(_INT, _INT),
+    "tolower": _fn(_INT, _INT),
+    # <math.h>
+    "sqrt": _fn(_DOUBLE, _DOUBLE),
+    "fabs": _fn(_DOUBLE, _DOUBLE),
+    "sin": _fn(_DOUBLE, _DOUBLE),
+    "cos": _fn(_DOUBLE, _DOUBLE),
+    "tan": _fn(_DOUBLE, _DOUBLE),
+    "atan": _fn(_DOUBLE, _DOUBLE),
+    "atan2": _fn(_DOUBLE, _DOUBLE, _DOUBLE),
+    "exp": _fn(_DOUBLE, _DOUBLE),
+    "log": _fn(_DOUBLE, _DOUBLE),
+    "pow": _fn(_DOUBLE, _DOUBLE, _DOUBLE),
+    "floor": _fn(_DOUBLE, _DOUBLE),
+    "ceil": _fn(_DOUBLE, _DOUBLE),
+    "fmod": _fn(_DOUBLE, _DOUBLE, _DOUBLE),
+    # <assert.h> (lowered by the suite's header to a call)
+    "__assert_fail": _fn(_VOID, _CONST_CHAR_PTR, _INT),
+}
+
+#: Functions whose call marks a path as an error path (paper §4.1:
+#: "Errors (calling abort or exit) are unlikely").
+ERROR_FUNCTIONS: frozenset[str] = frozenset(
+    {"abort", "exit", "__assert_fail"}
+)
+
+BUILTIN_NAMES: frozenset[str] = frozenset(BUILTIN_FUNCTIONS)

@@ -1,0 +1,146 @@
+"""Compile-time evaluation of constant expressions.
+
+Two uses, both from the paper:
+
+* ``case`` labels, enum values, and array bounds must be integer constant
+  expressions (:func:`fold_int_constant`);
+* branches whose controlling expression folds to a constant are
+  *predicted but excluded from miss-rate scoring*, because a real
+  compiler's constant propagation would eliminate them and counting them
+  would make predictors look artificially good (paper §2).
+  :func:`fold_condition` answers "is this condition statically known,
+  and if so which way does it go?".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.frontend import ast_nodes as ast
+
+_INT_BINARY = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "|": lambda a, b: a | b,
+    "&": lambda a, b: a & b,
+    "^": lambda a, b: a ^ b,
+    "<<": lambda a, b: a << b if 0 <= b < 256 else None,
+    ">>": lambda a, b: a >> b if 0 <= b < 256 else None,
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "<": lambda a, b: int(a < b),
+    ">": lambda a, b: int(a > b),
+    "<=": lambda a, b: int(a <= b),
+    ">=": lambda a, b: int(a >= b),
+}
+
+
+def _c_div(a: int, b: int) -> int:
+    """C semantics: truncation toward zero."""
+    quotient = abs(a) // abs(b)
+    return quotient if (a < 0) == (b < 0) else -quotient
+
+
+def _c_mod(a: int, b: int) -> int:
+    return a - _c_div(a, b) * b
+
+
+def fold_int_constant(expression: ast.Expression) -> Optional[int]:
+    """Evaluate an integer constant expression, or None if not constant.
+
+    Handles literals, enum constants, unary ``- + ! ~``, all integer
+    binary operators, short-circuit operators, the ternary operator, and
+    ``sizeof(type)``.  Identifiers other than enum constants are not
+    constant (we do not chase ``const`` variables).
+    """
+    if isinstance(expression, (ast.IntLiteral, ast.CharLiteral)):
+        return expression.value
+    if isinstance(expression, ast.Identifier):
+        if expression.binding == "enum-constant":
+            return expression.constant_value
+        return None
+    if isinstance(expression, ast.UnaryOp):
+        inner = fold_int_constant(expression.operand)
+        if inner is None:
+            return None
+        if expression.op == "-":
+            return -inner
+        if expression.op == "+":
+            return inner
+        if expression.op == "!":
+            return int(inner == 0)
+        if expression.op == "~":
+            return ~inner
+        return None
+    if isinstance(expression, ast.BinaryOp):
+        left = fold_int_constant(expression.left)
+        right = fold_int_constant(expression.right)
+        if left is None or right is None:
+            return None
+        if expression.op == "/":
+            return None if right == 0 else _c_div(left, right)
+        if expression.op == "%":
+            return None if right == 0 else _c_mod(left, right)
+        handler = _INT_BINARY.get(expression.op)
+        if handler is None:
+            return None
+        return handler(left, right)
+    if isinstance(expression, ast.LogicalOp):
+        left = fold_int_constant(expression.left)
+        if left is None:
+            return None
+        if expression.op == "&&":
+            if left == 0:
+                return 0
+            right = fold_int_constant(expression.right)
+            return None if right is None else int(right != 0)
+        if left != 0:
+            return 1
+        right = fold_int_constant(expression.right)
+        return None if right is None else int(right != 0)
+    if isinstance(expression, ast.Conditional):
+        condition = fold_int_constant(expression.condition)
+        if condition is None:
+            return None
+        branch = (
+            expression.then_expr if condition != 0 else expression.else_expr
+        )
+        return fold_int_constant(branch)
+    if isinstance(expression, ast.SizeofType):
+        try:
+            return expression.queried_type.sizeof()
+        except ValueError:
+            return None
+    if isinstance(expression, ast.SizeofExpr):
+        ctype = expression.operand.ctype
+        if ctype is None:
+            return None
+        try:
+            return ctype.sizeof()
+        except ValueError:
+            return None
+    if isinstance(expression, ast.Cast):
+        if expression.target_type.is_integer:
+            return fold_int_constant(expression.operand)
+        return None
+    if isinstance(expression, ast.Comma):
+        if not expression.parts:
+            return None
+        return fold_int_constant(expression.parts[-1])
+    return None
+
+
+def fold_condition(expression: ast.Expression) -> Optional[bool]:
+    """If the branch condition is statically constant, return its truth.
+
+    Returns ``True``/``False`` for a constant condition, ``None`` when
+    the direction depends on run-time values.  Float literals count as
+    constants too (``while (1.0)`` is constant).
+    """
+    if isinstance(expression, ast.FloatLiteral):
+        return expression.value != 0.0
+    value = fold_int_constant(expression)
+    if value is None:
+        return None
+    return value != 0

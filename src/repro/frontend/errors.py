@@ -1,0 +1,59 @@
+"""Diagnostics shared by every frontend stage.
+
+Every token and AST node carries a :class:`SourceLocation`.  All frontend
+errors derive from :class:`FrontendError` so callers can catch one type
+regardless of which stage (preprocessing, lexing, parsing, type checking)
+rejected the input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A position in preprocessed source text.
+
+    ``filename`` is the logical file name (tracks ``#include``), ``line``
+    and ``column`` are 1-based.
+    """
+
+    filename: str = "<input>"
+    line: int = 1
+    column: int = 1
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+#: Location used for synthesized constructs with no source counterpart.
+UNKNOWN_LOCATION = SourceLocation("<builtin>", 0, 0)
+
+
+class FrontendError(Exception):
+    """Base class for all errors raised while processing C source."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None):
+        self.message = message
+        self.location = location or UNKNOWN_LOCATION
+        super().__init__(f"{self.location}: {message}")
+
+
+class PreprocessorError(FrontendError):
+    """Raised for malformed directives, unbalanced conditionals, etc."""
+
+
+class LexError(FrontendError):
+    """Raised for characters or literals the lexer cannot tokenize."""
+
+
+class ParseError(FrontendError):
+    """Raised when the token stream does not match the C grammar."""
+
+
+class TypeError_(FrontendError):
+    """Raised for semantic type violations detected by the frontend.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """

@@ -1,0 +1,260 @@
+"""Hand-written lexer for the C subset.
+
+The lexer consumes preprocessed text (comments may still be present; they
+are skipped here) and produces a list of :class:`Token`.  It tracks line
+and column so every downstream diagnostic can point at real source.
+
+Supported literal forms:
+
+* decimal, octal (``0777``), and hex (``0x1F``) integers with optional
+  ``u``/``l`` suffixes (suffixes are recorded in the spelling only);
+* floating literals with optional exponent and ``f`` suffix;
+* character literals with the usual escapes;
+* string literals with escapes; adjacent string literals are concatenated
+  by the parser, not here.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.errors import LexError, SourceLocation
+from repro.frontend.tokens import KEYWORDS, PUNCTUATORS, Token, TokenKind
+
+_SIMPLE_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+    "a": "\a",
+    "b": "\b",
+    "f": "\f",
+    "v": "\v",
+    "?": "?",
+}
+
+
+class Lexer:
+    """Tokenizes one translation unit's worth of text."""
+
+    def __init__(self, text: str, filename: str = "<input>"):
+        self._text = text
+        self._filename = filename
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokenize(self) -> list[Token]:
+        """Return all tokens in the input, ending with an EOF token."""
+        tokens: list[Token] = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self._pos >= len(self._text):
+                tokens.append(Token(TokenKind.EOF, "", self._location()))
+                return tokens
+            tokens.append(self._next_token())
+
+    # ------------------------------------------------------------------
+    # Scanning machinery.
+
+    def _location(self) -> SourceLocation:
+        return SourceLocation(self._filename, self._line, self._column)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index < len(self._text):
+            return self._text[index]
+        return ""
+
+    def _advance(self, count: int = 1) -> str:
+        consumed = self._text[self._pos : self._pos + count]
+        for ch in consumed:
+            if ch == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+        self._pos += count
+        return consumed
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self._pos < len(self._text):
+            ch = self._peek()
+            if ch in " \t\r\n\f\v":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self._pos < len(self._text) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start = self._location()
+                self._advance(2)
+                while self._pos < len(self._text):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise LexError("unterminated block comment", start)
+            elif ch == "#":
+                # Stray directives (e.g. #line markers the preprocessor
+                # leaves behind) are skipped to end of line.
+                while self._pos < len(self._text) and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        ch = self._peek()
+        if ch.isalpha() or ch == "_":
+            return self._lex_identifier()
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._lex_number()
+        if ch == "'":
+            return self._lex_char()
+        if ch == '"':
+            return self._lex_string()
+        return self._lex_punctuator()
+
+    def _lex_identifier(self) -> Token:
+        location = self._location()
+        start = self._pos
+        while self._pos < len(self._text) and (
+            self._peek().isalnum() or self._peek() == "_"
+        ):
+            self._advance()
+        text = self._text[start : self._pos]
+        kind = KEYWORDS.get(text, TokenKind.IDENTIFIER)
+        return Token(kind, text, location)
+
+    def _lex_number(self) -> Token:
+        location = self._location()
+        start = self._pos
+        is_float = False
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            self._advance(2)
+            if not self._is_hex_digit(self._peek()):
+                raise LexError("malformed hex literal", location)
+            while self._is_hex_digit(self._peek()):
+                self._advance()
+        else:
+            while self._peek().isdigit():
+                self._advance()
+            if self._peek() == "." and self._peek(1) != ".":
+                is_float = True
+                self._advance()
+                while self._peek().isdigit():
+                    self._advance()
+            if self._peek() in ("e", "E") and (
+                self._peek(1).isdigit()
+                or (
+                    self._peek(1) in ("+", "-")
+                    and self._peek(2).isdigit()
+                )
+            ):
+                is_float = True
+                self._advance()
+                if self._peek() in ("+", "-"):
+                    self._advance()
+                while self._peek().isdigit():
+                    self._advance()
+        body = self._text[start : self._pos]
+        suffix_start = self._pos
+        # Tuple membership, not substring membership: _peek() returns
+        # "" at end of input, and "" in "uUlLfF" would be True.
+        while self._peek() in ("u", "U", "l", "L", "f", "F"):
+            self._advance()
+        suffix = self._text[suffix_start : self._pos]
+        text = body + suffix
+        if is_float or "f" in suffix or "F" in suffix:
+            return Token(TokenKind.FLOAT_LITERAL, text, location, float(body))
+        if body.startswith(("0x", "0X")):
+            value = int(body, 16)
+        elif len(body) > 1 and body.startswith("0"):
+            try:
+                value = int(body, 8)  # C octal: 0777
+            except ValueError:
+                raise LexError(
+                    f"invalid octal literal {body}", location
+                ) from None
+        else:
+            value = int(body, 10)
+        return Token(TokenKind.INT_LITERAL, text, location, value)
+
+    @staticmethod
+    def _is_hex_digit(ch: str) -> bool:
+        return bool(ch) and ch in "0123456789abcdefABCDEF"
+
+    def _read_escape(self, location: SourceLocation) -> str:
+        """Consume one escape sequence body (after the backslash)."""
+        ch = self._peek()
+        if not ch:
+            raise LexError("unterminated escape sequence", location)
+        if ch == "x":
+            self._advance()
+            digits = ""
+            while self._is_hex_digit(self._peek()):
+                digits += self._advance()
+            if not digits:
+                raise LexError("\\x with no hex digits", location)
+            return chr(int(digits, 16))
+        if ch.isdigit():
+            digits = ""
+            while self._peek().isdigit() and len(digits) < 3:
+                digits += self._advance()
+            return chr(int(digits, 8))
+        if ch in _SIMPLE_ESCAPES:
+            self._advance()
+            return _SIMPLE_ESCAPES[ch]
+        raise LexError(f"unknown escape sequence \\{ch}", location)
+
+    def _lex_char(self) -> Token:
+        location = self._location()
+        start = self._pos
+        self._advance()  # opening quote
+        if self._peek() == "\\":
+            self._advance()
+            decoded = self._read_escape(location)
+        elif self._peek() in ("", "\n", "'"):
+            raise LexError("empty or unterminated character literal", location)
+        else:
+            decoded = self._advance()
+        if self._peek() != "'":
+            raise LexError("unterminated character literal", location)
+        self._advance()
+        text = self._text[start : self._pos]
+        return Token(TokenKind.CHAR_LITERAL, text, location, ord(decoded))
+
+    def _lex_string(self) -> Token:
+        location = self._location()
+        start = self._pos
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            ch = self._peek()
+            if ch in ("", "\n"):
+                raise LexError("unterminated string literal", location)
+            if ch == '"':
+                self._advance()
+                break
+            if ch == "\\":
+                self._advance()
+                chars.append(self._read_escape(location))
+            else:
+                chars.append(self._advance())
+        text = self._text[start : self._pos]
+        return Token(TokenKind.STRING_LITERAL, text, location, "".join(chars))
+
+    def _lex_punctuator(self) -> Token:
+        location = self._location()
+        remaining = self._text[self._pos :]
+        for spelling, kind in PUNCTUATORS:
+            if remaining.startswith(spelling):
+                self._advance(len(spelling))
+                return Token(kind, spelling, location)
+        raise LexError(f"unexpected character {self._peek()!r}", location)
+
+
+def tokenize(text: str, filename: str = "<input>") -> list[Token]:
+    """Convenience wrapper: tokenize ``text`` in one call."""
+    return Lexer(text, filename).tokenize()

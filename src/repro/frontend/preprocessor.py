@@ -1,0 +1,673 @@
+"""A small C preprocessor.
+
+Supports the directives the benchmark suite needs:
+
+* ``#define`` for object-like and function-like macros (no ``#``/``##``
+  operators), ``#undef``;
+* ``#include "name"`` and ``#include <name>``, resolved against a list of
+  include directories and a dict of virtual headers;
+* ``#ifdef``, ``#ifndef``, ``#if``, ``#elif``, ``#else``, ``#endif`` with
+  full constant-expression evaluation including ``defined(NAME)``;
+* ``#error``;
+* backslash line continuations.
+
+Macro expansion respects string and character literals and comments, and
+guards against self-recursive macros the standard way (a macro is not
+re-expanded while it is being expanded).
+
+The output is plain text suitable for :mod:`repro.frontend.lexer`.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+
+from repro.frontend.errors import PreprocessorError, SourceLocation
+
+_IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_MAX_EXPANSION_DEPTH = 64
+
+
+@dataclass
+class Macro:
+    """One ``#define`` definition."""
+
+    name: str
+    body: str
+    parameters: list[str] | None = None  # None means object-like.
+    variadic: bool = False
+
+    @property
+    def is_function_like(self) -> bool:
+        return self.parameters is not None
+
+
+class Preprocessor:
+    """Expands directives and macros over C source text."""
+
+    def __init__(
+        self,
+        include_dirs: list[str] | None = None,
+        virtual_headers: dict[str, str] | None = None,
+        predefined: dict[str, str] | None = None,
+    ):
+        self._include_dirs = list(include_dirs or [])
+        self._virtual_headers = dict(virtual_headers or {})
+        self._macros: dict[str, Macro] = {}
+        for name, body in (predefined or {}).items():
+            self._macros[name] = Macro(name, body)
+        self._include_stack: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Public API.
+
+    def define(self, name: str, body: str = "1") -> None:
+        """Define an object-like macro programmatically."""
+        self._macros[name] = Macro(name, body)
+
+    def preprocess(self, text: str, filename: str = "<input>") -> str:
+        """Return the preprocessed form of ``text``."""
+        self._include_stack.append(filename)
+        try:
+            lines = self._process_lines(
+                _splice_continuations(_strip_comments(text)), filename
+            )
+        finally:
+            self._include_stack.pop()
+        output = "\n".join(lines)
+        if not output.endswith("\n"):
+            output += "\n"  # Exactly one final newline: idempotent.
+        return output
+
+    # ------------------------------------------------------------------
+    # Line-level processing.
+
+    def _process_lines(self, lines: list[str], filename: str) -> list[str]:
+        output: list[str] = []
+        # Conditional stack entries: (currently_active, any_branch_taken,
+        # parent_active).
+        conditionals: list[tuple[bool, bool, bool]] = []
+        for line_number, line in enumerate(lines, start=1):
+            location = SourceLocation(filename, line_number, 1)
+            stripped = line.lstrip()
+            active = all(entry[0] for entry in conditionals)
+            if stripped.startswith("#"):
+                directive, _, rest = stripped[1:].lstrip().partition(" ")
+                directive = directive.strip()
+                rest = rest.strip()
+                handled = self._process_directive(
+                    directive, rest, location, conditionals, active, output
+                )
+                if handled:
+                    continue
+                if active:
+                    raise PreprocessorError(
+                        f"unknown directive #{directive}", location
+                    )
+                continue
+            if active:
+                output.append(self._expand_line(line, location))
+            else:
+                output.append("")
+        if conditionals:
+            raise PreprocessorError(
+                "unterminated conditional at end of file",
+                SourceLocation(filename, len(lines), 1),
+            )
+        return output
+
+    def _process_directive(
+        self,
+        directive: str,
+        rest: str,
+        location: SourceLocation,
+        conditionals: list[tuple[bool, bool, bool]],
+        active: bool,
+        output: list[str],
+    ) -> bool:
+        """Handle one directive; returns True if recognized."""
+        if directive == "ifdef":
+            name = rest.split()[0] if rest.split() else ""
+            taken = active and name in self._macros
+            conditionals.append((taken, taken, active))
+        elif directive == "ifndef":
+            name = rest.split()[0] if rest.split() else ""
+            taken = active and name not in self._macros
+            conditionals.append((taken, taken, active))
+        elif directive == "if":
+            taken = active and self._evaluate_condition(rest, location)
+            conditionals.append((taken, taken, active))
+        elif directive == "elif":
+            if not conditionals:
+                raise PreprocessorError("#elif without #if", location)
+            _, any_taken, parent = conditionals[-1]
+            taken = (
+                parent
+                and not any_taken
+                and self._evaluate_condition(rest, location)
+            )
+            conditionals[-1] = (taken, any_taken or taken, parent)
+        elif directive == "else":
+            if not conditionals:
+                raise PreprocessorError("#else without #if", location)
+            _, any_taken, parent = conditionals[-1]
+            taken = parent and not any_taken
+            conditionals[-1] = (taken, True, parent)
+        elif directive == "endif":
+            if not conditionals:
+                raise PreprocessorError("#endif without #if", location)
+            conditionals.pop()
+        elif directive == "define":
+            if active:
+                self._handle_define(rest, location)
+        elif directive == "undef":
+            if active:
+                name = rest.split()[0] if rest.split() else ""
+                self._macros.pop(name, None)
+        elif directive == "include":
+            if active:
+                output.extend(self._handle_include(rest, location))
+        elif directive == "error":
+            if active:
+                raise PreprocessorError(f"#error {rest}", location)
+        elif directive in ("pragma", "line"):
+            pass  # Accepted and ignored.
+        else:
+            return False
+        if directive not in ("include",):
+            output.append("")  # Keep line numbering roughly stable.
+        return True
+
+    def _handle_define(self, rest: str, location: SourceLocation) -> None:
+        match = _IDENTIFIER_RE.match(rest)
+        if not match:
+            raise PreprocessorError("#define requires a name", location)
+        name = match.group(0)
+        after = rest[match.end() :]
+        if after.startswith("("):
+            close = _matching_paren(after, 0)
+            if close < 0:
+                raise PreprocessorError(
+                    "unterminated macro parameter list", location
+                )
+            param_text = after[1:close].strip()
+            body = after[close + 1 :].strip()
+            parameters: list[str] = []
+            variadic = False
+            if param_text:
+                for param in param_text.split(","):
+                    param = param.strip()
+                    if param == "...":
+                        variadic = True
+                    elif _IDENTIFIER_RE.fullmatch(param):
+                        parameters.append(param)
+                    else:
+                        raise PreprocessorError(
+                            f"bad macro parameter {param!r}", location
+                        )
+            self._macros[name] = Macro(name, body, parameters, variadic)
+        else:
+            self._macros[name] = Macro(name, after.strip())
+
+    def _handle_include(
+        self, rest: str, location: SourceLocation
+    ) -> list[str]:
+        rest = rest.strip()
+        if rest.startswith('"') and rest.endswith('"'):
+            target = rest[1:-1]
+        elif rest.startswith("<") and rest.endswith(">"):
+            target = rest[1:-1]
+        else:
+            raise PreprocessorError(f"malformed #include {rest!r}", location)
+        if target in self._include_stack:
+            raise PreprocessorError(
+                f"recursive #include of {target!r}", location
+            )
+        text = self._load_header(target, location)
+        self._include_stack.append(target)
+        try:
+            return self._process_lines(
+                _splice_continuations(_strip_comments(text)), target
+            )
+        finally:
+            self._include_stack.pop()
+
+    def _load_header(self, target: str, location: SourceLocation) -> str:
+        if target in self._virtual_headers:
+            return self._virtual_headers[target]
+        for directory in self._include_dirs:
+            candidate = os.path.join(directory, target)
+            if os.path.isfile(candidate):
+                with open(candidate, encoding="utf-8") as handle:
+                    return handle.read()
+        raise PreprocessorError(f"cannot find include file {target!r}", location)
+
+    # ------------------------------------------------------------------
+    # Conditional expressions.
+
+    def _evaluate_condition(self, text: str, location: SourceLocation) -> bool:
+        expanded = self._expand_line(
+            _replace_defined(text, self._macros), location
+        )
+        # Remaining identifiers evaluate to 0, per the C standard.
+        expanded = _IDENTIFIER_RE.sub(
+            lambda match: "0" if match.group(0) not in ("defined",) else "0",
+            expanded,
+        )
+        try:
+            value = _ConditionParser(expanded, location).parse()
+        except PreprocessorError:
+            raise
+        except Exception as exc:  # pragma: no cover - defensive
+            raise PreprocessorError(
+                f"cannot evaluate #if expression: {exc}", location
+            ) from exc
+        return value != 0
+
+    # ------------------------------------------------------------------
+    # Macro expansion.
+
+    def _expand_line(
+        self,
+        line: str,
+        location: SourceLocation,
+        hidden: frozenset[str] = frozenset(),
+        depth: int = 0,
+    ) -> str:
+        if depth > _MAX_EXPANSION_DEPTH:
+            raise PreprocessorError("macro expansion too deep", location)
+        result: list[str] = []
+        index = 0
+        length = len(line)
+        while index < length:
+            ch = line[index]
+            if ch in "\"'":
+                end = _skip_literal(line, index, location)
+                result.append(line[index:end])
+                index = end
+                continue
+            if ch.isalpha() or ch == "_":
+                match = _IDENTIFIER_RE.match(line, index)
+                assert match is not None
+                name = match.group(0)
+                index = match.end()
+                macro = self._macros.get(name)
+                if macro is None or name in hidden:
+                    result.append(name)
+                    continue
+                if macro.is_function_like:
+                    probe = index
+                    while probe < length and line[probe] in " \t":
+                        probe += 1
+                    if probe >= length or line[probe] != "(":
+                        result.append(name)
+                        continue
+                    close = _matching_paren(line, probe)
+                    if close < 0:
+                        raise PreprocessorError(
+                            f"unterminated arguments to macro {name}", location
+                        )
+                    arguments = _split_arguments(line[probe + 1 : close])
+                    # Arguments are fully macro-expanded before
+                    # substitution (C89 6.8.3); only the rescan of the
+                    # substituted body hides the current macro.
+                    arguments = [
+                        self._expand_line(
+                            argument, location, hidden, depth + 1
+                        )
+                        for argument in arguments
+                    ]
+                    index = close + 1
+                    body = self._substitute_parameters(
+                        macro, arguments, location
+                    )
+                else:
+                    body = macro.body
+                result.append(
+                    self._expand_line(
+                        body, location, hidden | {name}, depth + 1
+                    )
+                )
+                continue
+            result.append(ch)
+            index += 1
+        return "".join(result)
+
+    def _substitute_parameters(
+        self, macro: Macro, arguments: list[str], location: SourceLocation
+    ) -> str:
+        parameters = macro.parameters or []
+        if arguments == [""] and not parameters and not macro.variadic:
+            arguments = []
+        if macro.variadic:
+            fixed = arguments[: len(parameters)]
+            rest = arguments[len(parameters) :]
+            mapping = dict(zip(parameters, (arg.strip() for arg in fixed)))
+            mapping["__VA_ARGS__"] = ", ".join(arg.strip() for arg in rest)
+        else:
+            if len(arguments) != len(parameters):
+                raise PreprocessorError(
+                    f"macro {macro.name} expects {len(parameters)} arguments,"
+                    f" got {len(arguments)}",
+                    location,
+                )
+            mapping = dict(
+                zip(parameters, (arg.strip() for arg in arguments))
+            )
+
+        result: list[str] = []
+        index = 0
+        body = macro.body
+        while index < len(body):
+            ch = body[index]
+            if ch in "\"'":
+                end = _skip_literal(body, index, location)
+                result.append(body[index:end])
+                index = end
+                continue
+            if ch.isalpha() or ch == "_":
+                match = _IDENTIFIER_RE.match(body, index)
+                assert match is not None
+                name = match.group(0)
+                index = match.end()
+                result.append(mapping.get(name, name))
+                continue
+            result.append(ch)
+            index += 1
+        return "".join(result)
+
+
+# ----------------------------------------------------------------------
+# Text utilities.
+
+
+def _strip_comments(text: str) -> str:
+    """Replace comments with spaces, preserving newlines and literals."""
+    result: list[str] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        ch = text[index]
+        if ch in "\"'":
+            end = _skip_literal(text, index, SourceLocation())
+            result.append(text[index:end])
+            index = end
+        elif ch == "/" and index + 1 < length and text[index + 1] == "/":
+            while index < length and text[index] != "\n":
+                index += 1
+        elif ch == "/" and index + 1 < length and text[index + 1] == "*":
+            index += 2
+            result.append(" ")
+            while index < length:
+                if text[index] == "\n":
+                    result.append("\n")
+                if (
+                    text[index] == "*"
+                    and index + 1 < length
+                    and text[index + 1] == "/"
+                ):
+                    index += 2
+                    break
+                index += 1
+        else:
+            result.append(ch)
+            index += 1
+    return "".join(result)
+
+
+def _splice_continuations(text: str) -> list[str]:
+    """Split into lines, joining backslash-continued lines."""
+    lines: list[str] = []
+    pending = ""
+    for raw in text.split("\n"):
+        if raw.endswith("\\"):
+            pending += raw[:-1]
+            lines.append("")  # placeholder keeps later line numbers stable
+            continue
+        lines.append(pending + raw)
+        pending = ""
+    if pending:
+        lines.append(pending)
+    # The placeholder scheme above appends blanks *before* the joined line,
+    # which shifts content down by the number of continuations; rebuild so
+    # the joined line sits at the position of its first fragment instead.
+    rebuilt: list[str] = []
+    pending = ""
+    pending_count = 0
+    for raw in text.split("\n"):
+        if raw.endswith("\\"):
+            pending += raw[:-1]
+            pending_count += 1
+            continue
+        rebuilt.append(pending + raw)
+        rebuilt.extend([""] * pending_count)
+        pending = ""
+        pending_count = 0
+    if pending:
+        rebuilt.append(pending)
+        rebuilt.extend([""] * (pending_count - 1))
+    return rebuilt
+
+
+def _skip_literal(text: str, start: int, location: SourceLocation) -> int:
+    """Return the index just past the string/char literal at ``start``."""
+    quote = text[start]
+    index = start + 1
+    while index < len(text):
+        ch = text[index]
+        if ch == "\\":
+            index += 2
+            continue
+        if ch == quote:
+            return index + 1
+        if ch == "\n":
+            break
+        index += 1
+    raise PreprocessorError("unterminated literal", location)
+
+
+def _matching_paren(text: str, open_index: int) -> int:
+    """Index of the ``)`` matching the ``(`` at ``open_index``, or -1."""
+    depth = 0
+    index = open_index
+    while index < len(text):
+        ch = text[index]
+        if ch in "\"'":
+            index = _skip_literal(text, index, SourceLocation())
+            continue
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth == 0:
+                return index
+        index += 1
+    return -1
+
+
+def _split_arguments(text: str) -> list[str]:
+    """Split macro arguments on top-level commas."""
+    arguments: list[str] = []
+    depth = 0
+    current: list[str] = []
+    index = 0
+    while index < len(text):
+        ch = text[index]
+        if ch in "\"'":
+            end = _skip_literal(text, index, SourceLocation())
+            current.append(text[index:end])
+            index = end
+            continue
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            arguments.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+        index += 1
+    arguments.append("".join(current))
+    return arguments
+
+
+def _replace_defined(text: str, macros: dict[str, Macro]) -> str:
+    """Rewrite ``defined(X)`` / ``defined X`` to 1 or 0 before expansion."""
+    pattern = re.compile(
+        r"defined\s*(?:\(\s*([A-Za-z_][A-Za-z0-9_]*)\s*\)|([A-Za-z_][A-Za-z0-9_]*))"
+    )
+
+    def replace(match: re.Match[str]) -> str:
+        name = match.group(1) or match.group(2)
+        return "1" if name in macros else "0"
+
+    return pattern.sub(replace, text)
+
+
+# ----------------------------------------------------------------------
+# #if expression evaluation (integer constant expressions).
+
+
+class _ConditionParser:
+    """Recursive-descent evaluator for #if integer expressions."""
+
+    def __init__(self, text: str, location: SourceLocation):
+        from repro.frontend.lexer import tokenize
+
+        self._tokens = tokenize(text, location.filename)
+        self._pos = 0
+        self._location = location
+
+    def parse(self) -> int:
+        value = self._ternary()
+        from repro.frontend.tokens import TokenKind
+
+        if self._tokens[self._pos].kind is not TokenKind.EOF:
+            raise PreprocessorError(
+                "trailing tokens in #if expression", self._location
+            )
+        return value
+
+    def _peek_kind(self):
+        return self._tokens[self._pos].kind
+
+    def _take(self):
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _ternary(self) -> int:
+        from repro.frontend.tokens import TokenKind
+
+        condition = self._binary(0)
+        if self._peek_kind() is TokenKind.QUESTION:
+            self._take()
+            then_value = self._ternary()
+            if self._peek_kind() is not TokenKind.COLON:
+                raise PreprocessorError("expected : in #if", self._location)
+            self._take()
+            else_value = self._ternary()
+            return then_value if condition else else_value
+        return condition
+
+    _BINARY_LEVELS: list[dict[str, object]] = []
+
+    def _binary(self, level: int) -> int:
+        from repro.frontend.tokens import TokenKind
+
+        levels = [
+            {TokenKind.LOGICAL_OR: lambda a, b: int(bool(a) or bool(b))},
+            {TokenKind.LOGICAL_AND: lambda a, b: int(bool(a) and bool(b))},
+            {TokenKind.PIPE: lambda a, b: a | b},
+            {TokenKind.CARET: lambda a, b: a ^ b},
+            {TokenKind.AMP: lambda a, b: a & b},
+            {
+                TokenKind.EQ: lambda a, b: int(a == b),
+                TokenKind.NE: lambda a, b: int(a != b),
+            },
+            {
+                TokenKind.LT: lambda a, b: int(a < b),
+                TokenKind.GT: lambda a, b: int(a > b),
+                TokenKind.LE: lambda a, b: int(a <= b),
+                TokenKind.GE: lambda a, b: int(a >= b),
+            },
+            {
+                TokenKind.SHL: lambda a, b: a << b,
+                TokenKind.SHR: lambda a, b: a >> b,
+            },
+            {
+                TokenKind.PLUS: lambda a, b: a + b,
+                TokenKind.MINUS: lambda a, b: a - b,
+            },
+            {
+                TokenKind.STAR: lambda a, b: a * b,
+                TokenKind.SLASH: lambda a, b: _div(a, b, self._location),
+                TokenKind.PERCENT: lambda a, b: _mod(a, b, self._location),
+            },
+        ]
+        if level >= len(levels):
+            return self._unary()
+        value = self._binary(level + 1)
+        while self._peek_kind() in levels[level]:
+            op = levels[level][self._take().kind]
+            right = self._binary(level + 1)
+            value = op(value, right)  # type: ignore[operator]
+        return value
+
+    def _unary(self) -> int:
+        from repro.frontend.tokens import TokenKind
+
+        kind = self._peek_kind()
+        if kind is TokenKind.MINUS:
+            self._take()
+            return -self._unary()
+        if kind is TokenKind.PLUS:
+            self._take()
+            return self._unary()
+        if kind is TokenKind.BANG:
+            self._take()
+            return int(not self._unary())
+        if kind is TokenKind.TILDE:
+            self._take()
+            return ~self._unary()
+        if kind is TokenKind.LPAREN:
+            self._take()
+            value = self._ternary()
+            if self._peek_kind() is not TokenKind.RPAREN:
+                raise PreprocessorError("expected ) in #if", self._location)
+            self._take()
+            return value
+        if kind in (TokenKind.INT_LITERAL, TokenKind.CHAR_LITERAL):
+            return int(self._take().value)  # type: ignore[arg-type]
+        raise PreprocessorError(
+            f"unexpected token in #if expression: {self._take().text!r}",
+            self._location,
+        )
+
+
+def _div(a: int, b: int, location: SourceLocation) -> int:
+    if b == 0:
+        raise PreprocessorError("division by zero in #if", location)
+    return int(a / b) if (a < 0) != (b < 0) and a % b else a // b
+
+
+def _mod(a: int, b: int, location: SourceLocation) -> int:
+    if b == 0:
+        raise PreprocessorError("modulo by zero in #if", location)
+    return a - _div(a, b, location) * b
+
+
+def preprocess(
+    text: str,
+    filename: str = "<input>",
+    include_dirs: list[str] | None = None,
+    virtual_headers: dict[str, str] | None = None,
+    predefined: dict[str, str] | None = None,
+) -> str:
+    """Convenience wrapper around :class:`Preprocessor`."""
+    return Preprocessor(include_dirs, virtual_headers, predefined).preprocess(
+        text, filename
+    )

@@ -1,0 +1,20 @@
+"""CFG interpreter with profiling: machine, evaluator, memory, libc."""
+
+from repro.interp.errors import (
+    FuelExhausted,
+    InterpreterError,
+    ProgramExit,
+)
+from repro.interp.machine import ExecutionResult, Machine, run_program
+from repro.interp.memory import HEAP_BASE, Memory
+
+__all__ = [
+    "ExecutionResult",
+    "FuelExhausted",
+    "HEAP_BASE",
+    "InterpreterError",
+    "Machine",
+    "Memory",
+    "ProgramExit",
+    "run_program",
+]

@@ -1,0 +1,29 @@
+"""Interpreter error and control-flow exception types."""
+
+from __future__ import annotations
+
+from repro.frontend.errors import SourceLocation, UNKNOWN_LOCATION
+
+
+class InterpreterError(Exception):
+    """A runtime error in the interpreted program or its harness
+    (bad pointer, missing function, unsupported construct, ...)."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None):
+        self.message = message
+        self.location = location or UNKNOWN_LOCATION
+        super().__init__(f"{self.location}: {message}")
+
+
+class FuelExhausted(InterpreterError):
+    """The execution budget (basic-block executions) ran out."""
+
+
+class ProgramExit(Exception):
+    """Raised by ``exit``/``abort`` (and by ``main`` returning) to unwind
+    the interpreter; carries the program's exit status."""
+
+    def __init__(self, status: int, aborted: bool = False):
+        self.status = status
+        self.aborted = aborted
+        super().__init__(f"program exited with status {status}")

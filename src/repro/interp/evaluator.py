@@ -1,0 +1,473 @@
+"""Expression evaluation for the CFG interpreter.
+
+The evaluator computes rvalues and lvalues over the typed AST, with C
+semantics: usual arithmetic conversions, pointer arithmetic scaled by
+pointee size, short-circuit ``&&``/``||``, struct assignment by cell
+copy, and array/function decay.  It delegates calls, variable lookup,
+string interning, and profiling hooks to the owning
+:class:`~repro.interp.machine.Machine`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend import ctypes as ct
+from repro.interp.errors import InterpreterError
+from repro.interp.values import (
+    AggregateValue,
+    Scalar,
+    c_div_int,
+    c_mod_int,
+    c_shift_amount,
+    convert,
+    is_truthy,
+    wrap_int,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.interp.machine import Machine
+
+_COMPARISONS = {
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "<": lambda a, b: int(a < b),
+    ">": lambda a, b: int(a > b),
+    "<=": lambda a, b: int(a <= b),
+    ">=": lambda a, b: int(a >= b),
+}
+
+
+class Evaluator:
+    """Evaluates expressions in the context of a machine."""
+
+    def __init__(self, machine: "Machine"):
+        self._machine = machine
+
+    # ------------------------------------------------------------------
+    # rvalues.
+
+    def rvalue(self, expression: ast.Expression) -> tuple[object, ct.CType]:
+        """Evaluate ``expression`` for its value.  Returns
+        ``(value, ctype)`` where aggregates come back as
+        :class:`AggregateValue`."""
+        method = getattr(
+            self, f"_rv_{type(expression).__name__}", None
+        )
+        if method is None:
+            raise InterpreterError(
+                f"cannot evaluate {type(expression).__name__}",
+                expression.location,
+            )
+        try:
+            return method(expression)
+        except InterpreterError as error:
+            # Low-level faults (memory, division) surface without a
+            # source position; pin them to the innermost expression
+            # that still lacks one.
+            if error.location.line == 0:
+                raise type(error)(
+                    error.message, expression.location
+                ) from error
+            raise
+
+    def scalar(self, expression: ast.Expression) -> Scalar:
+        """rvalue that must be a scalar."""
+        value, _ = self.rvalue(expression)
+        if isinstance(value, AggregateValue):
+            raise InterpreterError(
+                "aggregate value where scalar expected", expression.location
+            )
+        return value
+
+    def truthy(self, expression: ast.Expression) -> bool:
+        return is_truthy(self.scalar(expression))
+
+    # -- Literals -------------------------------------------------------
+
+    def _rv_IntLiteral(self, e: ast.IntLiteral) -> tuple[object, ct.CType]:
+        return e.value, e.ctype or ct.INT
+
+    def _rv_FloatLiteral(
+        self, e: ast.FloatLiteral
+    ) -> tuple[object, ct.CType]:
+        return e.value, e.ctype or ct.DOUBLE
+
+    def _rv_CharLiteral(self, e: ast.CharLiteral) -> tuple[object, ct.CType]:
+        return e.value, ct.INT
+
+    def _rv_StringLiteral(
+        self, e: ast.StringLiteral
+    ) -> tuple[object, ct.CType]:
+        return self._machine.intern_string(e.value), ct.CHAR_PTR
+
+    # -- Names ----------------------------------------------------------
+
+    def _rv_Identifier(self, e: ast.Identifier) -> tuple[object, ct.CType]:
+        if e.binding == "enum-constant":
+            assert e.constant_value is not None
+            return e.constant_value, ct.INT
+        if e.binding in ("function", "builtin"):
+            return (
+                self._machine.function_address(e.name, e.location),
+                ct.PointerType(e.ctype or ct.FunctionType()),
+            )
+        address, ctype = self._machine.lookup_variable(e.name, e.location)
+        return self._load_typed(address, ctype)
+
+    # -- Operators ------------------------------------------------------
+
+    def _rv_UnaryOp(self, e: ast.UnaryOp) -> tuple[object, ct.CType]:
+        value, ctype = self.rvalue(e.operand)
+        if isinstance(value, AggregateValue):
+            raise InterpreterError(
+                "aggregate operand to unary operator", e.location
+            )
+        if e.op == "!":
+            return int(not is_truthy(value)), ct.INT
+        result_type = ct.integer_promote(ct.decay(ctype))
+        if e.op == "-":
+            result = -value
+        elif e.op == "+":
+            result = value
+        elif e.op == "~":
+            if isinstance(value, float):
+                raise InterpreterError("~ applied to float", e.location)
+            result = ~value
+        else:  # pragma: no cover - parser limits the operators
+            raise InterpreterError(f"unknown unary {e.op}", e.location)
+        if isinstance(result_type, ct.IntType) and isinstance(result, int):
+            result = wrap_int(result, result_type)
+        return result, result_type
+
+    def _rv_BinaryOp(self, e: ast.BinaryOp) -> tuple[object, ct.CType]:
+        left_value, left_type = self.rvalue(e.left)
+        right_value, right_type = self.rvalue(e.right)
+        return self.apply_binary(
+            e.op, left_value, left_type, right_value, right_type, e.location
+        )
+
+    def apply_binary(
+        self,
+        op: str,
+        left_value: object,
+        left_type: ct.CType,
+        right_value: object,
+        right_type: ct.CType,
+        location,
+    ) -> tuple[object, ct.CType]:
+        """Apply a (non-short-circuit) binary operator with C typing."""
+        if isinstance(left_value, AggregateValue) or isinstance(
+            right_value, AggregateValue
+        ):
+            raise InterpreterError(
+                "aggregate operand to binary operator", location
+            )
+        left_type = ct.decay(left_type)
+        right_type = ct.decay(right_type)
+
+        if op in _COMPARISONS:
+            return _COMPARISONS[op](left_value, right_value), ct.INT
+
+        # Pointer arithmetic.
+        left_is_ptr = isinstance(left_type, ct.PointerType)
+        right_is_ptr = isinstance(right_type, ct.PointerType)
+        if op == "+" and left_is_ptr and not right_is_ptr:
+            return (
+                left_value + int(right_value) * _stride(left_type),
+                left_type,
+            )
+        if op == "+" and right_is_ptr and not left_is_ptr:
+            return (
+                right_value + int(left_value) * _stride(right_type),
+                right_type,
+            )
+        if op == "-" and left_is_ptr and right_is_ptr:
+            stride = _stride(left_type)
+            return (left_value - right_value) // stride, ct.LONG
+        if op == "-" and left_is_ptr:
+            return (
+                left_value - int(right_value) * _stride(left_type),
+                left_type,
+            )
+
+        common = ct.usual_arithmetic_conversions(
+            left_type if left_type.is_arithmetic else ct.INT,
+            right_type if right_type.is_arithmetic else ct.INT,
+        )
+        if isinstance(common, ct.FloatType):
+            a, b = float(left_value), float(right_value)
+            if op == "+":
+                return a + b, common
+            if op == "-":
+                return a - b, common
+            if op == "*":
+                return a * b, common
+            if op == "/":
+                if b == 0.0:
+                    raise InterpreterError(
+                        "floating division by zero", location
+                    )
+                return a / b, common
+            raise InterpreterError(
+                f"operator {op} applied to floats", location
+            )
+        assert isinstance(common, ct.IntType)
+        a, b = int(left_value), int(right_value)
+        if op == "+":
+            result = a + b
+        elif op == "-":
+            result = a - b
+        elif op == "*":
+            result = a * b
+        elif op == "/":
+            result = c_div_int(a, b)
+        elif op == "%":
+            result = c_mod_int(a, b)
+        elif op == "&":
+            result = a & b
+        elif op == "|":
+            result = a | b
+        elif op == "^":
+            result = a ^ b
+        elif op == "<<":
+            result = a << c_shift_amount(b)
+        elif op == ">>":
+            result = a >> c_shift_amount(b)
+        else:  # pragma: no cover
+            raise InterpreterError(f"unknown operator {op}", location)
+        return wrap_int(result, common), common
+
+    def _rv_LogicalOp(self, e: ast.LogicalOp) -> tuple[object, ct.CType]:
+        left = self.truthy(e.left)
+        if e.op == "&&":
+            if not left:
+                return 0, ct.INT
+            return int(self.truthy(e.right)), ct.INT
+        if left:
+            return 1, ct.INT
+        return int(self.truthy(e.right)), ct.INT
+
+    def _rv_Conditional(self, e: ast.Conditional) -> tuple[object, ct.CType]:
+        if self.truthy(e.condition):
+            return self.rvalue(e.then_expr)
+        return self.rvalue(e.else_expr)
+
+    def _rv_Comma(self, e: ast.Comma) -> tuple[object, ct.CType]:
+        result: tuple[object, ct.CType] = (0, ct.INT)
+        for part in e.parts:
+            result = self.rvalue(part)
+        return result
+
+    # -- Memory access ---------------------------------------------------
+
+    def _rv_Dereference(self, e: ast.Dereference) -> tuple[object, ct.CType]:
+        address, ctype = self.lvalue(e)
+        return self._load_typed(address, ctype)
+
+    def _rv_Index(self, e: ast.Index) -> tuple[object, ct.CType]:
+        address, ctype = self.lvalue(e)
+        return self._load_typed(address, ctype)
+
+    def _rv_Member(self, e: ast.Member) -> tuple[object, ct.CType]:
+        address, ctype = self.lvalue(e)
+        return self._load_typed(address, ctype)
+
+    def _rv_AddressOf(self, e: ast.AddressOf) -> tuple[object, ct.CType]:
+        operand = e.operand
+        if isinstance(operand, ast.Identifier) and operand.binding in (
+            "function",
+            "builtin",
+        ):
+            return (
+                self._machine.function_address(operand.name, e.location),
+                ct.PointerType(operand.ctype or ct.FunctionType()),
+            )
+        address, ctype = self.lvalue(operand)
+        return address, ct.PointerType(ctype)
+
+    # -- Assignment and update --------------------------------------------
+
+    def _rv_Assignment(self, e: ast.Assignment) -> tuple[object, ct.CType]:
+        address, target_type = self.lvalue(e.target)
+        if e.op == "=":
+            value, value_type = self.rvalue(e.value)
+            return self._store_converted(
+                address, target_type, value, value_type, e.location
+            )
+        # Compound assignment: load, apply, store.
+        current, current_type = self._load_typed(address, target_type)
+        value, value_type = self.rvalue(e.value)
+        op = e.op[:-1]  # strip the '='
+        result, _ = self.apply_binary(
+            op, current, current_type, value, value_type, e.location
+        )
+        return self._store_converted(
+            address, target_type, result, target_type, e.location
+        )
+
+    def _rv_IncDec(self, e: ast.IncDec) -> tuple[object, ct.CType]:
+        address, ctype = self.lvalue(e.operand)
+        old, _ = self._load_typed(address, ctype)
+        if isinstance(old, AggregateValue):
+            raise InterpreterError("++/-- on aggregate", e.location)
+        step: Scalar = 1
+        decayed = ct.decay(ctype)
+        if isinstance(decayed, ct.PointerType):
+            step = _stride(decayed)
+        delta = step if e.op == "++" else -step
+        new_value = convert(old + delta, decayed)
+        self._machine.memory.store(address, new_value)
+        result = new_value if e.is_prefix else old
+        return result, decayed
+
+    # -- Calls, casts, sizeof ----------------------------------------------
+
+    def _rv_Call(self, e: ast.Call) -> tuple[object, ct.CType]:
+        return self._machine.execute_call(e)
+
+    def _rv_Cast(self, e: ast.Cast) -> tuple[object, ct.CType]:
+        value, _ = self.rvalue(e.operand)
+        if isinstance(value, AggregateValue):
+            raise InterpreterError("cast of aggregate", e.location)
+        if isinstance(e.target_type, ct.VoidType):
+            return 0, ct.VOID
+        return convert(value, e.target_type), e.target_type
+
+    def _rv_SizeofExpr(self, e: ast.SizeofExpr) -> tuple[object, ct.CType]:
+        ctype = e.operand.ctype
+        if ctype is None:
+            raise InterpreterError("sizeof of untyped expression", e.location)
+        try:
+            return ctype.sizeof(), ct.ULONG
+        except ValueError as exc:
+            raise InterpreterError(str(exc), e.location) from exc
+
+    def _rv_SizeofType(self, e: ast.SizeofType) -> tuple[object, ct.CType]:
+        try:
+            return e.queried_type.sizeof(), ct.ULONG
+        except ValueError as exc:
+            raise InterpreterError(str(exc), e.location) from exc
+
+    # ------------------------------------------------------------------
+    # lvalues.
+
+    def lvalue(self, expression: ast.Expression) -> tuple[int, ct.CType]:
+        """Evaluate ``expression`` for its address.  Returns
+        ``(address, ctype)``."""
+        if isinstance(expression, ast.Identifier):
+            if expression.binding in ("function", "builtin", "enum-constant"):
+                raise InterpreterError(
+                    f"{expression.name} is not an lvalue", expression.location
+                )
+            return self._machine.lookup_variable(
+                expression.name, expression.location
+            )
+        if isinstance(expression, ast.Dereference):
+            value, ctype = self.rvalue(expression.operand)
+            if isinstance(value, AggregateValue) or isinstance(value, float):
+                raise InterpreterError(
+                    "dereference of non-pointer", expression.location
+                )
+            pointee = _pointee(ct.decay(ctype))
+            return value, pointee
+        if isinstance(expression, ast.Index):
+            base_value, base_type = self.rvalue(expression.base)
+            if isinstance(base_value, AggregateValue) or isinstance(
+                base_value, float
+            ):
+                raise InterpreterError(
+                    "subscript of non-pointer", expression.location
+                )
+            index = self.scalar(expression.index)
+            element = _pointee(ct.decay(base_type))
+            return (
+                base_value + int(index) * element.sizeof(),
+                element,
+            )
+        if isinstance(expression, ast.Member):
+            if expression.arrow:
+                base_value, base_type = self.rvalue(expression.base)
+                if isinstance(base_value, AggregateValue) or isinstance(
+                    base_value, float
+                ):
+                    raise InterpreterError(
+                        "-> applied to non-pointer", expression.location
+                    )
+                struct_type = _pointee(ct.decay(base_type))
+                base_address = int(base_value)
+            else:
+                base_address, struct_type = self.lvalue(expression.base)
+            if not isinstance(struct_type, ct.StructType):
+                raise InterpreterError(
+                    f"member access on non-struct type {struct_type}",
+                    expression.location,
+                )
+            try:
+                member = struct_type.member(expression.name)
+            except KeyError as exc:
+                raise InterpreterError(str(exc), expression.location) from exc
+            return base_address + member.offset, member.type
+        raise InterpreterError(
+            f"{type(expression).__name__} is not an lvalue",
+            expression.location,
+        )
+
+    # ------------------------------------------------------------------
+    # Typed load/store.
+
+    def _load_typed(
+        self, address: int, ctype: ct.CType
+    ) -> tuple[object, ct.CType]:
+        if isinstance(ctype, ct.ArrayType):
+            return address, ctype.decay()  # Decay to pointer to first cell.
+        if isinstance(ctype, ct.StructType):
+            size = ctype.sizeof()
+            memory = self._machine.memory
+            cells = [
+                memory.load_or_none(address + offset)
+                for offset in range(size)
+            ]
+            return AggregateValue(cells, ctype), ctype
+        if isinstance(ctype, ct.FunctionType):
+            return address, ct.PointerType(ctype)
+        return self._machine.memory.load(address), ctype
+
+    def _store_converted(
+        self,
+        address: int,
+        target_type: ct.CType,
+        value: object,
+        value_type: ct.CType,
+        location,
+    ) -> tuple[object, ct.CType]:
+        if isinstance(target_type, ct.StructType):
+            if not isinstance(value, AggregateValue):
+                raise InterpreterError(
+                    "scalar assigned to aggregate", location
+                )
+            memory = self._machine.memory
+            for offset, cell in enumerate(value.cells):
+                memory.store_raw(address + offset, cell)
+            return value, target_type
+        if isinstance(value, AggregateValue):
+            raise InterpreterError("aggregate assigned to scalar", location)
+        converted = convert(value, target_type)
+        self._machine.memory.store(address, converted)
+        return converted, target_type
+
+
+def _stride(pointer_type: ct.PointerType) -> int:
+    try:
+        return max(pointer_type.pointee.sizeof(), 1)
+    except ValueError:
+        return 1
+
+
+def _pointee(ctype: ct.CType) -> ct.CType:
+    if isinstance(ctype, ct.PointerType):
+        return ctype.pointee
+    if isinstance(ctype, ct.ArrayType):
+        return ctype.element
+    raise InterpreterError(f"expected pointer type, got {ctype}")

@@ -1,0 +1,597 @@
+"""The interpreter's C library.
+
+Implements every function in
+:data:`repro.frontend.builtins_list.BUILTIN_FUNCTIONS`: a useful subset
+of stdio, stdlib, string.h, ctype.h, and math.h.  I/O is virtual —
+``stdin`` is a string supplied per run, ``stdout`` accumulates in the
+machine — so every run is deterministic and profiles are reproducible.
+``rand`` is the classic deterministic LCG.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from typing import TYPE_CHECKING, Callable
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend import ctypes as ct
+from repro.interp.errors import InterpreterError, ProgramExit
+from repro.interp.values import AggregateValue, convert, wrap_int
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.interp.machine import Machine
+
+Args = "list[tuple[object, ct.CType]]"
+Result = "tuple[object, ct.CType]"
+
+_HANDLERS: dict[str, Callable] = {}
+
+
+def _builtin(name: str):
+    def register(function: Callable) -> Callable:
+        _HANDLERS[name] = function
+        return function
+
+    return register
+
+
+def call_builtin(
+    machine: "Machine",
+    name: str,
+    arguments: list[tuple[object, ct.CType]],
+    call: ast.Call,
+) -> tuple[object, ct.CType]:
+    """Dispatch a builtin call; raises for unknown functions."""
+    handler = _HANDLERS.get(name)
+    if handler is None:
+        raise InterpreterError(
+            f"call to undefined function {name!r}", call.location
+        )
+    return handler(machine, arguments, call)
+
+
+def _int_arg(arguments, index: int, call: ast.Call) -> int:
+    value, _ = _arg(arguments, index, call)
+    if isinstance(value, float):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    raise InterpreterError(
+        f"argument {index + 1} must be numeric", call.location
+    )
+
+
+def _float_arg(arguments, index: int, call: ast.Call) -> float:
+    value, _ = _arg(arguments, index, call)
+    if isinstance(value, (int, float)):
+        return float(value)
+    raise InterpreterError(
+        f"argument {index + 1} must be numeric", call.location
+    )
+
+
+def _arg(arguments, index: int, call: ast.Call) -> tuple[object, ct.CType]:
+    if index >= len(arguments):
+        raise InterpreterError(
+            f"missing argument {index + 1} to {_call_name(call)}",
+            call.location,
+        )
+    value, ctype = arguments[index]
+    if isinstance(value, AggregateValue):
+        raise InterpreterError(
+            "aggregate passed to builtin", call.location
+        )
+    return value, ctype
+
+
+def _call_name(call: ast.Call) -> str:
+    if isinstance(call.callee, ast.Identifier):
+        return call.callee.name
+    return "<indirect>"
+
+
+# ----------------------------------------------------------------------
+# stdio.
+
+
+@_builtin("printf")
+def _printf(machine, arguments, call):
+    text = _format(machine, arguments, call, format_index=0)
+    machine.stdout_chunks.append(text)
+    return len(text), ct.INT
+
+
+@_builtin("sprintf")
+def _sprintf(machine, arguments, call):
+    buffer = _int_arg(arguments, 0, call)
+    text = _format(machine, arguments, call, format_index=1)
+    machine.memory.write_c_string(buffer, text)
+    return len(text), ct.INT
+
+
+@_builtin("putchar")
+def _putchar(machine, arguments, call):
+    char = _int_arg(arguments, 0, call)
+    machine.stdout_chunks.append(chr(char & 0xFF))
+    return char, ct.INT
+
+
+@_builtin("puts")
+def _puts(machine, arguments, call):
+    address = _int_arg(arguments, 0, call)
+    machine.stdout_chunks.append(
+        machine.memory.read_c_string(address) + "\n"
+    )
+    return 0, ct.INT
+
+
+@_builtin("getchar")
+def _getchar(machine, arguments, call):
+    if machine.stdin_pos >= len(machine.stdin_text):
+        return -1, ct.INT
+    char = machine.stdin_text[machine.stdin_pos]
+    machine.stdin_pos += 1
+    return ord(char), ct.INT
+
+
+@_builtin("gets")
+def _gets(machine, arguments, call):
+    buffer = _int_arg(arguments, 0, call)
+    if machine.stdin_pos >= len(machine.stdin_text):
+        return 0, ct.CHAR_PTR
+    end = machine.stdin_text.find("\n", machine.stdin_pos)
+    if end < 0:
+        end = len(machine.stdin_text)
+        line = machine.stdin_text[machine.stdin_pos : end]
+        machine.stdin_pos = end
+    else:
+        line = machine.stdin_text[machine.stdin_pos : end]
+        machine.stdin_pos = end + 1
+    machine.memory.write_c_string(buffer, line)
+    return buffer, ct.CHAR_PTR
+
+
+def _format(machine, arguments, call, format_index: int) -> str:
+    format_address = _int_arg(arguments, format_index, call)
+    template = machine.memory.read_c_string(format_address)
+    output: list[str] = []
+    arg_index = format_index + 1
+    position = 0
+    while position < len(template):
+        char = template[position]
+        if char != "%":
+            output.append(char)
+            position += 1
+            continue
+        position += 1
+        if position < len(template) and template[position] == "%":
+            output.append("%")
+            position += 1
+            continue
+        spec_start = position
+        while position < len(template) and template[position] in "-+ 0123456789.*":
+            position += 1
+        while position < len(template) and template[position] in "lh":
+            position += 1
+        if position >= len(template):
+            raise InterpreterError(
+                "malformed printf format", call.location
+            )
+        conversion = template[position]
+        position += 1
+        flags = template[spec_start : position - 1].replace("l", "").replace(
+            "h", ""
+        )
+        if "*" in flags:
+            width = _int_arg(arguments, arg_index, call)
+            arg_index += 1
+            flags = flags.replace("*", str(width), 1)
+        if conversion in "di":
+            value = _int_arg(arguments, arg_index, call)
+            arg_index += 1
+            output.append(f"%{flags}d" % value)
+        elif conversion == "u":
+            value = _int_arg(arguments, arg_index, call)
+            arg_index += 1
+            output.append(f"%{flags}d" % (value & 0xFFFFFFFFFFFFFFFF
+                                          if value < 0 else value))
+        elif conversion in "xXo":
+            value = _int_arg(arguments, arg_index, call)
+            arg_index += 1
+            if value < 0:
+                value &= 0xFFFFFFFF
+            output.append(f"%{flags}{conversion}" % value)
+        elif conversion == "c":
+            value = _int_arg(arguments, arg_index, call)
+            arg_index += 1
+            output.append(f"%{flags}s" % chr(value & 0xFF))
+        elif conversion == "s":
+            address = _int_arg(arguments, arg_index, call)
+            arg_index += 1
+            text = machine.memory.read_c_string(address)
+            output.append(f"%{flags}s" % text)
+        elif conversion in "feEgG":
+            value = _float_arg(arguments, arg_index, call)
+            arg_index += 1
+            output.append(f"%{flags}{conversion}" % value)
+        elif conversion == "p":
+            value = _int_arg(arguments, arg_index, call)
+            arg_index += 1
+            output.append(f"0x{value:x}")
+        else:
+            raise InterpreterError(
+                f"unsupported printf conversion %{conversion}",
+                call.location,
+            )
+    return "".join(output)
+
+
+# ----------------------------------------------------------------------
+# stdlib.
+
+
+@_builtin("malloc")
+def _malloc(machine, arguments, call):
+    size = _int_arg(arguments, 0, call)
+    if size <= 0:
+        size = 1
+    return machine.memory.heap_alloc(size), ct.VOID_PTR
+
+
+@_builtin("calloc")
+def _calloc(machine, arguments, call):
+    count = _int_arg(arguments, 0, call)
+    size = _int_arg(arguments, 1, call)
+    total = max(count * size, 1)
+    address = machine.memory.heap_alloc(total)
+    machine.memory.fill_cells(address, 0, total)
+    return address, ct.VOID_PTR
+
+
+@_builtin("realloc")
+def _realloc(machine, arguments, call):
+    old_address = _int_arg(arguments, 0, call)
+    new_size = max(_int_arg(arguments, 1, call), 1)
+    new_address = machine.memory.heap_alloc(new_size)
+    if old_address != 0:
+        old_size = machine.memory.heap_block_size(old_address)
+        if old_size is None:
+            raise InterpreterError(
+                "realloc of a pointer that is not a block base",
+                call.location,
+            )
+        machine.memory.copy_cells(
+            new_address, old_address, min(old_size, new_size)
+        )
+        machine.memory.free(old_address)
+    return new_address, ct.VOID_PTR
+
+
+@_builtin("free")
+def _free(machine, arguments, call):
+    machine.memory.free(_int_arg(arguments, 0, call))
+    return 0, ct.VOID
+
+
+@_builtin("exit")
+def _exit(machine, arguments, call):
+    raise ProgramExit(_int_arg(arguments, 0, call))
+
+
+@_builtin("abort")
+def _abort(machine, arguments, call):
+    raise ProgramExit(134, aborted=True)
+
+
+@_builtin("__assert_fail")
+def _assert_fail(machine, arguments, call):
+    message = machine.memory.read_c_string(_int_arg(arguments, 0, call))
+    line = _int_arg(arguments, 1, call)
+    machine.stdout_chunks.append(
+        f"assertion failed: {message} (line {line})\n"
+    )
+    raise ProgramExit(134, aborted=True)
+
+
+@_builtin("atoi")
+def _atoi(machine, arguments, call):
+    text = machine.memory.read_c_string(_int_arg(arguments, 0, call))
+    return _parse_int(text), ct.INT
+
+
+@_builtin("atol")
+def _atol(machine, arguments, call):
+    text = machine.memory.read_c_string(_int_arg(arguments, 0, call))
+    return _parse_int(text), ct.LONG
+
+
+@_builtin("atof")
+def _atof(machine, arguments, call):
+    text = machine.memory.read_c_string(_int_arg(arguments, 0, call)).strip()
+    import re
+
+    match = re.match(r"[+-]?(\d+(\.\d*)?|\.\d+)([eE][+-]?\d+)?", text)
+    return (float(match.group(0)) if match else 0.0), ct.DOUBLE
+
+
+def _parse_int(text: str) -> int:
+    text = text.strip()
+    sign = 1
+    index = 0
+    if index < len(text) and text[index] in "+-":
+        sign = -1 if text[index] == "-" else 1
+        index += 1
+    value = 0
+    while index < len(text) and text[index].isdigit():
+        value = value * 10 + int(text[index])
+        index += 1
+    return sign * value
+
+
+@_builtin("abs")
+def _abs(machine, arguments, call):
+    return abs(_int_arg(arguments, 0, call)), ct.INT
+
+
+@_builtin("labs")
+def _labs(machine, arguments, call):
+    return abs(_int_arg(arguments, 0, call)), ct.LONG
+
+
+@_builtin("rand")
+def _rand(machine, arguments, call):
+    machine.rand_state = (
+        machine.rand_state * 1103515245 + 12345
+    ) & 0x7FFFFFFF
+    return (machine.rand_state >> 16) & 0x7FFF, ct.INT
+
+
+@_builtin("srand")
+def _srand(machine, arguments, call):
+    machine.rand_state = _int_arg(arguments, 0, call) & 0x7FFFFFFF
+    return 0, ct.VOID
+
+
+@_builtin("qsort")
+def _qsort(machine, arguments, call):
+    base = _int_arg(arguments, 0, call)
+    count = _int_arg(arguments, 1, call)
+    size = _int_arg(arguments, 2, call)
+    comparator_address = _int_arg(arguments, 3, call)
+    comparator = machine.resolve_function_address(
+        comparator_address, call.location
+    )
+    if count <= 1:
+        return 0, ct.VOID
+    if size <= 0:
+        raise InterpreterError("qsort with nonpositive size", call.location)
+    memory = machine.memory
+    elements = [
+        [memory.load_or_none(base + i * size + j) for j in range(size)]
+        for i in range(count)
+    ]
+    # Scratch slots give the comparator real addresses to inspect.
+    scratch_a = memory.heap_alloc(size)
+    scratch_b = memory.heap_alloc(size)
+
+    def compare(cells_a: list[object], cells_b: list[object]) -> int:
+        for offset, cell in enumerate(cells_a):
+            memory.store_raw(scratch_a + offset, cell)
+        for offset, cell in enumerate(cells_b):
+            memory.store_raw(scratch_b + offset, cell)
+        result, _ = machine.call_user(
+            comparator,
+            [(scratch_a, ct.VOID_PTR), (scratch_b, ct.VOID_PTR)],
+            call.location,
+        )
+        return int(result)
+
+    elements.sort(key=functools.cmp_to_key(compare))
+    for i, cells in enumerate(elements):
+        for j, cell in enumerate(cells):
+            memory.store_raw(base + i * size + j, cell)
+    return 0, ct.VOID
+
+
+# ----------------------------------------------------------------------
+# string.h.
+
+
+@_builtin("strlen")
+def _strlen(machine, arguments, call):
+    text = machine.memory.read_c_string(_int_arg(arguments, 0, call))
+    return len(text), ct.ULONG
+
+
+@_builtin("strcmp")
+def _strcmp(machine, arguments, call):
+    a = machine.memory.read_c_string(_int_arg(arguments, 0, call))
+    b = machine.memory.read_c_string(_int_arg(arguments, 1, call))
+    return (a > b) - (a < b), ct.INT
+
+
+@_builtin("strncmp")
+def _strncmp(machine, arguments, call):
+    limit = _int_arg(arguments, 2, call)
+    a = machine.memory.read_c_string(_int_arg(arguments, 0, call))[:limit]
+    b = machine.memory.read_c_string(_int_arg(arguments, 1, call))[:limit]
+    return (a > b) - (a < b), ct.INT
+
+
+@_builtin("strcpy")
+def _strcpy(machine, arguments, call):
+    dest = _int_arg(arguments, 0, call)
+    text = machine.memory.read_c_string(_int_arg(arguments, 1, call))
+    machine.memory.write_c_string(dest, text)
+    return dest, ct.CHAR_PTR
+
+
+@_builtin("strncpy")
+def _strncpy(machine, arguments, call):
+    dest = _int_arg(arguments, 0, call)
+    limit = _int_arg(arguments, 2, call)
+    text = machine.memory.read_c_string(_int_arg(arguments, 1, call))
+    for index in range(limit):
+        char = ord(text[index]) if index < len(text) else 0
+        machine.memory.store(dest + index, char)
+    return dest, ct.CHAR_PTR
+
+
+@_builtin("strcat")
+def _strcat(machine, arguments, call):
+    dest = _int_arg(arguments, 0, call)
+    existing = machine.memory.read_c_string(dest)
+    text = machine.memory.read_c_string(_int_arg(arguments, 1, call))
+    machine.memory.write_c_string(dest + len(existing), text)
+    return dest, ct.CHAR_PTR
+
+
+@_builtin("strchr")
+def _strchr(machine, arguments, call):
+    address = _int_arg(arguments, 0, call)
+    target = _int_arg(arguments, 1, call) & 0xFF
+    text = machine.memory.read_c_string(address)
+    index = text.find(chr(target))
+    if target == 0:
+        return address + len(text), ct.CHAR_PTR
+    return (address + index if index >= 0 else 0), ct.CHAR_PTR
+
+
+@_builtin("strstr")
+def _strstr(machine, arguments, call):
+    address = _int_arg(arguments, 0, call)
+    haystack = machine.memory.read_c_string(address)
+    needle = machine.memory.read_c_string(_int_arg(arguments, 1, call))
+    index = haystack.find(needle)
+    return (address + index if index >= 0 else 0), ct.CHAR_PTR
+
+
+@_builtin("memset")
+def _memset(machine, arguments, call):
+    dest = _int_arg(arguments, 0, call)
+    value = _int_arg(arguments, 1, call) & 0xFF
+    count = _int_arg(arguments, 2, call)
+    machine.memory.fill_cells(dest, value, count)
+    return dest, ct.VOID_PTR
+
+
+@_builtin("memcpy")
+def _memcpy(machine, arguments, call):
+    dest = _int_arg(arguments, 0, call)
+    source = _int_arg(arguments, 1, call)
+    count = _int_arg(arguments, 2, call)
+    machine.memory.copy_cells(dest, source, count)
+    return dest, ct.VOID_PTR
+
+
+@_builtin("memcmp")
+def _memcmp(machine, arguments, call):
+    a = _int_arg(arguments, 0, call)
+    b = _int_arg(arguments, 1, call)
+    count = _int_arg(arguments, 2, call)
+    for offset in range(count):
+        left = machine.memory.load(a + offset)
+        right = machine.memory.load(b + offset)
+        if left != right:
+            return (1 if left > right else -1), ct.INT
+    return 0, ct.INT
+
+
+# ----------------------------------------------------------------------
+# ctype.h.
+
+
+def _ctype_predicate(name: str, predicate: Callable[[str], bool]) -> None:
+    @_builtin(name)
+    def handler(machine, arguments, call, predicate=predicate):
+        value = _int_arg(arguments, 0, call)
+        if value < 0 or value > 255:
+            return 0, ct.INT
+        return int(predicate(chr(value))), ct.INT
+
+
+_ctype_predicate("isdigit", str.isdigit)
+_ctype_predicate("isalpha", str.isalpha)
+_ctype_predicate("isalnum", str.isalnum)
+_ctype_predicate("isspace", lambda c: c in " \t\n\r\f\v")
+_ctype_predicate("isupper", str.isupper)
+_ctype_predicate("islower", str.islower)
+_ctype_predicate(
+    "ispunct", lambda c: c.isprintable() and not c.isalnum() and c != " "
+)
+
+
+@_builtin("toupper")
+def _toupper(machine, arguments, call):
+    value = _int_arg(arguments, 0, call)
+    if 0 <= value <= 255:
+        return ord(chr(value).upper()), ct.INT
+    return value, ct.INT
+
+
+@_builtin("tolower")
+def _tolower(machine, arguments, call):
+    value = _int_arg(arguments, 0, call)
+    if 0 <= value <= 255:
+        return ord(chr(value).lower()), ct.INT
+    return value, ct.INT
+
+
+# ----------------------------------------------------------------------
+# math.h.
+
+
+def _math_unary(name: str, function: Callable[[float], float]) -> None:
+    @_builtin(name)
+    def handler(machine, arguments, call, function=function):
+        value = _float_arg(arguments, 0, call)
+        try:
+            return function(value), ct.DOUBLE
+        except ValueError as exc:
+            raise InterpreterError(
+                f"{name} domain error: {exc}", call.location
+            ) from exc
+
+
+_math_unary("sqrt", math.sqrt)
+_math_unary("fabs", abs)
+_math_unary("sin", math.sin)
+_math_unary("cos", math.cos)
+_math_unary("tan", math.tan)
+_math_unary("atan", math.atan)
+_math_unary("exp", math.exp)
+_math_unary("log", math.log)
+_math_unary("floor", lambda v: float(math.floor(v)))
+_math_unary("ceil", lambda v: float(math.ceil(v)))
+
+
+@_builtin("atan2")
+def _atan2(machine, arguments, call):
+    return (
+        math.atan2(_float_arg(arguments, 0, call), _float_arg(arguments, 1, call)),
+        ct.DOUBLE,
+    )
+
+
+@_builtin("pow")
+def _pow(machine, arguments, call):
+    return (
+        math.pow(_float_arg(arguments, 0, call), _float_arg(arguments, 1, call)),
+        ct.DOUBLE,
+    )
+
+
+@_builtin("fmod")
+def _fmod(machine, arguments, call):
+    divisor = _float_arg(arguments, 1, call)
+    if divisor == 0.0:
+        raise InterpreterError("fmod by zero", call.location)
+    return (
+        math.fmod(_float_arg(arguments, 0, call), divisor),
+        ct.DOUBLE,
+    )
+
+
+#: All builtin names the runtime implements (should match the frontend).
+IMPLEMENTED_BUILTINS: frozenset[str] = frozenset(_HANDLERS)

@@ -1,0 +1,539 @@
+"""The CFG interpreter ("machine") with profiling instrumentation.
+
+The machine executes the *same* CFGs the static estimators analyse, so
+the profile it produces is exact ground truth for every quantity the
+paper measures: block counts, arc counts, branch outcomes, function
+entries, and call-site frequencies.
+
+Execution model: a call allocates a stack frame (parameters + all the
+function's locals), then walks basic blocks from the CFG entry,
+executing each block's statements and evaluating its terminator to pick
+the successor.  ``return`` unwinds the frame; ``exit``/``abort`` raise
+:class:`~repro.interp.errors.ProgramExit` through all frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cfg.block import (
+    CondBranch,
+    Jump,
+    ReturnTerm,
+    SwitchBranch,
+)
+from repro.frontend import ast_nodes as ast
+from repro.frontend import ctypes as ct
+from repro.frontend.errors import SourceLocation
+from repro.interp.errors import (
+    FuelExhausted,
+    InterpreterError,
+    ProgramExit,
+)
+from repro.interp.evaluator import Evaluator
+from repro.interp.memory import Memory
+from repro.interp.values import AggregateValue, convert
+from repro.profiles.profile import Profile
+from repro.program import Program
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one program run."""
+
+    status: int
+    stdout: str
+    profile: Profile
+    blocks_executed: int
+    aborted: bool = False
+
+
+@dataclass
+class _Frame:
+    function_name: str
+    variables: dict[str, tuple[int, ct.CType]]
+    stack_mark: int
+
+
+@dataclass
+class _FunctionInfo:
+    """Per-function data computed once and cached."""
+
+    definition: ast.FunctionDef
+    local_declarations: list[ast.Declaration] = field(default_factory=list)
+    static_declarations: list[ast.Declaration] = field(default_factory=list)
+
+
+class Machine:
+    """Interprets one :class:`~repro.program.Program`."""
+
+    def __init__(
+        self,
+        program: Program,
+        stdin: str = "",
+        argv: tuple[str, ...] = (),
+        fuel: int = 200_000_000,
+        max_call_depth: int = 1800,
+        profile: Optional[Profile] = None,
+    ):
+        self.program = program
+        self.memory = Memory()
+        self.profile = profile if profile is not None else Profile(
+            program.name
+        )
+        self.evaluator = Evaluator(self)
+        self.stdout_chunks: list[str] = []
+        self.stdin_text = stdin
+        self.stdin_pos = 0
+        self.rand_state = 1
+        self._fuel = fuel
+        self._initial_fuel = fuel
+        self._max_call_depth = max_call_depth
+        self._frames: list[_Frame] = []
+        self._globals: dict[str, tuple[int, ct.CType]] = {}
+        self._statics: dict[tuple[str, str], tuple[int, ct.CType]] = {}
+        self._strings: dict[str, int] = {}
+        self._function_addresses: dict[str, int] = {}
+        self._address_to_function: dict[int, str] = {}
+        self._function_info: dict[str, _FunctionInfo] = {}
+        self._argv = argv or (program.name,)
+        self._initialized = False
+
+    # ------------------------------------------------------------------
+    # Program startup.
+
+    def run(self) -> ExecutionResult:
+        """Execute ``main`` and return the result."""
+        import sys
+
+        # Each interpreted C frame costs a dozen-odd Python frames
+        # (eval -> call -> eval ...); size the Python recursion limit
+        # to the machine's own call-depth guard.
+        needed = self._max_call_depth * 40 + 10_000
+        if sys.getrecursionlimit() < needed:
+            sys.setrecursionlimit(needed)
+        self._initialize()
+        aborted = False
+        try:
+            argc, argv_address = self._build_argv()
+            main_def = self.program.function("main")
+            args: list[tuple[object, ct.CType]] = []
+            if len(main_def.ftype.parameters) >= 2:
+                args = [
+                    (argc, ct.INT),
+                    (argv_address, ct.PointerType(ct.CHAR_PTR)),
+                ]
+            value, _ = self.call_user("main", args, main_def.location)
+            status = int(value) if isinstance(value, (int, float)) else 0
+        except ProgramExit as program_exit:
+            status = program_exit.status
+            aborted = program_exit.aborted
+        self.profile.exit_status = status
+        return ExecutionResult(
+            status=status,
+            stdout=self.stdout(),
+            profile=self.profile,
+            blocks_executed=self._initial_fuel - self._fuel,
+            aborted=aborted,
+        )
+
+    def stdout(self) -> str:
+        return "".join(self.stdout_chunks)
+
+    def _initialize(self) -> None:
+        if self._initialized:
+            return
+        self._initialized = True
+        # One heap cell per function gives every function a unique,
+        # comparable address for function pointers.
+        for name in self.program.function_names:
+            address = self.memory.heap_alloc(1)
+            self.memory.store(address, 0)
+            self._function_addresses[name] = address
+            self._address_to_function[address] = name
+        self._collect_function_info()
+        self._allocate_globals()
+        self._allocate_statics()
+
+    def _collect_function_info(self) -> None:
+        for function in self.program.unit.functions:
+            info = _FunctionInfo(function)
+            for node in function.body.walk():
+                if isinstance(node, ast.Declaration):
+                    if node.storage == "static":
+                        info.static_declarations.append(node)
+                    elif node.storage != "extern":
+                        info.local_declarations.append(node)
+            self._function_info[function.name] = info
+
+    def _allocate_globals(self) -> None:
+        # Two passes: allocate all addresses first so initializers can
+        # take the address of globals declared later.
+        pending: list[tuple[ast.Declaration, int]] = []
+        for declaration in self.program.unit.globals:
+            if declaration.storage == "extern":
+                continue
+            size = _sizeof_or_fail(declaration.declared_type, declaration)
+            address = self.memory.heap_alloc(size)
+            _zero_fill(self.memory, address, size)
+            self._globals[declaration.name] = (
+                address,
+                declaration.declared_type,
+            )
+            pending.append((declaration, address))
+        for declaration, address in pending:
+            if declaration.initializer is not None:
+                self.initialize_storage(
+                    address, declaration.declared_type, declaration.initializer
+                )
+
+    def _allocate_statics(self) -> None:
+        for function_name, info in self._function_info.items():
+            for declaration in info.static_declarations:
+                size = _sizeof_or_fail(
+                    declaration.declared_type, declaration
+                )
+                address = self.memory.heap_alloc(size)
+                _zero_fill(self.memory, address, size)
+                self._statics[(function_name, declaration.name)] = (
+                    address,
+                    declaration.declared_type,
+                )
+                if declaration.initializer is not None:
+                    self.initialize_storage(
+                        address,
+                        declaration.declared_type,
+                        declaration.initializer,
+                    )
+
+    def _build_argv(self) -> tuple[int, int]:
+        argc = len(self._argv)
+        array_address = self.memory.heap_alloc(argc + 1)
+        for index, argument in enumerate(self._argv):
+            string_address = self.memory.heap_alloc(len(argument) + 1)
+            self.memory.write_c_string(string_address, argument)
+            self.memory.store(array_address + index, string_address)
+        self.memory.store(array_address + argc, 0)
+        return argc, array_address
+
+    # ------------------------------------------------------------------
+    # Services used by the evaluator and libc.
+
+    def intern_string(self, text: str) -> int:
+        address = self._strings.get(text)
+        if address is None:
+            address = self.memory.heap_alloc(len(text) + 1)
+            self.memory.write_c_string(address, text)
+            self._strings[text] = address
+        return address
+
+    def function_address(self, name: str, location: SourceLocation) -> int:
+        try:
+            return self._function_addresses[name]
+        except KeyError:
+            raise InterpreterError(
+                f"taking address of undefined function {name!r}", location
+            ) from None
+
+    def resolve_function_address(
+        self, address: object, location: SourceLocation
+    ) -> str:
+        if not isinstance(address, int):
+            raise InterpreterError(
+                "call through non-pointer value", location
+            )
+        name = self._address_to_function.get(address)
+        if name is None:
+            raise InterpreterError(
+                f"call through {address:#x}, which is not a function",
+                location,
+            )
+        return name
+
+    def lookup_variable(
+        self, name: str, location: SourceLocation
+    ) -> tuple[int, ct.CType]:
+        if self._frames:
+            frame = self._frames[-1]
+            entry = frame.variables.get(name)
+            if entry is not None:
+                return entry
+            static_entry = self._statics.get((frame.function_name, name))
+            if static_entry is not None:
+                return static_entry
+        global_entry = self._globals.get(name)
+        if global_entry is not None:
+            return global_entry
+        raise InterpreterError(f"undefined variable {name!r}", location)
+
+    @property
+    def current_function(self) -> str:
+        return self._frames[-1].function_name if self._frames else "<init>"
+
+    # ------------------------------------------------------------------
+    # Calls.
+
+    def execute_call(self, call: ast.Call) -> tuple[object, ct.CType]:
+        callee = call.callee
+        name: Optional[str] = None
+        if isinstance(callee, ast.Identifier) and callee.binding in (
+            "function",
+            "builtin",
+        ):
+            name = callee.name
+        else:
+            value, _ = self.evaluator.rvalue(callee)
+            name = self.resolve_function_address(value, call.location)
+        arguments = [
+            self.evaluator.rvalue(argument) for argument in call.arguments
+        ]
+        if self.program.has_function(name):
+            self.profile.record_call(call.node_id, name)
+            return self.call_user(name, arguments, call.location)
+        # Builtin (or unknown) function.
+        from repro.interp.libc import call_builtin
+
+        self.profile.record_call(call.node_id, name)
+        return call_builtin(self, name, arguments, call)
+
+    def call_user(
+        self,
+        name: str,
+        arguments: list[tuple[object, ct.CType]],
+        location: SourceLocation,
+    ) -> tuple[object, ct.CType]:
+        """Call a defined function with already-evaluated arguments."""
+        self._initialize()
+        if len(self._frames) >= self._max_call_depth:
+            raise InterpreterError(
+                f"call depth limit exceeded calling {name!r}", location
+            )
+        info = self._function_info.get(name)
+        if info is None:
+            raise InterpreterError(f"undefined function {name!r}", location)
+        definition = info.definition
+        parameters = definition.ftype.parameters
+        if len(arguments) != len(parameters):
+            if not (definition.ftype.unspecified and not parameters):
+                raise InterpreterError(
+                    f"{name} expects {len(parameters)} arguments, got "
+                    f"{len(arguments)}",
+                    location,
+                )
+        mark = self.memory.stack_mark()
+        variables: dict[str, tuple[int, ct.CType]] = {}
+        for (value, value_type), param_type, param_name in zip(
+            arguments, parameters, definition.parameter_names
+        ):
+            size = _sizeof_or_fail(param_type, definition)
+            address = self.memory.stack_alloc(size)
+            if isinstance(param_type, ct.StructType):
+                if not isinstance(value, AggregateValue):
+                    raise InterpreterError(
+                        f"expected struct argument for {param_name}",
+                        location,
+                    )
+                for offset, cell in enumerate(value.cells):
+                    self.memory.store_raw(address + offset, cell)
+            else:
+                if isinstance(value, AggregateValue):
+                    raise InterpreterError(
+                        f"aggregate passed to scalar parameter {param_name}",
+                        location,
+                    )
+                self.memory.store(address, convert(value, param_type))
+            if param_name:
+                variables[param_name] = (address, param_type)
+        for declaration in info.local_declarations:
+            size = _sizeof_or_fail(declaration.declared_type, declaration)
+            address = self.memory.stack_alloc(size)
+            variables[declaration.name] = (
+                address,
+                declaration.declared_type,
+            )
+        frame = _Frame(name, variables, mark)
+        self._frames.append(frame)
+        self.profile.record_function_entry(name)
+        try:
+            return self._execute_cfg(name, definition)
+        finally:
+            self._frames.pop()
+            self.memory.stack_release(mark)
+
+    # ------------------------------------------------------------------
+    # CFG execution.
+
+    def _execute_cfg(
+        self, name: str, definition: ast.FunctionDef
+    ) -> tuple[object, ct.CType]:
+        cfg = self.program.cfg(name)
+        current = cfg.entry_id
+        return_type = definition.ftype.return_type
+        while True:
+            if self._fuel <= 0:
+                raise FuelExhausted(
+                    "execution budget exhausted", definition.location
+                )
+            self._fuel -= 1
+            self.profile.record_block(name, current)
+            block = cfg.block(current)
+            for statement in block.statements:
+                self._execute_statement(statement)
+            terminator = block.terminator
+            if isinstance(terminator, Jump):
+                self.profile.record_arc(name, current, terminator.target)
+                current = terminator.target
+            elif isinstance(terminator, CondBranch):
+                taken = self.evaluator.truthy(terminator.condition)
+                self.profile.record_branch(name, current, taken)
+                target = (
+                    terminator.true_target
+                    if taken
+                    else terminator.false_target
+                )
+                self.profile.record_arc(name, current, target)
+                current = target
+            elif isinstance(terminator, SwitchBranch):
+                value = self.evaluator.scalar(terminator.condition)
+                target = terminator.default_target
+                for arm in terminator.arms:
+                    if value in arm.values:
+                        target = arm.target
+                        break
+                self.profile.record_arc(name, current, target)
+                current = target
+            elif isinstance(terminator, ReturnTerm):
+                if terminator.value is None:
+                    return 0, return_type
+                value, value_type = self.evaluator.rvalue(terminator.value)
+                if isinstance(return_type, ct.StructType):
+                    return value, return_type
+                if isinstance(value, AggregateValue):
+                    raise InterpreterError(
+                        "aggregate returned from scalar function",
+                        definition.location,
+                    )
+                if isinstance(return_type, ct.VoidType):
+                    return 0, return_type
+                return convert(value, return_type), return_type
+            else:  # pragma: no cover - terminator set is closed
+                raise InterpreterError(
+                    f"unknown terminator {type(terminator).__name__}",
+                    definition.location,
+                )
+
+    def _execute_statement(self, statement: ast.Statement) -> None:
+        if isinstance(statement, ast.ExpressionStatement):
+            if statement.expression is not None:
+                self.evaluator.rvalue(statement.expression)
+        elif isinstance(statement, ast.Declaration):
+            if statement.storage == "static":
+                return  # Initialized once at startup.
+            if statement.initializer is not None:
+                address, ctype = self.lookup_variable(
+                    statement.name, statement.location
+                )
+                self.initialize_storage(
+                    address, ctype, statement.initializer
+                )
+        else:  # pragma: no cover - builder keeps blocks straight-line
+            raise InterpreterError(
+                f"cannot execute {type(statement).__name__}",
+                statement.location,
+            )
+
+    # ------------------------------------------------------------------
+    # Initializers.
+
+    def initialize_storage(
+        self,
+        address: int,
+        ctype: ct.CType,
+        initializer: ast.Initializer,
+    ) -> None:
+        """Run an initializer into storage at ``address``."""
+        if not initializer.is_list:
+            assert initializer.expression is not None
+            expression = initializer.expression
+            if isinstance(ctype, ct.ArrayType) and isinstance(
+                expression, ast.StringLiteral
+            ):
+                self._initialize_char_array(address, ctype, expression.value)
+                return
+            value, value_type = self.evaluator.rvalue(expression)
+            self.evaluator._store_converted(
+                address, ctype, value, value_type, initializer.location
+            )
+            return
+        assert initializer.elements is not None
+        if isinstance(ctype, ct.ArrayType):
+            element_size = ctype.element.sizeof()
+            length = ctype.length or len(initializer.elements)
+            for index in range(length):
+                element_address = address + index * element_size
+                if index < len(initializer.elements):
+                    self.initialize_storage(
+                        element_address,
+                        ctype.element,
+                        initializer.elements[index],
+                    )
+                else:
+                    _zero_fill(self.memory, element_address, element_size)
+            return
+        if isinstance(ctype, ct.StructType):
+            for index, member in enumerate(ctype.members):
+                member_address = address + member.offset
+                if index < len(initializer.elements):
+                    self.initialize_storage(
+                        member_address, member.type, initializer.elements[index]
+                    )
+                else:
+                    _zero_fill(
+                        self.memory, member_address, member.type.sizeof()
+                    )
+            return
+        # Brace-enclosed scalar: { expr }.
+        if len(initializer.elements) == 1:
+            self.initialize_storage(address, ctype, initializer.elements[0])
+            return
+        raise InterpreterError(
+            f"initializer list for scalar type {ctype}", initializer.location
+        )
+
+    def _initialize_char_array(
+        self, address: int, ctype: ct.ArrayType, text: str
+    ) -> None:
+        length = ctype.length or (len(text) + 1)
+        for index in range(length):
+            if index < len(text):
+                self.memory.store(address + index, ord(text[index]))
+            else:
+                self.memory.store(address + index, 0)
+
+
+def _sizeof_or_fail(ctype: ct.CType, node: ast.Node) -> int:
+    try:
+        return ctype.sizeof()
+    except ValueError as exc:
+        raise InterpreterError(str(exc), node.location) from exc
+
+
+def _zero_fill(memory: Memory, address: int, size: int) -> None:
+    for offset in range(size):
+        memory.store(address + offset, 0)
+
+
+def run_program(
+    program: Program,
+    stdin: str = "",
+    argv: tuple[str, ...] = (),
+    fuel: int = 200_000_000,
+    input_name: str = "",
+) -> ExecutionResult:
+    """Convenience wrapper: run ``program`` and return the result."""
+    profile = Profile(program.name, input_name)
+    machine = Machine(
+        program, stdin=stdin, argv=argv, fuel=fuel, profile=profile
+    )
+    return machine.run()

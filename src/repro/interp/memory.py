@@ -1,0 +1,167 @@
+"""Cell-addressed memory for the interpreter.
+
+Two regions share one flat address space:
+
+* the **stack** (addresses ``1 .. HEAP_BASE-1``) holds locals and
+  parameters, reclaimed when frames pop;
+* the **heap** (addresses ``>= HEAP_BASE``) holds globals, string
+  literals, static locals, and ``malloc`` blocks.
+
+Address 0 is NULL and always faults.  A cell stores one scalar (Python
+int or float); aggregates occupy consecutive cells (see
+:mod:`repro.frontend.ctypes` for the cell size model).  Every cell
+starts as ``None`` so reads of uninitialized memory fault loudly rather
+than producing garbage — the benchmark suite is expected to be clean.
+"""
+
+from __future__ import annotations
+
+from repro.interp.errors import InterpreterError
+
+#: First heap address.  Stack addresses stay below this.
+HEAP_BASE = 1 << 40
+
+#: Cell value type: int (also used for pointers) or float.
+Cell = "int | float"
+
+
+class Memory:
+    """The interpreter's memory: stack and heap regions."""
+
+    def __init__(self, stack_limit: int = 1 << 22, heap_limit: int = 1 << 24):
+        self._stack: list[object] = []
+        self._heap: list[object] = []
+        self._stack_limit = stack_limit
+        self._heap_limit = heap_limit
+        # Heap blocks by base address -> size, for free() checking.
+        self._heap_blocks: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Allocation.
+
+    def stack_mark(self) -> int:
+        """Current stack top; pass to :meth:`stack_release`."""
+        return len(self._stack)
+
+    def stack_alloc(self, size: int) -> int:
+        """Allocate ``size`` cells on the stack; returns base address."""
+        if size < 0:
+            raise InterpreterError(f"negative allocation size {size}")
+        base = len(self._stack) + 1
+        if len(self._stack) + size > self._stack_limit:
+            raise InterpreterError("stack overflow")
+        self._stack.extend([None] * size)
+        return base
+
+    def stack_release(self, mark: int) -> None:
+        """Pop the stack back to a previous :meth:`stack_mark`."""
+        del self._stack[mark:]
+
+    def heap_alloc(self, size: int) -> int:
+        """Allocate ``size`` cells on the heap; returns base address."""
+        if size < 0:
+            raise InterpreterError(f"negative allocation size {size}")
+        base = HEAP_BASE + len(self._heap)
+        if len(self._heap) + size > self._heap_limit:
+            raise InterpreterError("heap exhausted")
+        self._heap.extend([None] * max(size, 1))
+        self._heap_blocks[base] = max(size, 1)
+        return base
+
+    def heap_block_size(self, address: int) -> int | None:
+        """Size of the heap block starting exactly at ``address``."""
+        return self._heap_blocks.get(address)
+
+    def free(self, address: int) -> None:
+        """``free``: validated but memory is not recycled (the programs
+        we run are short-lived; a free-list adds failure modes without
+        changing any measured behaviour)."""
+        if address == 0:
+            return  # free(NULL) is a no-op in C.
+        if address not in self._heap_blocks:
+            raise InterpreterError(
+                f"free() of address {address:#x} that is not a block base"
+            )
+        del self._heap_blocks[address]
+
+    # ------------------------------------------------------------------
+    # Access.
+
+    def _slot(self, address: int) -> tuple[list[object], int]:
+        if address >= HEAP_BASE:
+            index = address - HEAP_BASE
+            if 0 <= index < len(self._heap):
+                return self._heap, index
+            raise InterpreterError(f"heap address {address:#x} out of range")
+        index = address - 1
+        if address > 0 and index < len(self._stack):
+            return self._stack, index
+        if address == 0:
+            raise InterpreterError("NULL pointer dereference")
+        raise InterpreterError(f"stack address {address:#x} out of range")
+
+    def load(self, address: int) -> int | float:
+        region, index = self._slot(address)
+        value = region[index]
+        if value is None:
+            raise InterpreterError(
+                f"read of uninitialized memory at {address:#x}"
+            )
+        assert isinstance(value, (int, float))
+        return value
+
+    def load_or_none(self, address: int) -> int | float | None:
+        """Like :meth:`load` but returns None for uninitialized cells
+        (used by memcpy-style builtins that may copy slack space)."""
+        region, index = self._slot(address)
+        value = region[index]
+        assert value is None or isinstance(value, (int, float))
+        return value
+
+    def store(self, address: int, value: int | float) -> None:
+        region, index = self._slot(address)
+        region[index] = value
+
+    def store_raw(self, address: int, value: int | float | None) -> None:
+        region, index = self._slot(address)
+        region[index] = value
+
+    def valid(self, address: int) -> bool:
+        """Whether ``address`` is currently mapped."""
+        try:
+            self._slot(address)
+        except InterpreterError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Bulk helpers (used by libc and aggregate assignment).
+
+    def copy_cells(self, dest: int, source: int, count: int) -> None:
+        values = [self.load_or_none(source + i) for i in range(count)]
+        for i, value in enumerate(values):
+            self.store_raw(dest + i, value)
+
+    def fill_cells(self, dest: int, value: int | float, count: int) -> None:
+        for i in range(count):
+            self.store(dest + i, value)
+
+    def read_c_string(self, address: int, limit: int = 1 << 20) -> str:
+        """Read a NUL-terminated string of char cells."""
+        chars: list[str] = []
+        for offset in range(limit):
+            value = self.load(address + offset)
+            if not isinstance(value, int):
+                raise InterpreterError(
+                    f"non-integer cell in string at {address + offset:#x}"
+                )
+            if value == 0:
+                return "".join(chars)
+            chars.append(chr(value & 0xFF))
+        raise InterpreterError("unterminated C string")
+
+    def write_c_string(self, address: int, text: str) -> None:
+        """Write ``text`` plus a NUL terminator."""
+        for offset, char in enumerate(text):
+            self.store(address + offset, ord(char))
+        self.store(address + len(text), 0)

@@ -1,0 +1,97 @@
+"""Run-time value helpers: conversions, wrapping, truthiness.
+
+Scalars are Python ints and floats; pointers are ints (cell addresses).
+Struct/union rvalues are :class:`AggregateValue` (a snapshot of cells),
+which supports C's struct assignment and pass/return by value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frontend import ctypes as ct
+from repro.interp.errors import InterpreterError
+
+#: Scalar runtime value.
+Scalar = int | float
+
+
+@dataclass
+class AggregateValue:
+    """A struct/union rvalue: the cells it occupies, copied out."""
+
+    cells: list[object]
+    ctype: ct.StructType
+
+    def size(self) -> int:
+        return len(self.cells)
+
+
+RuntimeValue = "Scalar | AggregateValue"
+
+
+def wrap_int(value: int, int_type: ct.IntType) -> int:
+    """Truncate ``value`` to the type's width with C wraparound."""
+    mask = (1 << int_type.bits) - 1
+    value &= mask
+    if int_type.signed and value >= (1 << (int_type.bits - 1)):
+        value -= 1 << int_type.bits
+    return value
+
+
+def convert(value: Scalar, target: ct.CType) -> Scalar:
+    """Convert a scalar to ``target``'s representation.
+
+    Follows C: float->int truncates toward zero, int->float widens,
+    int->int wraps to the target width, pointers pass through.
+    """
+    if isinstance(target, ct.FloatType):
+        return float(value)
+    if isinstance(target, ct.IntType):
+        if isinstance(value, float):
+            value = int(value)  # Python int() truncates toward zero.
+        return wrap_int(value, target)
+    if isinstance(target, (ct.PointerType, ct.EnumType)):
+        if isinstance(value, float):
+            raise InterpreterError(
+                f"cannot convert float to {target}"
+            )
+        return value
+    if isinstance(target, ct.VoidType):
+        return 0
+    if isinstance(target, (ct.ArrayType, ct.FunctionType, ct.StructType)):
+        # Addresses flow through unchanged (decayed arrays, function
+        # designators); aggregates are handled by the caller.
+        if isinstance(value, float):
+            raise InterpreterError(f"cannot convert float to {target}")
+        return value
+    raise InterpreterError(f"cannot convert to {target}")
+
+
+def is_truthy(value: Scalar) -> bool:
+    """C truth: nonzero scalar."""
+    if isinstance(value, AggregateValue):
+        raise InterpreterError("aggregate used as condition")
+    return value != 0
+
+
+def c_div_int(a: int, b: int) -> int:
+    """C integer division (truncate toward zero)."""
+    if b == 0:
+        raise InterpreterError("integer division by zero")
+    quotient = abs(a) // abs(b)
+    return quotient if (a < 0) == (b < 0) else -quotient
+
+
+def c_mod_int(a: int, b: int) -> int:
+    """C integer remainder (sign follows the dividend)."""
+    if b == 0:
+        raise InterpreterError("integer modulo by zero")
+    return a - c_div_int(a, b) * b
+
+
+def c_shift_amount(b: int) -> int:
+    """Validate a shift count; C leaves huge shifts undefined, we fault."""
+    if b < 0 or b > 64:
+        raise InterpreterError(f"shift amount {b} out of range")
+    return b

@@ -1,0 +1,15 @@
+"""Pure-Python dense linear algebra for the Markov models."""
+
+from repro.linalg.solve import (
+    SingularMatrixError,
+    identity_minus,
+    residual_norm,
+    solve_linear_system,
+)
+
+__all__ = [
+    "SingularMatrixError",
+    "identity_minus",
+    "residual_norm",
+    "solve_linear_system",
+]

@@ -1,0 +1,88 @@
+"""Dense linear solves for the Markov models.
+
+The systems here are tiny (one row per basic block or per function), so
+a pure-Python Gaussian elimination with partial pivoting is plenty; it
+keeps the core library dependency-free.  ``numpy`` is used only in tests
+as an oracle.
+"""
+
+from __future__ import annotations
+
+Matrix = list[list[float]]
+Vector = list[float]
+
+
+class SingularMatrixError(ValueError):
+    """The system has no unique solution (pivot below tolerance)."""
+
+
+def solve_linear_system(
+    matrix: Matrix, rhs: Vector, tolerance: float = 1e-12
+) -> Vector:
+    """Solve ``matrix @ x = rhs`` by Gaussian elimination with partial
+    pivoting.  Inputs are not modified.  Raises
+    :class:`SingularMatrixError` when a pivot falls below ``tolerance``
+    relative to the matrix scale.
+    """
+    n = len(matrix)
+    if any(len(row) != n for row in matrix):
+        raise ValueError("matrix must be square")
+    if len(rhs) != n:
+        raise ValueError("rhs length must match matrix size")
+    # Augmented working copy.
+    work = [list(map(float, row)) + [float(rhs[i])] for i, row in enumerate(matrix)]
+    scale = max(
+        (abs(value) for row in work for value in row[:-1]), default=1.0
+    )
+    if scale == 0.0:
+        raise SingularMatrixError("zero matrix")
+
+    for column in range(n):
+        pivot_row = max(
+            range(column, n), key=lambda r: abs(work[r][column])
+        )
+        pivot = work[pivot_row][column]
+        if abs(pivot) <= tolerance * scale:
+            raise SingularMatrixError(
+                f"pivot {pivot:.3e} below tolerance in column {column}"
+            )
+        if pivot_row != column:
+            work[column], work[pivot_row] = work[pivot_row], work[column]
+        pivot = work[column][column]
+        for row in range(column + 1, n):
+            factor = work[row][column] / pivot
+            if factor == 0.0:
+                continue
+            work[row][column] = 0.0
+            for k in range(column + 1, n + 1):
+                work[row][k] -= factor * work[column][k]
+
+    solution = [0.0] * n
+    for row in range(n - 1, -1, -1):
+        accumulated = work[row][n]
+        for k in range(row + 1, n):
+            accumulated -= work[row][k] * solution[k]
+        solution[row] = accumulated / work[row][row]
+    return solution
+
+
+def identity_minus(matrix: Matrix) -> Matrix:
+    """Return ``I - matrix`` (used to build flow systems)."""
+    n = len(matrix)
+    return [
+        [
+            (1.0 if i == j else 0.0) - matrix[i][j]
+            for j in range(n)
+        ]
+        for i in range(n)
+    ]
+
+
+def residual_norm(matrix: Matrix, solution: Vector, rhs: Vector) -> float:
+    """Max-norm of ``matrix @ solution - rhs`` (used by tests)."""
+    n = len(matrix)
+    worst = 0.0
+    for i in range(n):
+        value = sum(matrix[i][j] * solution[j] for j in range(n)) - rhs[i]
+        worst = max(worst, abs(value))
+    return worst

@@ -1,0 +1,41 @@
+"""Evaluation metrics: Wall's weight matching and the paper's protocol."""
+
+from repro.metrics.protocol import (
+    CALL_SITE_CUTOFF,
+    INTRA_CUTOFF,
+    INVOCATION_CUTOFFS,
+    call_site_profiling_baseline,
+    call_site_score,
+    call_site_score_over_profiles,
+    intra_profiling_baseline,
+    intra_program_score,
+    intra_score_over_profiles,
+    invocation_profiling_baseline,
+    invocation_score,
+    invocation_score_over_profiles,
+)
+from repro.metrics.weight_matching import (
+    average_scores,
+    quantile_weight,
+    weight_matching_score,
+    weighted_average_scores,
+)
+
+__all__ = [
+    "CALL_SITE_CUTOFF",
+    "INTRA_CUTOFF",
+    "INVOCATION_CUTOFFS",
+    "average_scores",
+    "call_site_profiling_baseline",
+    "call_site_score",
+    "call_site_score_over_profiles",
+    "intra_profiling_baseline",
+    "intra_program_score",
+    "intra_score_over_profiles",
+    "invocation_profiling_baseline",
+    "invocation_score",
+    "invocation_score_over_profiles",
+    "quantile_weight",
+    "weight_matching_score",
+    "weighted_average_scores",
+]

@@ -1,0 +1,99 @@
+"""Wall's weight-matching metric (paper §3).
+
+The metric asks: if an optimizer trusts the *estimate* to pick the
+top ``n%`` of items (blocks, functions, call sites), what fraction of
+the weight it *could* have captured does it actually capture?
+
+Procedure: rank items by estimate and by actual measurement; take the
+top quantile of each (``n`` is a percentage of the item count, rounding
+up with the boundary item weighted fractionally); the score is the sum
+of **actual** frequencies over the estimated quantile divided by the
+sum over the actual quantile.  100% means the estimate identified
+exactly the right items (or items tied with them).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Mapping, Sequence, TypeVar
+
+Key = TypeVar("Key", bound=Hashable)
+
+
+def quantile_weight(
+    ranking: Sequence[tuple[Key, float]],
+    actual: Mapping[Key, float],
+    quantile_count: float,
+) -> float:
+    """Sum of actual weights over the first ``quantile_count`` items of
+    ``ranking`` (a descending-sorted list), weighting the boundary item
+    fractionally when ``quantile_count`` is not an integer."""
+    if quantile_count <= 0:
+        return 0.0
+    whole = math.floor(quantile_count)
+    fraction = quantile_count - whole
+    total = 0.0
+    for key, _ in ranking[:whole]:
+        total += actual.get(key, 0.0)
+    if fraction > 0 and whole < len(ranking):
+        key, _ = ranking[whole]
+        total += fraction * actual.get(key, 0.0)
+    return total
+
+
+def weight_matching_score(
+    estimated: Mapping[Key, float],
+    actual: Mapping[Key, float],
+    cutoff: float,
+) -> float:
+    """Weight-matching score in ``[0, 1]`` (usually — see below).
+
+    ``cutoff`` is the quantile as a fraction (0.25 = the paper's "25%
+    cutoff").  Items present in either mapping participate; missing
+    values count as zero.  When the actual quantile has zero total
+    weight the score is defined as 1.0 (there was nothing to find).
+
+    Ties in the *actual* ranking can make the returned value slightly
+    exceed 1.0 only through floating error; equal-weight swaps score
+    exactly 1.0, matching the paper's remark that the cut-off may fall
+    between items with the same value.
+    """
+    if not 0 < cutoff <= 1:
+        raise ValueError("cutoff must be in (0, 1]")
+    universe = set(estimated) | set(actual)
+    if not universe:
+        return 1.0
+    quantile_count = cutoff * len(universe)
+
+    def ranked(values: Mapping[Key, float]) -> list[tuple[Key, float]]:
+        # Deterministic tie-break on the key's repr keeps runs stable.
+        return sorted(
+            ((key, values.get(key, 0.0)) for key in universe),
+            key=lambda item: (-item[1], repr(item[0])),
+        )
+
+    estimate_ranking = ranked(estimated)
+    actual_ranking = ranked(actual)
+    denominator = quantile_weight(actual_ranking, actual, quantile_count)
+    if denominator == 0.0:
+        return 1.0
+    numerator = quantile_weight(estimate_ranking, actual, quantile_count)
+    return numerator / denominator
+
+
+def average_scores(scores: Sequence[float]) -> float:
+    """Plain mean, 0.0 for an empty sequence."""
+    return sum(scores) / len(scores) if scores else 0.0
+
+
+def weighted_average_scores(
+    scores_and_weights: Sequence[tuple[float, float]],
+) -> float:
+    """Weighted mean; zero total weight yields 0.0."""
+    total_weight = sum(weight for _, weight in scores_and_weights)
+    if total_weight == 0:
+        return 0.0
+    return (
+        sum(score * weight for score, weight in scores_and_weights)
+        / total_weight
+    )

@@ -1,0 +1,39 @@
+"""Selective optimization: the paper's Figure 10 experiment."""
+
+from repro.optimize.costmodel import (
+    DEFAULT_OPTIMIZED_FACTOR,
+    block_instruction_weights,
+    function_costs,
+    simulated_runtime,
+)
+from repro.optimize.layout import (
+    chain_blocks,
+    evaluate_layout_strategies,
+    fallthrough_fraction,
+    layout_from_estimates,
+    layout_from_profile,
+    program_fallthrough_fraction,
+)
+from repro.optimize.selective import (
+    SelectiveSweep,
+    ranking_from_estimate,
+    ranking_from_profile,
+    sweep_selective_optimization,
+)
+
+__all__ = [
+    "DEFAULT_OPTIMIZED_FACTOR",
+    "chain_blocks",
+    "evaluate_layout_strategies",
+    "fallthrough_fraction",
+    "layout_from_estimates",
+    "layout_from_profile",
+    "program_fallthrough_fraction",
+    "SelectiveSweep",
+    "block_instruction_weights",
+    "function_costs",
+    "ranking_from_estimate",
+    "ranking_from_profile",
+    "simulated_runtime",
+    "sweep_selective_optimization",
+]

@@ -1,0 +1,76 @@
+"""Selective optimization sweeps (paper §6, Figure 10).
+
+Given a ranking of functions (from a static estimate or a profile),
+optimize the top ``k`` for increasing ``k`` and report the simulated
+speedup on an evaluation input the rankings never saw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.optimize.costmodel import (
+    DEFAULT_OPTIMIZED_FACTOR,
+    function_costs,
+    simulated_runtime,
+)
+from repro.profiles.profile import Profile
+from repro.program import Program
+
+
+@dataclass
+class SelectiveSweep:
+    """One ranking's sweep: speedups at each optimized-count step."""
+
+    ranking_name: str
+    ordered_functions: list[str]
+    counts: list[int]
+    speedups: list[float]
+
+    def speedup_at(self, count: int) -> float:
+        return self.speedups[self.counts.index(count)]
+
+
+def ranking_from_estimate(estimate: Mapping[str, float]) -> list[str]:
+    """Function names ordered by decreasing estimated invocations."""
+    return sorted(estimate, key=lambda name: (-estimate[name], name))
+
+
+def ranking_from_profile(
+    program: Program, profile: Profile
+) -> list[str]:
+    """Function names ordered by measured entry counts."""
+    entries = {
+        name: profile.entry_count(name) for name in program.function_names
+    }
+    return ranking_from_estimate(entries)
+
+
+def sweep_selective_optimization(
+    program: Program,
+    evaluation_profile: Profile,
+    ranking: Sequence[str],
+    ranking_name: str,
+    counts: Sequence[int] = (0, 1, 2, 3, 4, 5, 6),
+    include_all: bool = True,
+    optimized_factor: float = DEFAULT_OPTIMIZED_FACTOR,
+) -> SelectiveSweep:
+    """Measure simulated speedup as the top-k of ``ranking`` are
+    optimized, evaluated on ``evaluation_profile``."""
+    costs = function_costs(program, evaluation_profile)
+    baseline = simulated_runtime(costs, (), optimized_factor)
+    steps = list(counts)
+    if include_all and len(program.function_names) not in steps:
+        steps.append(len(program.function_names))
+    speedups: list[float] = []
+    for count in steps:
+        chosen = list(ranking[:count])
+        runtime = simulated_runtime(costs, chosen, optimized_factor)
+        speedups.append(baseline / runtime if runtime > 0 else 1.0)
+    return SelectiveSweep(
+        ranking_name=ranking_name,
+        ordered_functions=list(ranking),
+        counts=steps,
+        speedups=speedups,
+    )

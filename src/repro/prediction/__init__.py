@@ -1,0 +1,67 @@
+"""Static branch prediction: heuristics, predictors, miss-rate scoring."""
+
+from repro.prediction.calibrated import (
+    WU_LARUS_PROBABILITIES,
+    CalibratedPredictor,
+    calibrated_markov_estimator,
+    combine_probabilities,
+)
+from repro.prediction.cfg_heuristics import (
+    ExtendedHeuristicPredictor,
+    ProgramExtendedPredictor,
+    extended_predictor_for,
+)
+from repro.prediction.error_functions import (
+    compute_error_functions,
+    settings_for_program,
+)
+from repro.prediction.heuristics import (
+    DEFAULT_LOOP_ITERATIONS,
+    DEFAULT_TAKEN_PROBABILITY,
+    BranchPrediction,
+    HeuristicSettings,
+    collect_predictions,
+    predict_condition,
+)
+from repro.prediction.missrate import (
+    MissRateReport,
+    measure_miss_rate,
+    measure_psp_miss_rate,
+    perfect_static_predictor,
+    switch_branch_fraction,
+)
+from repro.prediction.predictor import (
+    BranchPredictor,
+    HeuristicPredictor,
+    ProfilePredictor,
+    UniformPredictor,
+    label_weighted_switch_weights,
+)
+
+__all__ = [
+    "BranchPrediction",
+    "BranchPredictor",
+    "CalibratedPredictor",
+    "ExtendedHeuristicPredictor",
+    "ProgramExtendedPredictor",
+    "WU_LARUS_PROBABILITIES",
+    "calibrated_markov_estimator",
+    "collect_predictions",
+    "combine_probabilities",
+    "extended_predictor_for",
+    "DEFAULT_LOOP_ITERATIONS",
+    "DEFAULT_TAKEN_PROBABILITY",
+    "HeuristicPredictor",
+    "HeuristicSettings",
+    "MissRateReport",
+    "ProfilePredictor",
+    "UniformPredictor",
+    "compute_error_functions",
+    "label_weighted_switch_weights",
+    "measure_miss_rate",
+    "measure_psp_miss_rate",
+    "perfect_static_predictor",
+    "predict_condition",
+    "settings_for_program",
+    "switch_branch_fraction",
+]

@@ -1,0 +1,164 @@
+"""CFG-level prediction idioms (Ball–Larus heuristics needing
+post-dominators).
+
+The paper's predictor works on the AST; two of Ball & Larus's original
+idioms need control-flow structure the AST view lacks:
+
+* **Call heuristic (CH)** — a successor that contains a call and does
+  not post-dominate the branch is unlikely to be taken (calls hide in
+  error/slow paths);
+* **Loop-exit heuristic (LEH)** — a successor that leaves the enclosing
+  loop while the other stays inside is unlikely (stay in the loop).
+
+:class:`ExtendedHeuristicPredictor` layers them under the AST idioms:
+AST idioms fire first (they carry more semantic information), and these
+CFG idioms catch branches the AST view left at 50/50.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cfg.block import BasicBlock, CondBranch, ControlFlowGraph
+from repro.cfg.loops import find_natural_loops
+from repro.cfg.postdominators import post_dominators
+from repro.frontend import ast_nodes as ast
+from repro.prediction.heuristics import (
+    BranchPrediction,
+    HeuristicSettings,
+    predict_condition,
+)
+from repro.prediction.predictor import HeuristicPredictor
+
+
+def _block_contains_call(block: BasicBlock) -> bool:
+    from repro.callgraph.builder import calls_in_block
+
+    return bool(calls_in_block(block))
+
+
+class _FunctionShape:
+    """Post-dominators and loop membership, computed once per CFG."""
+
+    def __init__(self, cfg: ControlFlowGraph):
+        self.cfg = cfg
+        self.pdom = post_dominators(cfg)
+        self.loop_members: list[set[int]] = [
+            loop.body for loop in find_natural_loops(cfg)
+        ]
+
+    def innermost_loop_with(self, block_id: int) -> Optional[set[int]]:
+        containing = [
+            body for body in self.loop_members if block_id in body
+        ]
+        if not containing:
+            return None
+        return min(containing, key=len)
+
+    def call_heuristic(
+        self, block: BasicBlock, branch: CondBranch, p: float
+    ) -> Optional[BranchPrediction]:
+        true_block = self.cfg.block(branch.true_target)
+        false_block = self.cfg.block(branch.false_target)
+        pdom_of_branch = self.pdom.get(block.block_id, set())
+        true_fires = (
+            _block_contains_call(true_block)
+            and branch.true_target not in pdom_of_branch
+        )
+        false_fires = (
+            _block_contains_call(false_block)
+            and branch.false_target not in pdom_of_branch
+        )
+        if true_fires and not false_fires:
+            return BranchPrediction(1.0 - p, "cfg-call")
+        if false_fires and not true_fires:
+            return BranchPrediction(p, "cfg-call")
+        return None
+
+    def loop_exit_heuristic(
+        self, block: BasicBlock, branch: CondBranch, p: float
+    ) -> Optional[BranchPrediction]:
+        loop = self.innermost_loop_with(block.block_id)
+        if loop is None:
+            return None
+        true_inside = branch.true_target in loop
+        false_inside = branch.false_target in loop
+        if true_inside and not false_inside:
+            return BranchPrediction(p, "cfg-loop-exit")
+        if false_inside and not true_inside:
+            return BranchPrediction(1.0 - p, "cfg-loop-exit")
+        return None
+
+
+class ExtendedHeuristicPredictor(HeuristicPredictor):
+    """The smart predictor plus the CFG-level Ball–Larus idioms.
+
+    For each branch: the AST idioms are consulted first; when they are
+    uninformative (0.5), the loop-exit and call heuristics get a shot.
+    """
+
+    def __init__(self, settings: Optional[HeuristicSettings] = None):
+        super().__init__(settings)
+        self._shapes: dict[int, _FunctionShape] = {}
+
+    def _shape(self, cfg: ControlFlowGraph) -> _FunctionShape:
+        shape = self._shapes.get(id(cfg))
+        if shape is None:
+            shape = _FunctionShape(cfg)
+            self._shapes[id(cfg)] = shape
+        return shape
+
+    def predict_branch_in_cfg(
+        self,
+        cfg: ControlFlowGraph,
+        block: BasicBlock,
+        branch: CondBranch,
+    ) -> BranchPrediction:
+        ast_prediction = predict_condition(
+            branch.condition, branch.kind, branch.origin, self.settings
+        )
+        if ast_prediction.reason != "default":
+            return ast_prediction
+        shape = self._shape(cfg)
+        p = self.settings.taken_probability
+        loop_exit = shape.loop_exit_heuristic(block, branch, p)
+        if loop_exit is not None:
+            return loop_exit
+        call = shape.call_heuristic(block, branch, p)
+        if call is not None:
+            return call
+        return ast_prediction
+
+    def predict_branch(
+        self, function: str, block: BasicBlock, branch: CondBranch
+    ) -> BranchPrediction:
+        # Without the CFG in hand (protocol compatibility), fall back
+        # to the AST idioms; prefer predict_branch_in_cfg when callers
+        # can supply the CFG.
+        return predict_condition(
+            branch.condition, branch.kind, branch.origin, self.settings
+        )
+
+
+def extended_predictor_for(program) -> "ProgramExtendedPredictor":
+    """An extended predictor bound to one program, so the plain
+    BranchPredictor protocol can reach the CFGs."""
+    return ProgramExtendedPredictor(program)
+
+
+class ProgramExtendedPredictor(ExtendedHeuristicPredictor):
+    """Extended predictor that resolves CFGs through a Program."""
+
+    def __init__(self, program):
+        from repro.prediction.error_functions import settings_for_program
+
+        super().__init__(settings_for_program(program))
+        self._program = program
+
+    def predict_branch(
+        self, function: str, block: BasicBlock, branch: CondBranch
+    ) -> BranchPrediction:
+        cfg = self._program.cfgs.get(function)
+        if cfg is None:
+            return super().predict_branch(function, block, branch)
+        return self.predict_branch_in_cfg(cfg, block, branch)

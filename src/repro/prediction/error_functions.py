@@ -1,0 +1,79 @@
+"""Transitive detection of error (noreturn) functions.
+
+The paper's heuristic is "errors (calling abort or exit) are unlikely",
+but real programs wrap ``exit`` in helpers (``fatal``, ``die``,
+``usage``).  A branch guarding ``fatal(...)`` is exactly as cold as one
+guarding ``exit(...)``, so we close the error set transitively: a
+function is an error function when some *unconditionally executed*
+statement of its body calls a known error function — i.e. the function
+cannot return normally.  Only top-level statements of the body compound
+count; a conditional call to ``exit`` does not make a function noreturn.
+"""
+
+from __future__ import annotations
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.builtins_list import ERROR_FUNCTIONS
+
+
+def _statement_always_calls(
+    statement: ast.Statement, error_set: frozenset[str]
+) -> bool:
+    """Does executing ``statement`` unconditionally reach an error call?"""
+    if isinstance(statement, ast.ExpressionStatement):
+        expression = statement.expression
+        return (
+            isinstance(expression, ast.Call)
+            and expression.direct_name is not None
+            and expression.direct_name in error_set
+        )
+    if isinstance(statement, ast.Compound):
+        return any(
+            _statement_always_calls(item, error_set)
+            for item in statement.items
+        )
+    return False
+
+
+def compute_error_functions(
+    unit: ast.TranslationUnit,
+    seed: frozenset[str] = ERROR_FUNCTIONS,
+) -> frozenset[str]:
+    """The transitive closure of noreturn error functions in ``unit``.
+
+    Starts from the builtin seed (``abort``, ``exit``, assert failure)
+    and adds user functions whose body unconditionally calls a member,
+    iterating until no new wrappers appear (wrappers of wrappers).
+    """
+    error_set = set(seed)
+    changed = True
+    while changed:
+        changed = False
+        for function in unit.functions:
+            if function.name in error_set:
+                continue
+            if any(
+                _statement_always_calls(item, frozenset(error_set))
+                for item in function.body.items
+            ):
+                error_set.add(function.name)
+                changed = True
+    return frozenset(error_set)
+
+
+def settings_for_program(program, **overrides):
+    """A :class:`~repro.prediction.heuristics.HeuristicSettings` whose
+    error set is the program's transitive closure.  Cached per program
+    unless overrides are given."""
+    from repro.prediction.heuristics import HeuristicSettings
+
+    if not overrides:
+        cached = getattr(program, "_default_heuristic_settings", None)
+        if cached is not None:
+            return cached
+    settings = HeuristicSettings(
+        error_functions=compute_error_functions(program.unit), **overrides
+    )
+    if not overrides:
+        program._default_heuristic_settings = settings
+    return settings

@@ -1,0 +1,161 @@
+"""CFG-level branch predictors.
+
+All predictors share one interface: given a function name, the branch's
+block, and its :class:`~repro.cfg.block.CondBranch` terminator, return a
+:class:`~repro.prediction.heuristics.BranchPrediction`; and given a
+:class:`~repro.cfg.block.SwitchBranch`, return per-target weights.
+
+* :class:`HeuristicPredictor` — the paper's *smart* predictor (AST
+  idioms + loop model).
+* :class:`UniformPredictor` — the paper's *loop* baseline: loops get
+  the trip-count probability, every other branch is 50/50.
+* :class:`ProfilePredictor` — predicts each branch's majority direction
+  in a profile (aggregate other-input profiles for the paper's
+  "profiling" columns, or the same profile for the perfect static
+  predictor).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from repro.cfg.block import BasicBlock, CondBranch, SwitchBranch
+from repro.prediction.heuristics import (
+    BranchPrediction,
+    HeuristicSettings,
+    predict_condition,
+)
+from repro.profiles.profile import Profile
+
+
+class BranchPredictor(Protocol):
+    """What estimators need from a predictor."""
+
+    def predict_branch(
+        self, function: str, block: BasicBlock, branch: CondBranch
+    ) -> BranchPrediction: ...
+
+    def switch_weights(
+        self, function: str, block: BasicBlock, switch: SwitchBranch
+    ) -> dict[int, float]: ...
+
+
+def _uniform_switch_weights(switch: SwitchBranch) -> dict[int, float]:
+    targets = _switch_targets(switch)
+    share = 1.0 / len(targets)
+    return {target: share for target in targets}
+
+
+def _switch_targets(switch: SwitchBranch) -> list[int]:
+    """Distinct successor blocks of a switch, default included."""
+    targets: list[int] = []
+    for arm in switch.arms:
+        if arm.target not in targets:
+            targets.append(arm.target)
+    if switch.default_target not in targets:
+        targets.append(switch.default_target)
+    return targets
+
+
+def label_weighted_switch_weights(
+    switch: SwitchBranch,
+) -> dict[int, float]:
+    """Weight each arm by its number of case labels (paper §4.1 fn 3);
+    the default arm counts as one label."""
+    labels: dict[int, int] = {}
+    for arm in switch.arms:
+        labels[arm.target] = labels.get(arm.target, 0) + len(arm.values)
+    labels[switch.default_target] = labels.get(switch.default_target, 0) + 1
+    total = sum(labels.values())
+    return {target: count / total for target, count in labels.items()}
+
+
+class HeuristicPredictor:
+    """The paper's *smart* static predictor."""
+
+    def __init__(self, settings: Optional[HeuristicSettings] = None):
+        self.settings = settings or HeuristicSettings()
+
+    def predict_branch(
+        self, function: str, block: BasicBlock, branch: CondBranch
+    ) -> BranchPrediction:
+        return predict_condition(
+            branch.condition, branch.kind, branch.origin, self.settings
+        )
+
+    def switch_weights(
+        self, function: str, block: BasicBlock, switch: SwitchBranch
+    ) -> dict[int, float]:
+        if self.settings.weight_switch_by_labels:
+            return label_weighted_switch_weights(switch)
+        return _uniform_switch_weights(switch)
+
+
+class UniformPredictor:
+    """The paper's *loop* baseline: only the loop model, 50/50 branches."""
+
+    def __init__(self, settings: Optional[HeuristicSettings] = None):
+        self.settings = settings or HeuristicSettings()
+
+    def predict_branch(
+        self, function: str, block: BasicBlock, branch: CondBranch
+    ) -> BranchPrediction:
+        if branch.kind in ("loop", "do-loop"):
+            return BranchPrediction(
+                self.settings.loop_taken_probability, "loop"
+            )
+        return BranchPrediction(0.5, "uniform")
+
+    def switch_weights(
+        self, function: str, block: BasicBlock, switch: SwitchBranch
+    ) -> dict[int, float]:
+        return _uniform_switch_weights(switch)
+
+
+class ProfilePredictor:
+    """Predicts from recorded branch outcomes.
+
+    For branches the profile never executed, falls back to the supplied
+    static predictor (default: uninformative 0.5) — profiles cannot say
+    anything about code the training inputs did not reach.
+    """
+
+    def __init__(
+        self,
+        profile: Profile,
+        fallback: Optional[BranchPredictor] = None,
+        smoothing: float = 0.0,
+    ):
+        self.profile = profile
+        self.fallback = fallback
+        self.smoothing = smoothing
+
+    def predict_branch(
+        self, function: str, block: BasicBlock, branch: CondBranch
+    ) -> BranchPrediction:
+        outcome = self.profile.branch_outcomes.get(function, {}).get(
+            block.block_id
+        )
+        if outcome is None or outcome.total == 0:
+            if self.fallback is not None:
+                return self.fallback.predict_branch(function, block, branch)
+            return BranchPrediction(0.5, "profile-unseen")
+        taken = outcome.taken + self.smoothing
+        total = outcome.total + 2 * self.smoothing
+        return BranchPrediction(taken / total, "profile")
+
+    def switch_weights(
+        self, function: str, block: BasicBlock, switch: SwitchBranch
+    ) -> dict[int, float]:
+        arcs = self.profile.arc_counts.get(function, {})
+        targets = _switch_targets(switch)
+        counts = {
+            target: arcs.get((block.block_id, target), 0.0)
+            for target in targets
+        }
+        total = sum(counts.values())
+        if total == 0:
+            if self.fallback is not None:
+                return self.fallback.switch_weights(function, block, switch)
+            return _uniform_switch_weights(switch)
+        return {target: count / total for target, count in counts.items()}

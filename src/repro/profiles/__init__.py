@@ -1,0 +1,16 @@
+"""Profile data structures and aggregation."""
+
+from repro.profiles.aggregate import (
+    aggregate_profiles,
+    leave_one_out_aggregates,
+    normalized_copy,
+)
+from repro.profiles.profile import BranchOutcome, Profile
+
+__all__ = [
+    "BranchOutcome",
+    "Profile",
+    "aggregate_profiles",
+    "leave_one_out_aggregates",
+    "normalized_copy",
+]

@@ -1,0 +1,80 @@
+"""Profile normalization and aggregation (paper §3).
+
+"To aggregate profiles, we normalized them to have the same total basic
+block counts, then summed each block's counts."  Aggregates serve two
+roles: the *profiling* baseline predicts each input from the aggregate
+of all the other inputs' profiles, and Figure 10's third ranking uses an
+aggregate of the remaining profiles.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.profiles.profile import BranchOutcome, Profile
+
+
+def normalized_copy(profile: Profile, target_total: float) -> Profile:
+    """A copy scaled so its total block executions equal ``target_total``."""
+    duplicate = profile.copy()
+    if profile.total_block_executions > 0:
+        duplicate.scale(target_total / profile.total_block_executions)
+    return duplicate
+
+
+def aggregate_profiles(profiles: Sequence[Profile]) -> Profile:
+    """Normalize the given profiles to a common total, then sum them."""
+    if not profiles:
+        raise ValueError("cannot aggregate zero profiles")
+    target = max(p.total_block_executions for p in profiles) or 1.0
+    result = Profile(
+        profiles[0].program_name,
+        "+".join(p.input_name for p in profiles),
+    )
+    for profile in profiles:
+        scaled = normalized_copy(profile, target)
+        _accumulate(result, scaled)
+    return result
+
+
+def _accumulate(result: Profile, scaled: Profile) -> None:
+    for function, counts in scaled.block_counts.items():
+        sink = result.block_counts[function]
+        for block_id, count in counts.items():
+            sink[block_id] += count
+    for function, arcs in scaled.arc_counts.items():
+        sink_arcs = result.arc_counts[function]
+        for arc, count in arcs.items():
+            sink_arcs[arc] += count
+    for function, branches in scaled.branch_outcomes.items():
+        sink_branches = result.branch_outcomes[function]
+        for block_id, outcome in branches.items():
+            existing = sink_branches.get(block_id)
+            if existing is None:
+                existing = BranchOutcome()
+                sink_branches[block_id] = existing
+            existing.taken += outcome.taken
+            existing.not_taken += outcome.not_taken
+    for function, count in scaled.function_entries.items():
+        result.function_entries[function] += count
+    for site_id, count in scaled.call_site_counts.items():
+        result.call_site_counts[site_id] += count
+    for key, count in scaled.call_target_counts.items():
+        result.call_target_counts[key] += count
+    result.total_block_executions += scaled.total_block_executions
+
+
+def leave_one_out_aggregates(
+    profiles: Sequence[Profile],
+) -> list[tuple[Profile, Profile]]:
+    """Pairs ``(held_out, aggregate_of_the_rest)`` for the paper's
+    profiling-baseline protocol.  Requires at least two profiles."""
+    if len(profiles) < 2:
+        raise ValueError(
+            "leave-one-out evaluation needs at least two profiles"
+        )
+    pairs: list[tuple[Profile, Profile]] = []
+    for index, held_out in enumerate(profiles):
+        rest = [p for j, p in enumerate(profiles) if j != index]
+        pairs.append((held_out, aggregate_profiles(rest)))
+    return pairs

@@ -1,0 +1,29 @@
+"""The 14-program benchmark suite and its loader."""
+
+from repro.suite.registry import (
+    SUITE,
+    SUITE_BY_NAME,
+    SuiteEntry,
+    clear_caches,
+    collect_profiles,
+    load_program,
+    program_inputs,
+    program_names,
+    program_source,
+    run_on_input,
+    source_line_count,
+)
+
+__all__ = [
+    "SUITE",
+    "SUITE_BY_NAME",
+    "SuiteEntry",
+    "clear_caches",
+    "collect_profiles",
+    "load_program",
+    "program_inputs",
+    "program_names",
+    "program_source",
+    "run_on_input",
+    "source_line_count",
+]

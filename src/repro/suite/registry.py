@@ -1,0 +1,225 @@
+"""The 14-program benchmark suite (paper Table 1, reproduced).
+
+Each paper program is mirrored by a program in our C subset from the
+same *category* — numerical codes with simple control flow versus
+branchy symbolic codes versus indirect-call-heavy interpreters — since
+the paper's findings are about how estimator accuracy varies across
+those categories (see DESIGN.md §2 for the substitution argument).
+
+Programs live in ``programs/*.c``; each has at least four inputs in
+``inputs/<name>.<k>.txt``.  :func:`load_program` compiles one;
+:func:`collect_profiles` runs it on every input and returns the
+resulting profiles (memoized per process, since profiling is the
+expensive step every experiment shares).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.interp.machine import ExecutionResult, Machine
+from repro.profiles.profile import Profile
+from repro.program import Program
+
+_SUITE_DIR = os.path.dirname(os.path.abspath(__file__))
+PROGRAMS_DIR = os.path.join(_SUITE_DIR, "programs")
+INPUTS_DIR = os.path.join(_SUITE_DIR, "inputs")
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """Metadata for one suite program (one row of Table 1)."""
+
+    name: str
+    paper_analogue: str
+    description: str
+    category: str  # "numerical", "symbolic", or "indirect"
+    fuel: int = 20_000_000
+
+
+#: Suite roster, in the paper's Table 1 order.
+SUITE: list[SuiteEntry] = [
+    SuiteEntry(
+        "alvinn",
+        "alvinn",
+        "Back-propagation training of a small neural net",
+        "numerical",
+    ),
+    SuiteEntry(
+        "compress",
+        "compress",
+        "LZW-style compression utility (16 functions)",
+        "symbolic",
+    ),
+    SuiteEntry(
+        "ear",
+        "ear",
+        "Filter-bank simulation of sound processing in the ear",
+        "numerical",
+    ),
+    SuiteEntry(
+        "eqntott",
+        "eqntott",
+        "Translate boolean equations to truth tables",
+        "symbolic",
+    ),
+    SuiteEntry(
+        "espresso",
+        "espresso",
+        "Minimize boolean functions (Quine-McCluskey)",
+        "symbolic",
+    ),
+    SuiteEntry(
+        "cc",
+        "gcc",
+        "Miniature C-expression compiler to a stack machine",
+        "symbolic",
+    ),
+    SuiteEntry(
+        "sc",
+        "sc",
+        "Spreadsheet formula evaluator",
+        "symbolic",
+    ),
+    SuiteEntry(
+        "xlisp",
+        "xlisp",
+        "Lisp interpreter; builtins dispatched by function pointer",
+        "indirect",
+    ),
+    SuiteEntry(
+        "awk",
+        "awk",
+        "Pattern-matching text processor (regex subset)",
+        "symbolic",
+    ),
+    SuiteEntry(
+        "bison",
+        "bison",
+        "LL(1) parser-table generator (FIRST/FOLLOW sets)",
+        "symbolic",
+    ),
+    SuiteEntry(
+        "cholesky",
+        "cholesky",
+        "Cholesky factorization of a symmetric matrix",
+        "numerical",
+    ),
+    SuiteEntry(
+        "gs",
+        "gs",
+        "PostScript-like interpreter; most operators indirect",
+        "indirect",
+    ),
+    SuiteEntry(
+        "mpeg",
+        "mpeg",
+        "DCT, quantization, and run-length coding of image blocks",
+        "numerical",
+    ),
+    SuiteEntry(
+        "water",
+        "water",
+        "Molecular-dynamics simulation of water molecules",
+        "numerical",
+    ),
+]
+
+SUITE_BY_NAME: dict[str, SuiteEntry] = {entry.name: entry for entry in SUITE}
+
+
+def program_names() -> list[str]:
+    """Names of the 14 suite programs, in Table 1 order."""
+    return [entry.name for entry in SUITE]
+
+
+def source_path(name: str) -> str:
+    """Path of one suite program's C source file."""
+    return os.path.join(PROGRAMS_DIR, f"{name}.c")
+
+
+def program_source(name: str) -> str:
+    """The C source text of one suite program."""
+    with open(source_path(name), encoding="utf-8") as handle:
+        return handle.read()
+
+
+def source_line_count(name: str) -> int:
+    """Number of source lines in one suite program."""
+    return program_source(name).count("\n")
+
+
+def input_paths(name: str) -> list[str]:
+    """Paths of every input for ``name``, sorted by index."""
+    paths: list[str] = []
+    index = 1
+    while True:
+        path = os.path.join(INPUTS_DIR, f"{name}.{index}.txt")
+        if not os.path.isfile(path):
+            break
+        paths.append(path)
+        index += 1
+    return paths
+
+
+def program_inputs(name: str) -> list[str]:
+    """All input strings for one suite program, in index order."""
+    inputs = []
+    for path in input_paths(name):
+        with open(path, encoding="utf-8") as handle:
+            inputs.append(handle.read())
+    if not inputs:
+        raise FileNotFoundError(f"no inputs found for suite program {name!r}")
+    return inputs
+
+
+_PROGRAM_CACHE: dict[str, Program] = {}
+_PROFILE_CACHE: dict[str, list[Profile]] = {}
+
+
+def load_program(name: str) -> Program:
+    """Compile a suite program (memoized)."""
+    if name not in SUITE_BY_NAME:
+        raise KeyError(f"unknown suite program {name!r}")
+    if name not in _PROGRAM_CACHE:
+        _PROGRAM_CACHE[name] = Program.from_source(
+            program_source(name), name
+        )
+    return _PROGRAM_CACHE[name]
+
+
+def run_on_input(
+    name: str, stdin: str, input_name: str = ""
+) -> ExecutionResult:
+    """Run one suite program on one input string."""
+    entry = SUITE_BY_NAME[name]
+    program = load_program(name)
+    profile = Profile(name, input_name)
+    machine = Machine(
+        program, stdin=stdin, fuel=entry.fuel, profile=profile
+    )
+    result = machine.run()
+    if result.aborted:
+        raise RuntimeError(
+            f"suite program {name} aborted on input {input_name}: "
+            f"{result.stdout[-500:]}"
+        )
+    return result
+
+
+def collect_profiles(name: str) -> list[Profile]:
+    """Profiles of ``name`` on all of its inputs (memoized)."""
+    if name not in _PROFILE_CACHE:
+        profiles = []
+        for index, stdin in enumerate(program_inputs(name), start=1):
+            result = run_on_input(name, stdin, f"input{index}")
+            profiles.append(result.profile)
+        _PROFILE_CACHE[name] = profiles
+    return _PROFILE_CACHE[name]
+
+
+def clear_caches() -> None:
+    """Drop memoized programs and profiles (used by tests)."""
+    _PROGRAM_CACHE.clear()
+    _PROFILE_CACHE.clear()

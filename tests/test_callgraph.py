@@ -1,0 +1,233 @@
+"""Tests for call-graph construction and SCCs."""
+
+from repro.callgraph import (
+    POINTER_NODE,
+    build_call_graph,
+    recursive_functions,
+    strongly_connected_components,
+)
+from repro.cfg import build_all_cfgs
+from repro.frontend import compile_source
+
+
+def graph_of(source):
+    unit = compile_source(source)
+    return build_call_graph(unit, build_all_cfgs(unit))
+
+
+class TestDirectCalls:
+    def test_simple_call_recorded(self):
+        graph = graph_of(
+            """
+            int helper(void) { return 1; }
+            int main(void) { return helper(); }
+            """
+        )
+        (site,) = graph.sites_by_caller["main"]
+        assert site.callee == "helper"
+        assert not site.is_builtin
+        assert not site.is_indirect
+
+    def test_multiple_sites_to_same_callee(self):
+        graph = graph_of(
+            """
+            int helper(void) { return 1; }
+            int main(void) { return helper() + helper(); }
+            """
+        )
+        sites = [
+            s for s in graph.sites_by_caller["main"]
+            if s.callee == "helper"
+        ]
+        assert len(sites) == 2
+        assert sites[0].site_id != sites[1].site_id
+
+    def test_builtin_call_flagged(self):
+        graph = graph_of(
+            'int main(void) { printf("x"); return 0; }'
+        )
+        (site,) = graph.sites_by_caller["main"]
+        assert site.is_builtin
+
+    def test_builtins_excluded_from_call_sites_by_default(self):
+        graph = graph_of(
+            """
+            int helper(void) { return 1; }
+            int main(void) { printf("x"); return helper(); }
+            """
+        )
+        assert len(graph.call_sites()) == 1
+        assert len(graph.call_sites(include_builtins=True)) == 2
+
+    def test_call_in_condition_found(self):
+        graph = graph_of(
+            """
+            int check(void) { return 1; }
+            int main(void) {
+                if (check())
+                    return 1;
+                return 0;
+            }
+            """
+        )
+        assert graph.direct_callees("main") == ["check"]
+
+    def test_call_in_initializer_found(self):
+        graph = graph_of(
+            """
+            int five(void) { return 5; }
+            int main(void) { int x = five(); return x; }
+            """
+        )
+        assert graph.direct_callees("main") == ["five"]
+
+    def test_call_in_return_found(self):
+        graph = graph_of(
+            """
+            int f(void) { return 1; }
+            int main(void) { return f(); }
+            """
+        )
+        assert graph.direct_callees("main") == ["f"]
+
+    def test_nested_calls_all_found(self):
+        graph = graph_of(
+            """
+            int inner(int x) { return x; }
+            int outer(int x) { return x; }
+            int main(void) { return outer(inner(1)); }
+            """
+        )
+        assert sorted(graph.direct_callees("main")) == ["inner", "outer"]
+
+    def test_block_ids_recorded(self):
+        graph = graph_of(
+            """
+            int f(void) { return 1; }
+            int main(void) {
+                if (1)
+                    return f();
+                return 0;
+            }
+            """
+        )
+        (site,) = graph.call_sites()
+        assert site.block_id >= 0
+
+
+class TestIndirectCallsAndAddressTaken:
+    def test_indirect_call_detected(self):
+        graph = graph_of(
+            """
+            int a(void) { return 1; }
+            int main(void) {
+                int (*f)(void) = a;
+                return f();
+            }
+            """
+        )
+        indirect = [s for s in graph.call_sites() if s.is_indirect]
+        assert len(indirect) == 1
+
+    def test_address_taken_counts(self):
+        graph = graph_of(
+            """
+            int a(void) { return 1; }
+            int b(void) { return 2; }
+            int (*t1)(void) = a;
+            int (*t2)(void) = a;
+            int (*t3)(void) = &b;
+            int main(void) { return t1(); }
+            """
+        )
+        assert graph.address_taken == {"a": 2, "b": 1}
+
+    def test_callee_position_not_address_taken(self):
+        graph = graph_of(
+            """
+            int a(void) { return 1; }
+            int main(void) { return a(); }
+            """
+        )
+        assert graph.address_taken == {}
+
+    def test_paren_deref_call_is_direct(self):
+        graph = graph_of(
+            """
+            int a(void) { return 1; }
+            int main(void) { return (*a)(); }
+            """
+        )
+        (site,) = graph.call_sites()
+        assert site.callee == "a"
+
+    def test_pointer_node_participation(self):
+        graph = graph_of(
+            """
+            int a(void) { return 1; }
+            int main(void) {
+                int (*f)(void) = a;
+                return f();
+            }
+            """
+        )
+        assert graph.uses_pointer_node()
+        assert POINTER_NODE in graph.nodes()
+        assert graph.successors(POINTER_NODE) == ["a"]
+
+    def test_no_pointer_node_without_indirect_calls(self):
+        graph = graph_of(
+            """
+            int a(void) { return 1; }
+            int (*stored)(void) = a;  /* address taken, never called */
+            int main(void) { return a(); }
+            """
+        )
+        assert not graph.uses_pointer_node()
+
+
+class TestSCC:
+    def test_self_loop(self):
+        components = strongly_connected_components(
+            ["a"], lambda n: ["a"]
+        )
+        assert components == [["a"]]
+        assert recursive_functions(["a"], lambda n: ["a"]) == {"a"}
+
+    def test_two_cycle(self):
+        edges = {"a": ["b"], "b": ["a"]}
+        components = strongly_connected_components(
+            ["a", "b"], lambda n: edges[n]
+        )
+        assert sorted(sorted(c) for c in components) == [["a", "b"]]
+
+    def test_dag_order_callees_first(self):
+        edges = {"main": ["mid"], "mid": ["leaf"], "leaf": []}
+        components = strongly_connected_components(
+            ["main", "mid", "leaf"], lambda n: edges[n]
+        )
+        flattened = [c[0] for c in components]
+        assert flattened.index("leaf") < flattened.index("mid")
+        assert flattened.index("mid") < flattened.index("main")
+
+    def test_non_recursive_single_nodes_not_flagged(self):
+        edges = {"a": ["b"], "b": []}
+        assert recursive_functions(["a", "b"], lambda n: edges[n]) == set()
+
+    def test_mixed_graph(self):
+        edges = {
+            "main": ["p", "solo"],
+            "p": ["q"],
+            "q": ["p"],
+            "solo": ["solo"],
+        }
+        recursive = recursive_functions(
+            ["main", "p", "q", "solo"], lambda n: edges[n]
+        )
+        assert recursive == {"p", "q", "solo"}
+
+    def test_unknown_successors_ignored(self):
+        components = strongly_connected_components(
+            ["a"], lambda n: ["ghost"]
+        )
+        assert components == [["a"]]

@@ -1,0 +1,207 @@
+"""Tests for call-site estimation and the selective-optimization
+machinery."""
+
+import pytest
+
+from repro.estimators.callsites import (
+    actual_call_site_frequencies,
+    direct_call_site_estimator,
+    estimate_call_site_frequencies,
+    markov_call_site_estimator,
+    rankable_call_sites,
+)
+from repro.interp.machine import Machine
+from repro.metrics.protocol import call_site_score
+from repro.optimize import (
+    function_costs,
+    ranking_from_estimate,
+    ranking_from_profile,
+    simulated_runtime,
+    sweep_selective_optimization,
+)
+from repro.profiles import Profile
+
+
+SOURCE = """
+int leaf(int x) { return x + 1; }
+int hot(int x) { return leaf(x) + leaf(x); }
+int cold(int x) { return leaf(x); }
+int main(void) {
+    int i, acc = 0;
+    for (i = 0; i < 50; i++)
+        acc += hot(i);
+    acc += cold(0);
+    return acc & 0xff;
+}
+"""
+
+
+@pytest.fixture
+def program_and_profile(compile_program):
+    program = compile_program(SOURCE)
+    profile = Profile("t")
+    Machine(program, profile=profile).run()
+    return program, profile
+
+
+class TestCallSiteEstimation:
+    def test_rankable_sites_exclude_indirect(self, compile_program):
+        program = compile_program(
+            """
+            int a(void) { return 1; }
+            int main(void) {
+                int (*f)(void) = a;
+                return f() + a();
+            }
+            """
+        )
+        sites = rankable_call_sites(program)
+        assert len(sites) == 1
+        assert sites[0].callee == "a"
+
+    def test_hot_site_ranked_first(self, program_and_profile):
+        program, _ = program_and_profile
+        estimates = markov_call_site_estimator(program)
+        sites = {s.site_id: s for s in rankable_call_sites(program)}
+        best = max(estimates, key=lambda sid: estimates[sid])
+        # The hot->leaf sites (inside hot, invoked ~4x) or main->hot
+        # (in the loop) must outrank main->cold.
+        cold_site = next(
+            sid for sid, s in sites.items() if s.callee == "cold"
+        )
+        assert estimates[best] > estimates[cold_site]
+
+    def test_actual_frequencies_match_profile(self, program_and_profile):
+        program, profile = program_and_profile
+        actual = actual_call_site_frequencies(program, profile)
+        sites = {s.site_id: s for s in rankable_call_sites(program)}
+        hot_total = sum(
+            count
+            for sid, count in actual.items()
+            if sites[sid].callee == "leaf"
+        )
+        assert hot_total == 101  # 2 * 50 + 1
+
+    def test_score_against_profile(self, program_and_profile):
+        program, profile = program_and_profile
+        estimates = markov_call_site_estimator(program)
+        score = call_site_score(program, estimates, profile, 0.5)
+        assert score > 0.9
+
+    def test_direct_and_markov_backends_differ_on_deep_chains(
+        self, compile_program
+    ):
+        # Three loop levels: the Markov model multiplies invocation
+        # estimates down the chain; the simple direct model counts each
+        # caller as entered once, so the deepest site diverges.
+        program = compile_program(
+            """
+            int leaf(void) { return 1; }
+            int wrap(int n) {
+                int i, acc = 0;
+                for (i = 0; i < 4; i++) acc += leaf();
+                return acc;
+            }
+            int mid(int n) {
+                int i, acc = 0;
+                for (i = 0; i < 4; i++) acc += wrap(i);
+                return acc;
+            }
+            int main(void) {
+                int i, acc = 0;
+                for (i = 0; i < 4; i++) acc += mid(i);
+                return acc;
+            }
+            """
+        )
+        direct = direct_call_site_estimator(program)
+        markov = markov_call_site_estimator(program)
+        sites = {s.site_id: s for s in rankable_call_sites(program)}
+        leaf_site = next(
+            sid for sid, s in sites.items() if s.callee == "leaf"
+        )
+        assert markov[leaf_site] > direct[leaf_site]
+
+    def test_custom_invocations_accepted(self, program_and_profile):
+        program, _ = program_and_profile
+        flat = {name: 1.0 for name in program.function_names}
+        estimates = estimate_call_site_frequencies(
+            program, "smart", invocations=flat
+        )
+        assert all(value >= 0 for value in estimates.values())
+
+
+class TestCostModel:
+    def test_costs_follow_execution(self, program_and_profile):
+        program, profile = program_and_profile
+        costs = function_costs(program, profile)
+        assert costs["hot"] > costs["cold"]
+        assert costs["leaf"] > 0
+
+    def test_unexecuted_function_costs_nothing(self, compile_program):
+        program = compile_program(
+            """
+            int unused(void) { return 1; }
+            int main(void) { return 0; }
+            """
+        )
+        profile = Profile("t")
+        Machine(program, profile=profile).run()
+        costs = function_costs(program, profile)
+        assert costs["unused"] == 0.0
+
+    def test_simulated_runtime_monotone_in_optimized_set(
+        self, program_and_profile
+    ):
+        program, profile = program_and_profile
+        costs = function_costs(program, profile)
+        nothing = simulated_runtime(costs, ())
+        some = simulated_runtime(costs, ("hot",))
+        everything = simulated_runtime(costs, costs.keys())
+        assert nothing >= some >= everything
+
+    def test_optimized_factor(self, program_and_profile):
+        program, profile = program_and_profile
+        costs = function_costs(program, profile)
+        full = simulated_runtime(costs, costs.keys(), 0.5)
+        assert full == pytest.approx(
+            0.5 * simulated_runtime(costs, ())
+        )
+
+
+class TestSweep:
+    def test_speedups_monotone(self, program_and_profile):
+        program, profile = program_and_profile
+        ranking = ranking_from_profile(program, profile)
+        sweep = sweep_selective_optimization(
+            program, profile, ranking, "profile", counts=(0, 1, 2, 3)
+        )
+        assert sweep.speedups[0] == 1.0
+        for earlier, later in zip(sweep.speedups, sweep.speedups[1:]):
+            assert later >= earlier - 1e-12
+
+    def test_all_functions_step_appended(self, program_and_profile):
+        program, profile = program_and_profile
+        ranking = ranking_from_profile(program, profile)
+        sweep = sweep_selective_optimization(
+            program, profile, ranking, "profile", counts=(0, 1)
+        )
+        assert sweep.counts[-1] == len(program.function_names)
+
+    def test_ranking_from_estimate_sorted(self):
+        ranking = ranking_from_estimate({"a": 1.0, "b": 3.0, "c": 2.0})
+        assert ranking == ["b", "c", "a"]
+
+    def test_ranking_tie_broken_by_name(self):
+        ranking = ranking_from_estimate({"z": 1.0, "a": 1.0})
+        assert ranking == ["a", "z"]
+
+    def test_speedup_at_lookup(self, program_and_profile):
+        program, profile = program_and_profile
+        ranking = ranking_from_profile(program, profile)
+        sweep = sweep_selective_optimization(
+            program, profile, ranking, "profile", counts=(0, 2)
+        )
+        assert sweep.speedup_at(0) == 1.0
+        with pytest.raises(ValueError):
+            sweep.speedup_at(99)

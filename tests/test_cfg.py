@@ -1,0 +1,348 @@
+"""Unit tests for CFG construction, dominators, and natural loops."""
+
+import pytest
+
+from repro.cfg import (
+    CFGConstructionError,
+    CondBranch,
+    Jump,
+    ReturnTerm,
+    SwitchBranch,
+    build_cfg,
+    cfg_to_dot,
+    find_back_edges,
+    find_natural_loops,
+    immediate_dominators,
+    loop_nesting_depth,
+    reverse_postorder,
+)
+from repro.frontend import compile_source
+
+
+def cfg_of(source, name=None):
+    unit = compile_source(source)
+    function = unit.functions[0] if name is None else unit.function(name)
+    return build_cfg(function)
+
+
+def labels(cfg):
+    return {block.label for block in cfg}
+
+
+class TestStraightLine:
+    def test_single_block(self):
+        cfg = cfg_of("int f(void) { int x = 1; x = x + 1; return x; }")
+        assert len(cfg) == 1
+        assert isinstance(cfg.entry.terminator, ReturnTerm)
+        assert len(cfg.entry.statements) == 2
+
+    def test_implicit_return(self):
+        cfg = cfg_of("void f(void) { int x = 1; }")
+        terminator = cfg.entry.terminator
+        assert isinstance(terminator, ReturnTerm)
+        assert terminator.value is None
+
+    def test_entry_id_is_first(self):
+        cfg = cfg_of("void f(void) { }")
+        assert cfg.entry_id in cfg.blocks
+
+
+class TestIfLowering:
+    def test_if_without_else(self):
+        cfg = cfg_of("int f(int x) { if (x) x = 1; return x; }")
+        branch = cfg.entry.terminator
+        assert isinstance(branch, CondBranch)
+        assert branch.kind == "if"
+        # entry, then, join
+        assert len(cfg) == 3
+
+    def test_if_with_else(self):
+        cfg = cfg_of(
+            "int f(int x) { if (x) x = 1; else x = 2; return x; }"
+        )
+        assert len(cfg) == 4  # entry, then, else, join
+
+    def test_both_arms_return_prunes_join(self):
+        cfg = cfg_of("int f(int x) { if (x) return 1; else return 2; }")
+        assert all(
+            not isinstance(block.terminator, Jump) or
+            block.terminator.target in cfg.blocks
+            for block in cfg
+        )
+        returns = [
+            b for b in cfg if isinstance(b.terminator, ReturnTerm)
+        ]
+        assert len(returns) == 2
+
+    def test_nested_ifs(self):
+        cfg = cfg_of(
+            "int f(int a, int b) {"
+            " if (a) { if (b) a = 1; else a = 2; } return a; }"
+        )
+        branches = cfg.conditional_branches()
+        assert len(branches) == 2
+
+
+class TestLoopLowering:
+    def test_while_shape(self):
+        cfg = cfg_of("void f(int n) { while (n) n--; }")
+        (header, branch), = cfg.conditional_branches()
+        assert branch.kind == "loop"
+        back_edges = find_back_edges(cfg)
+        assert back_edges == [(branch.true_target, header.block_id)] or \
+            any(target == header.block_id for _, target in back_edges)
+
+    def test_do_while_kind(self):
+        cfg = cfg_of("void f(int n) { do n--; while (n); }")
+        (_, branch), = cfg.conditional_branches()
+        assert branch.kind == "do-loop"
+
+    def test_for_loop_step_block(self):
+        cfg = cfg_of(
+            "int f(int n) { int s = 0; int i;"
+            " for (i = 0; i < n; i++) s += i; return s; }"
+        )
+        assert "for.step" in labels(cfg)
+        loops = find_natural_loops(cfg)
+        assert len(loops) == 1
+
+    def test_for_without_condition_is_infinite_until_break(self):
+        cfg = cfg_of(
+            "int f(void) { int i = 0; for (;;) { if (i > 3) break;"
+            " i++; } return i; }"
+        )
+        loops = find_natural_loops(cfg)
+        assert len(loops) == 1
+
+    def test_break_targets_join(self):
+        cfg = cfg_of(
+            "int f(int n) { while (1) { if (n) break; n++; } return n; }"
+        )
+        # The function must terminate through the return after the loop.
+        exit_blocks = cfg.exit_ids()
+        assert len(exit_blocks) == 1
+
+    def test_continue_targets_header(self):
+        cfg = cfg_of(
+            "int f(int n) { int s = 0; while (n--) {"
+            " if (n % 2) continue; s++; } return s; }"
+        )
+        loops = find_natural_loops(cfg)
+        assert len(loops) == 1
+        # continue produces an extra arc into the loop header
+        header = loops[0].header
+        predecessors = cfg.predecessor_map()[header]
+        assert len(predecessors) >= 2
+
+    def test_nested_loop_depth(self):
+        cfg = cfg_of(
+            "int f(int n) { int s = 0; int i, j;"
+            " for (i = 0; i < n; i++)"
+            "  for (j = 0; j < n; j++) s++;"
+            " return s; }"
+        )
+        depth = loop_nesting_depth(cfg)
+        assert max(depth.values()) == 2
+
+    def test_break_outside_loop_raises(self):
+        with pytest.raises(CFGConstructionError):
+            cfg_of("void f(void) { break; }")
+
+    def test_continue_outside_loop_raises(self):
+        with pytest.raises(CFGConstructionError):
+            cfg_of("void f(void) { continue; }")
+
+
+class TestShortCircuitDecomposition:
+    def test_and_produces_two_branches(self):
+        cfg = cfg_of("int f(int a, int b) { if (a && b) return 1; return 0; }")
+        branches = cfg.conditional_branches()
+        assert len(branches) == 2
+
+    def test_or_produces_two_branches(self):
+        cfg = cfg_of("int f(int a, int b) { if (a || b) return 1; return 0; }")
+        assert len(cfg.conditional_branches()) == 2
+
+    def test_mixed_chain(self):
+        cfg = cfg_of(
+            "int f(int a, int b, int c) {"
+            " if (a && b || c) return 1; return 0; }"
+        )
+        assert len(cfg.conditional_branches()) == 3
+
+    def test_negation_swaps_targets(self):
+        plain = cfg_of("int f(int a) { if (a) return 1; return 0; }")
+        negated = cfg_of("int f(int a) { if (!a) return 1; return 0; }")
+        plain_branch = plain.conditional_branches()[0][1]
+        negated_branch = negated.conditional_branches()[0][1]
+        # Same condition expression shape; swapped arm targets relative
+        # to the labels of the target blocks.
+        plain_then = plain.block(plain_branch.true_target).label
+        negated_then = negated.block(negated_branch.false_target).label
+        assert plain_then == negated_then
+
+    def test_logical_kinds_tagged(self):
+        cfg = cfg_of("int f(int a, int b) { if (a && b) return 1; return 0; }")
+        kinds = {branch.kind for _, branch in cfg.conditional_branches()}
+        assert "logical-and" in kinds
+
+    def test_value_position_logical_not_decomposed(self):
+        cfg = cfg_of("int f(int a, int b) { int c = a && b; return c; }")
+        assert len(cfg.conditional_branches()) == 0
+
+
+class TestSwitchLowering:
+    SOURCE = """
+    int f(int x) {
+        int r = 0;
+        switch (x) {
+        case 1:
+            r = 10;
+            break;
+        case 2:
+        case 3:
+            r = 20;
+        default:
+            r += 1;
+        }
+        return r;
+    }
+    """
+
+    def test_switch_branch_created(self):
+        cfg = cfg_of(self.SOURCE)
+        (block, switch), = cfg.switch_branches()
+        assert isinstance(switch, SwitchBranch)
+        assert sorted(
+            value for arm in switch.arms for value in arm.values
+        ) == [1, 2, 3]
+
+    def test_default_target_is_default_arm(self):
+        cfg = cfg_of(self.SOURCE)
+        (_, switch), = cfg.switch_branches()
+        default_block = cfg.block(switch.default_target)
+        assert default_block.label == "switch.default"
+
+    def test_fallthrough_edge_exists(self):
+        cfg = cfg_of(self.SOURCE)
+        (_, switch), = cfg.switch_branches()
+        case23 = next(
+            arm.target for arm in switch.arms if 2 in arm.values
+        )
+        # case 2/3 falls through into default.
+        assert switch.default_target in cfg.successors(case23)
+
+    def test_switch_without_default_falls_to_join(self):
+        cfg = cfg_of(
+            "int f(int x) { switch (x) { case 1: return 1; } return 0; }"
+        )
+        (_, switch), = cfg.switch_branches()
+        # The default target is the join, which here holds the trailing
+        # return (and is renamed accordingly by the builder).
+        join = cfg.block(switch.default_target)
+        assert isinstance(join.terminator, ReturnTerm)
+        assert join.terminator.value is not None
+
+    def test_case_label_count(self):
+        cfg = cfg_of(self.SOURCE)
+        (_, switch), = cfg.switch_branches()
+        case23 = next(
+            arm.target for arm in switch.arms if 2 in arm.values
+        )
+        assert switch.case_label_count(case23) == 2
+
+
+class TestGoto:
+    def test_forward_goto(self):
+        cfg = cfg_of(
+            "int f(int x) { if (x) goto out; x = 1; out: x++;"
+            " return x; }"
+        )
+        # The label block absorbs the trailing return, so find it
+        # structurally: the block reached both from the goto arm and
+        # from the fall-through.
+        preds = cfg.predecessor_map()
+        label_block = next(
+            b for b in cfg if len(preds[b.block_id]) == 2
+        )
+        assert isinstance(label_block.terminator, ReturnTerm)
+
+    def test_backward_goto_creates_loop(self):
+        cfg = cfg_of(
+            "int f(int x) { top: if (x) { x--; goto top; } return 0; }"
+        )
+        assert find_back_edges(cfg)
+
+    def test_goto_undefined_label_raises(self):
+        with pytest.raises(CFGConstructionError):
+            cfg_of("void f(void) { goto nowhere; }")
+
+    def test_duplicate_label_raises(self):
+        with pytest.raises(CFGConstructionError):
+            cfg_of("void f(void) { a: ; a: ; }")
+
+
+class TestUnreachableCode:
+    def test_code_after_return_pruned(self):
+        cfg = cfg_of("int f(void) { return 1; return 2; }")
+        returns = [
+            b for b in cfg if isinstance(b.terminator, ReturnTerm)
+        ]
+        assert len(returns) == 1
+
+    def test_reachable_ids_from_entry(self):
+        cfg = cfg_of("int f(int x) { if (x) return 1; return 0; }")
+        assert cfg.reachable_ids() == set(cfg.blocks)
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        cfg = cfg_of(
+            "int f(int x) { if (x) x = 1; else x = 2; return x; }"
+        )
+        idom = immediate_dominators(cfg)
+        for block_id in cfg.blocks:
+            current = block_id
+            while current != cfg.entry_id:
+                current = idom[current]
+            assert current == cfg.entry_id
+
+    def test_join_dominated_by_branch_block(self):
+        cfg = cfg_of(
+            "int f(int x) { if (x) x = 1; else x = 2; x++; return x; }"
+        )
+        idom = immediate_dominators(cfg)
+        preds = cfg.predecessor_map()
+        join = next(
+            b.block_id for b in cfg if len(preds[b.block_id]) == 2
+        )
+        assert idom[join] == cfg.entry_id
+
+    def test_reverse_postorder_starts_at_entry(self):
+        cfg = cfg_of("int f(int n) { while (n) n--; return 0; }")
+        order = reverse_postorder(cfg)
+        assert order[0] == cfg.entry_id
+        assert set(order) == set(cfg.blocks)
+
+
+class TestDotExport:
+    def test_dot_contains_all_blocks_and_edges(self):
+        cfg = cfg_of("int f(int x) { if (x) return 1; return 0; }")
+        dot = cfg_to_dot(cfg)
+        for block_id in cfg.blocks:
+            assert f"n{block_id}" in dot
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+
+    def test_dot_annotations(self):
+        cfg = cfg_of("int f(void) { return 0; }")
+        dot = cfg_to_dot(cfg, block_annotations={cfg.entry_id: "42.0"})
+        assert "42.0" in dot
+
+    def test_dot_switch_edges(self):
+        cfg = cfg_of(
+            "int f(int x) { switch (x) { case 5: return 1; } return 0; }"
+        )
+        dot = cfg_to_dot(cfg)
+        assert "5" in dot
+        assert "default" in dot

@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "figure10" in output
+        assert "table1" in output
+
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        assert "compress" in capsys.readouterr().out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "nope"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_exec_program(self, capsys):
+        status = main(["exec", "cc", "--input", "1"])
+        assert status == 0
+        assert "=" in capsys.readouterr().out
+
+    def test_exec_bad_input_index(self, capsys):
+        assert main(["exec", "cc", "--input", "99"]) == 2
+
+    def test_cfg_listing(self, capsys):
+        assert main(["cfg", "compress", "hash_slot"]) == 0
+        assert "B0" in capsys.readouterr().out
+
+    def test_cfg_dot(self, capsys):
+        assert main(["cfg", "compress", "hash_slot", "--dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_cfg_unknown_function(self, capsys):
+        assert main(["cfg", "compress", "nope"]) == 2
+
+    def test_predict(self, capsys):
+        assert main(["predict", "compress"]) == 0
+        output = capsys.readouterr().out
+        assert "loop" in output
+        assert "p=" in output
+
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_layout_command(self, capsys):
+        assert main(["layout", "compress", "table_lookup"]) == 0
+        output = capsys.readouterr().out
+        assert "estimate-driven layout" in output
+        assert "entry" in output
+
+    def test_layout_unknown_function(self, capsys):
+        assert main(["layout", "compress", "nope"]) == 2

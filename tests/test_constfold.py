@@ -1,0 +1,171 @@
+"""Unit tests for constant folding, including a hypothesis oracle test
+against Python evaluation."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.constfold import (
+    fold_condition,
+    fold_int_constant,
+)
+from repro.frontend.parser import parse
+
+
+def fold_expr(text, prelude="int x;"):
+    unit = parse(f"{prelude}\nint f(void) {{ return {text}; }}")
+    (statement,) = unit.functions[0].body.items
+    return fold_int_constant(statement.value)
+
+
+def fold_cond(text, prelude="int x;"):
+    unit = parse(f"{prelude}\nint f(void) {{ return {text}; }}")
+    (statement,) = unit.functions[0].body.items
+    return fold_condition(statement.value)
+
+
+class TestFoldIntConstant:
+    def test_literal(self):
+        assert fold_expr("42") == 42
+
+    def test_char_literal(self):
+        assert fold_expr("'a'") == 97
+
+    def test_arithmetic(self):
+        assert fold_expr("2 + 3 * 4") == 14
+
+    def test_division_truncates_toward_zero(self):
+        assert fold_expr("-7 / 2") == -3
+        assert fold_expr("7 / -2") == -3
+
+    def test_modulo_sign_follows_dividend(self):
+        assert fold_expr("-7 % 2") == -1
+        assert fold_expr("7 % -2") == 1
+
+    def test_division_by_zero_not_constant(self):
+        assert fold_expr("1 / 0") is None
+        assert fold_expr("1 % 0") is None
+
+    def test_bitwise(self):
+        assert fold_expr("0xF0 | 0x0F") == 0xFF
+        assert fold_expr("0xFF & 0x0F") == 0x0F
+        assert fold_expr("0xFF ^ 0x0F") == 0xF0
+
+    def test_shifts(self):
+        assert fold_expr("1 << 4") == 16
+        assert fold_expr("256 >> 4") == 16
+
+    def test_huge_shift_not_constant(self):
+        assert fold_expr("1 << 300") is None
+
+    def test_comparisons(self):
+        assert fold_expr("3 < 4") == 1
+        assert fold_expr("3 > 4") == 0
+        assert fold_expr("3 == 3") == 1
+        assert fold_expr("3 != 3") == 0
+
+    def test_unary(self):
+        assert fold_expr("-5") == -5
+        assert fold_expr("+5") == 5
+        assert fold_expr("!0") == 1
+        assert fold_expr("!7") == 0
+        assert fold_expr("~0") == -1
+
+    def test_short_circuit_and(self):
+        assert fold_expr("0 && x") == 0  # x never evaluated
+        assert fold_expr("1 && 2") == 1
+        assert fold_expr("1 && x") is None
+
+    def test_short_circuit_or(self):
+        assert fold_expr("1 || x") == 1
+        assert fold_expr("0 || 0") == 0
+        assert fold_expr("0 || x") is None
+
+    def test_ternary(self):
+        assert fold_expr("1 ? 10 : x") == 10
+        assert fold_expr("0 ? x : 20") == 20
+        assert fold_expr("x ? 1 : 2") is None
+
+    def test_sizeof_type(self):
+        assert fold_expr("sizeof(int)") == 1
+        assert fold_expr("sizeof(double)") == 1
+
+    def test_sizeof_array_expression(self):
+        assert fold_expr("sizeof a", prelude="int a[7];") == 7
+
+    def test_enum_constant(self):
+        assert fold_expr("B + 1", prelude="enum e { A, B };") == 2
+
+    def test_variable_not_constant(self):
+        assert fold_expr("x + 1") is None
+
+    def test_cast_to_int_folds_through(self):
+        assert fold_expr("(long)5") == 5
+
+    def test_cast_to_pointer_not_constant(self):
+        assert fold_expr("(int*)0 == (int*)0") is None
+
+
+class TestFoldCondition:
+    def test_true_constant(self):
+        assert fold_cond("1") is True
+
+    def test_false_constant(self):
+        assert fold_cond("0") is False
+
+    def test_computed_constant(self):
+        assert fold_cond("3 - 3") is False
+        assert fold_cond("2 * 2") is True
+
+    def test_float_literal(self):
+        assert fold_cond("1.5") is True
+        assert fold_cond("0.0") is False
+
+    def test_variable_unknown(self):
+        assert fold_cond("x") is None
+
+    def test_partially_constant_unknown(self):
+        assert fold_cond("x == 0") is None
+
+
+# ----------------------------------------------------------------------
+# Property test: folding agrees with Python evaluation on a generated
+# family of constant expressions.
+
+_atoms = st.integers(min_value=0, max_value=100)
+
+
+def _expressions(depth: int):
+    if depth == 0:
+        return _atoms.map(str)
+    sub = _expressions(depth - 1)
+    binary = st.tuples(
+        sub, st.sampled_from(["+", "-", "*", "|", "&", "^"]), sub
+    ).map(lambda t: f"({t[0]} {t[1]} {t[2]})")
+    unary = sub.map(lambda e: f"(-{e})")
+    return st.one_of(binary, unary, _atoms.map(str))
+
+
+@given(_expressions(3))
+def test_fold_matches_python_semantics(text):
+    folded = fold_expr(text, prelude="")
+    assert folded == eval(text)  # operators chosen to agree with Python
+
+
+@given(
+    st.integers(min_value=-1000, max_value=1000),
+    st.integers(min_value=-1000, max_value=1000).filter(lambda v: v != 0),
+)
+def test_fold_division_truncates_like_c(a, b):
+    folded = fold_expr(f"({a}) / ({b})", prelude="")
+    assert folded == int(a / b)
+
+
+@given(
+    st.integers(min_value=-1000, max_value=1000),
+    st.integers(min_value=-1000, max_value=1000).filter(lambda v: v != 0),
+)
+def test_fold_euclid_identity(a, b):
+    quotient = fold_expr(f"({a}) / ({b})", prelude="")
+    remainder = fold_expr(f"({a}) % ({b})", prelude="")
+    assert quotient * b + remainder == a

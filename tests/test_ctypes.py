@@ -1,0 +1,144 @@
+"""Unit tests for the C type objects and conversion rules."""
+
+import pytest
+
+from repro.frontend import ctypes as ct
+
+
+class TestSizeof:
+    def test_scalars_are_one_cell(self):
+        for scalar in (ct.CHAR, ct.INT, ct.LONG, ct.FLOAT, ct.DOUBLE,
+                       ct.VOID_PTR, ct.CHAR_PTR):
+            assert scalar.sizeof() == 1
+
+    def test_array(self):
+        assert ct.ArrayType(ct.INT, 10).sizeof() == 10
+
+    def test_nested_array(self):
+        matrix = ct.ArrayType(ct.ArrayType(ct.DOUBLE, 4), 3)
+        assert matrix.sizeof() == 12
+
+    def test_incomplete_array_raises(self):
+        with pytest.raises(ValueError):
+            ct.ArrayType(ct.INT, None).sizeof()
+
+    def test_struct_sum_of_members(self):
+        struct = ct.StructType("s")
+        struct.define_members([("a", ct.INT), ("b", ct.ArrayType(ct.INT, 3))])
+        assert struct.sizeof() == 4
+
+    def test_union_max_of_members(self):
+        union = ct.StructType("u", is_union=True)
+        union.define_members([("a", ct.INT), ("b", ct.ArrayType(ct.INT, 3))])
+        assert union.sizeof() == 3
+
+    def test_empty_struct_has_size_one(self):
+        struct = ct.StructType("e")
+        struct.define_members([])
+        assert struct.sizeof() == 1
+
+    def test_incomplete_struct_raises(self):
+        with pytest.raises(ValueError):
+            ct.StructType("fwd").sizeof()
+
+    def test_function_type_raises(self):
+        with pytest.raises(ValueError):
+            ct.FunctionType(ct.INT).sizeof()
+
+
+class TestStructMembers:
+    def test_offsets_accumulate(self):
+        struct = ct.StructType("s")
+        struct.define_members(
+            [("a", ct.INT), ("b", ct.ArrayType(ct.INT, 2)), ("c", ct.INT)]
+        )
+        assert struct.member("a").offset == 0
+        assert struct.member("b").offset == 1
+        assert struct.member("c").offset == 3
+
+    def test_union_offsets_zero(self):
+        union = ct.StructType("u", is_union=True)
+        union.define_members([("a", ct.INT), ("b", ct.DOUBLE)])
+        assert union.member("b").offset == 0
+
+    def test_missing_member_raises(self):
+        struct = ct.StructType("s")
+        struct.define_members([("a", ct.INT)])
+        with pytest.raises(KeyError):
+            struct.member("nope")
+
+    def test_redefinition_raises(self):
+        struct = ct.StructType("s")
+        struct.define_members([("a", ct.INT)])
+        with pytest.raises(ValueError):
+            struct.define_members([("b", ct.INT)])
+
+
+class TestConversions:
+    def test_integer_promotion_of_char(self):
+        assert ct.integer_promote(ct.CHAR) is ct.INT
+        assert ct.integer_promote(ct.SHORT) is ct.INT
+
+    def test_integer_promotion_leaves_wider(self):
+        assert ct.integer_promote(ct.LONG) is ct.LONG
+        assert ct.integer_promote(ct.UINT) is ct.UINT
+
+    def test_enum_promotes_to_int(self):
+        assert ct.integer_promote(ct.EnumType("e")) is ct.INT
+
+    def test_double_dominates(self):
+        assert (
+            ct.usual_arithmetic_conversions(ct.INT, ct.DOUBLE) is ct.DOUBLE
+        )
+        assert (
+            ct.usual_arithmetic_conversions(ct.FLOAT, ct.DOUBLE) is ct.DOUBLE
+        )
+
+    def test_long_dominates_int(self):
+        assert ct.usual_arithmetic_conversions(ct.LONG, ct.INT) is ct.LONG
+
+    def test_unsigned_wins_at_same_rank(self):
+        assert ct.usual_arithmetic_conversions(ct.INT, ct.UINT) is ct.UINT
+
+    def test_chars_meet_at_int(self):
+        assert ct.usual_arithmetic_conversions(ct.CHAR, ct.CHAR) is ct.INT
+
+
+class TestDecay:
+    def test_array_decays_to_pointer(self):
+        decayed = ct.decay(ct.ArrayType(ct.INT, 5))
+        assert isinstance(decayed, ct.PointerType)
+        assert decayed.pointee is ct.INT
+
+    def test_function_decays_to_pointer(self):
+        decayed = ct.decay(ct.FunctionType(ct.INT))
+        assert isinstance(decayed, ct.PointerType)
+
+    def test_scalar_unchanged(self):
+        assert ct.decay(ct.INT) is ct.INT
+
+
+class TestPredicates:
+    def test_is_arithmetic(self):
+        assert ct.INT.is_arithmetic
+        assert ct.DOUBLE.is_arithmetic
+        assert not ct.VOID_PTR.is_arithmetic
+
+    def test_is_scalar_includes_pointers(self):
+        assert ct.VOID_PTR.is_scalar
+        assert not ct.ArrayType(ct.INT, 2).is_scalar
+
+    def test_is_pointerish(self):
+        assert ct.CHAR_PTR.is_pointerish
+        assert ct.ArrayType(ct.INT, 2).is_pointerish
+        assert not ct.INT.is_pointerish
+
+    def test_null_pointer_comparison_helper(self):
+        assert ct.is_null_pointer_comparison(ct.CHAR_PTR, ct.INT)
+        assert ct.is_null_pointer_comparison(ct.INT, ct.CHAR_PTR)
+        assert not ct.is_null_pointer_comparison(ct.INT, ct.INT)
+
+    def test_str_representations(self):
+        assert str(ct.PointerType(ct.CHAR)) == "char*"
+        assert str(ct.ArrayType(ct.INT, 3)) == "int[3]"
+        assert "struct" in str(ct.StructType("s"))

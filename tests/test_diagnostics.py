@@ -1,0 +1,208 @@
+"""Diagnostics quality: every frontend/runtime error names a source
+location, and control-flow stress cases behave."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.frontend.errors import (
+    FrontendError,
+    LexError,
+    ParseError,
+    PreprocessorError,
+)
+from repro.interp.errors import InterpreterError
+
+
+class TestErrorLocations:
+    def test_lex_error_location(self):
+        with pytest.raises(LexError) as info:
+            compile_source("int x;\nint @bad;")
+        assert info.value.location.line == 2
+
+    def test_parse_error_location(self):
+        with pytest.raises(ParseError) as info:
+            compile_source("int x;\nint f(void) { return ; + }")
+        assert info.value.location.line == 2
+
+    def test_preprocessor_error_location(self):
+        with pytest.raises(PreprocessorError) as info:
+            compile_source("int x;\n#error stop here")
+        assert info.value.location.line == 2
+
+    def test_error_message_contains_location(self):
+        with pytest.raises(FrontendError) as info:
+            compile_source("int f(void) { return nope; }", "file.c")
+        assert "file.c" in str(info.value)
+
+    def test_interpreter_error_location(self, run_c):
+        with pytest.raises(InterpreterError) as info:
+            run_c("int main(void) {\n  int *p = 0;\n  return *p;\n}")
+        assert info.value.location.line >= 1
+
+    def test_undeclared_identifier_names_it(self):
+        with pytest.raises(ParseError, match="mystery"):
+            compile_source("int f(void) { return mystery; }")
+
+    def test_duplicate_case_names_value(self):
+        with pytest.raises(ParseError, match="7"):
+            compile_source(
+                "int f(int x) { switch (x) {"
+                " case 7: case 7: break; } return 0; }"
+            )
+
+    def test_goto_error_names_label(self, compile_program):
+        from repro.cfg import CFGConstructionError
+
+        with pytest.raises(CFGConstructionError, match="missing"):
+            compile_program("void f(void) { goto missing; }")
+
+
+class TestControlFlowStress:
+    def test_switch_inside_loop(self, run_c):
+        source = """
+        int main(void) {
+            int i, evens = 0, odds = 0;
+            for (i = 0; i < 9; i++) {
+                switch (i % 2) {
+                case 0: evens++; break;
+                default: odds++;
+                }
+            }
+            printf("%d %d", evens, odds);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "5 4"
+
+    def test_break_inside_switch_inside_loop(self, run_c):
+        # break in a switch leaves the switch, not the loop.
+        source = """
+        int main(void) {
+            int i, total = 0;
+            for (i = 0; i < 5; i++) {
+                switch (i) {
+                case 2: break;
+                default: total += i;
+                }
+            }
+            printf("%d", total);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == str(0 + 1 + 3 + 4)
+
+    def test_continue_from_switch_via_goto(self, run_c):
+        source = """
+        int main(void) {
+            int i, kept = 0;
+            for (i = 0; i < 6; i++) {
+                switch (i % 3) {
+                case 0: goto skip;
+                default: kept++;
+                }
+            skip: ;
+            }
+            printf("%d", kept);
+            return 0;
+        }
+        """
+        # goto jumps to the label inside the loop body each iteration.
+        assert run_c(source).stdout == "4"
+
+    def test_deeply_nested_loops(self, run_c):
+        source = """
+        int main(void) {
+            int a, b, c, d, count = 0;
+            for (a = 0; a < 3; a++)
+                for (b = 0; b < 3; b++)
+                    for (c = 0; c < 3; c++)
+                        for (d = 0; d < 3; d++)
+                            count++;
+            printf("%d", count);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "81"
+
+    def test_do_while_with_break_and_continue(self, run_c):
+        source = """
+        int main(void) {
+            int n = 0, seen = 0;
+            do {
+                n++;
+                if (n == 3) continue;
+                if (n == 6) break;
+                seen++;
+            } while (n < 100);
+            printf("%d %d", n, seen);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "6 4"
+
+    def test_goto_out_of_nested_loops(self, run_c):
+        source = """
+        int main(void) {
+            int i, j, found = -1;
+            for (i = 0; i < 10; i++)
+                for (j = 0; j < 10; j++)
+                    if (i * j == 42) {
+                        found = i * 100 + j;
+                        goto done;
+                    }
+        done:
+            printf("%d", found);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "607"
+
+    def test_loop_with_function_call_condition(self, run_c):
+        source = """
+        int budget = 4;
+        int spend(void) { return budget--; }
+        int main(void) {
+            int turns = 0;
+            while (spend() > 0)
+                turns++;
+            printf("%d", turns);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "4"
+
+    def test_empty_loop_bodies(self, run_c):
+        source = """
+        int main(void) {
+            int i;
+            for (i = 0; i < 100; i++)
+                ;
+            while (i > 50)
+                i--;
+            printf("%d", i);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "50"
+
+    def test_mutual_goto_state_machine(self, run_c):
+        source = """
+        int main(void) {
+            int state = 0, steps = 0;
+        s0:
+            steps++;
+            if (steps > 6) goto end;
+            state = 1;
+            goto s1;
+        s1:
+            steps++;
+            if (steps > 6) goto end;
+            state = 0;
+            goto s0;
+        end:
+            printf("%d %d", state, steps);
+            return 0;
+        }
+        """
+        # steps hits 7 at s0, whose last state write (at s1) was 0.
+        assert run_c(source).stdout == "0 7"

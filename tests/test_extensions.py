@@ -1,0 +1,340 @@
+"""Tests for the extension modules: arc estimation, post-dominators,
+CFG-level heuristics, and the calibrated (Wu-Larus) predictor."""
+
+import pytest
+
+from repro.cfg import post_dominates, post_dominators
+from repro.estimators import (
+    actual_arc_frequencies,
+    arc_score_over_profiles,
+    estimate_arc_frequencies,
+)
+from repro.interp.machine import Machine
+from repro.prediction import (
+    WU_LARUS_PROBABILITIES,
+    CalibratedPredictor,
+    ProgramExtendedPredictor,
+    calibrated_markov_estimator,
+    collect_predictions,
+    combine_probabilities,
+    measure_miss_rate,
+)
+from repro.profiles import Profile
+
+
+class TestPostDominators:
+    def test_diamond(self, compile_program):
+        program = compile_program(
+            "int f(int x) { int r; if (x) r = 1; else r = 2;"
+            " r++; return r; }"
+        )
+        cfg = program.cfg("f")
+        pdom = post_dominators(cfg)
+        preds = cfg.predecessor_map()
+        join = next(
+            bid for bid in cfg.blocks if len(preds[bid]) == 2
+        )
+        # The join post-dominates the entry and both arms.
+        for block_id in cfg.blocks:
+            if block_id != join:
+                assert post_dominates(pdom, join, block_id)
+
+    def test_exit_post_dominates_everything_in_simple_cfg(
+        self, compile_program
+    ):
+        program = compile_program(
+            "int f(int n) { while (n) n--; return n; }"
+        )
+        cfg = program.cfg("f")
+        pdom = post_dominators(cfg)
+        (exit_id,) = cfg.exit_ids()
+        for block_id in cfg.blocks:
+            assert post_dominates(pdom, exit_id, block_id)
+
+    def test_early_return_does_not_post_dominate(self, compile_program):
+        program = compile_program(
+            "int f(int x) { if (x) return 1; return 0; }"
+        )
+        cfg = program.cfg("f")
+        pdom = post_dominators(cfg)
+        exits = cfg.exit_ids()
+        for exit_id in exits:
+            assert not post_dominates(pdom, exit_id, cfg.entry_id) or \
+                len(exits) == 1
+
+    def test_every_block_post_dominates_itself(self, compile_program):
+        program = compile_program(
+            "int f(int a, int b) { if (a) b++; while (b) b--;"
+            " return b; }"
+        )
+        pdom = post_dominators(program.cfg("f"))
+        for block_id, dominators in pdom.items():
+            assert block_id in dominators
+
+
+class TestCfgHeuristics:
+    def test_loop_exit_heuristic_fires(self, compile_program):
+        # A 50/50 AST branch whose taken arm leaves the loop.
+        program = compile_program(
+            """
+            int f(int n, int flag) {
+                int acc = 0;
+                while (n--) {
+                    if (flag)
+                        break;
+                    acc++;
+                }
+                return acc;
+            }
+            """
+        )
+        predictor = ProgramExtendedPredictor(program)
+        cfg = program.cfg("f")
+        if_branch = next(
+            (block, branch)
+            for block, branch in cfg.conditional_branches()
+            if branch.kind == "if"
+        )
+        prediction = predictor.predict_branch(
+            "f", if_branch[0], if_branch[1]
+        )
+        assert prediction.reason == "cfg-loop-exit"
+        assert not prediction.predicted_taken  # stay in the loop
+
+    def test_ast_idiom_takes_priority(self, compile_program):
+        program = compile_program(
+            """
+            int f(int *p, int n) {
+                while (n--) {
+                    if (p)
+                        break;
+                }
+                return 0;
+            }
+            """
+        )
+        predictor = ProgramExtendedPredictor(program)
+        cfg = program.cfg("f")
+        if_branch = next(
+            (block, branch)
+            for block, branch in cfg.conditional_branches()
+            if branch.kind == "if"
+        )
+        prediction = predictor.predict_branch(
+            "f", if_branch[0], if_branch[1]
+        )
+        assert prediction.reason == "pointer"
+
+    def test_call_heuristic_fires_outside_loops(self, compile_program):
+        program = compile_program(
+            """
+            int log_event(int x) { return x; }
+            int f(int a) {
+                int r = a;
+                /* No AST idiom applies: both arms store. */
+                if (a - r + a)
+                    r = log_event(a);
+                else
+                    r = a + 1;
+                return r;
+            }
+            int main(void) { return f(1); }
+            """
+        )
+        predictor = ProgramExtendedPredictor(program)
+        cfg = program.cfg("f")
+        (block, branch), = cfg.conditional_branches()
+        prediction = predictor.predict_branch("f", block, branch)
+        assert prediction.reason == "cfg-call"
+        assert not prediction.predicted_taken
+
+    def test_extended_never_worse_than_uninformative(
+        self, compile_program
+    ):
+        program = compile_program(
+            "int f(int a) { if (a) a++; return a; }"
+            "int main(void) { return f(2); }"
+        )
+        predictor = ProgramExtendedPredictor(program)
+        cfg = program.cfg("f")
+        (block, branch), = cfg.conditional_branches()
+        prediction = predictor.predict_branch("f", block, branch)
+        assert 0.0 <= prediction.taken_probability <= 1.0
+
+
+class TestCalibratedPredictor:
+    def test_combination_formula(self):
+        assert combine_probabilities(0.5, 0.5) == pytest.approx(0.5)
+        assert combine_probabilities(0.8, 0.8) == pytest.approx(
+            0.64 / (0.64 + 0.04)
+        )
+        # Contradictory evidence cancels toward 0.5.
+        assert combine_probabilities(0.8, 0.2) == pytest.approx(0.5)
+
+    def test_combination_commutative(self):
+        assert combine_probabilities(0.7, 0.9) == pytest.approx(
+            combine_probabilities(0.9, 0.7)
+        )
+
+    def test_single_idiom_uses_table_probability(self, compile_program):
+        program = compile_program(
+            "int f(int *p) { if (p) return 1; return 0; }"
+            "int main(void) { return 0; }"
+        )
+        predictor = CalibratedPredictor(combine_evidence=False)
+        (block, branch), = program.cfg("f").conditional_branches()
+        prediction = predictor.predict_branch("f", block, branch)
+        assert prediction.taken_probability == pytest.approx(
+            WU_LARUS_PROBABILITIES["pointer"]
+        )
+        assert prediction.reason == "calibrated:pointer"
+
+    def test_evidence_combination_strengthens(self, compile_program):
+        # Loop branch where pointer idiom also fires: combined belief
+        # must exceed either alone.
+        program = compile_program(
+            "int f(char *p) { while (p) p = 0; return 0; }"
+            "int main(void) { return 0; }"
+        )
+        (block, branch), = program.cfg("f").conditional_branches()
+        single = CalibratedPredictor(combine_evidence=False)
+        combined = CalibratedPredictor(combine_evidence=True)
+        alone = single.predict_branch("f", block, branch)
+        fused = combined.predict_branch("f", block, branch)
+        assert fused.taken_probability > alone.taken_probability
+        assert "+" in fused.reason
+
+    def test_constant_branches_stay_certain(self, compile_program):
+        program = compile_program(
+            "int f(void) { if (1) return 1; return 0; }"
+            "int main(void) { return 0; }"
+        )
+        (block, branch), = program.cfg("f").conditional_branches()
+        prediction = CalibratedPredictor().predict_branch(
+            "f", block, branch
+        )
+        assert prediction.is_constant
+        assert prediction.taken_probability == 1.0
+
+    def test_collect_predictions_priority_order(self, compile_program):
+        program = compile_program(
+            "int f(int *p) { while (p) { p = 0; } return 0; }"
+            "int main(void) { return 0; }"
+        )
+        (block, branch), = program.cfg("f").conditional_branches()
+        fired = collect_predictions(
+            branch.condition, branch.kind, branch.origin
+        )
+        assert [f.reason for f in fired] == ["loop", "pointer"]
+
+    def test_calibrated_markov_estimator_runs(self, compile_program):
+        program = compile_program(
+            "int f(int n) { while (n) n--; return 0; }"
+            "int main(void) { return f(3); }"
+        )
+        estimates = calibrated_markov_estimator(program, "f")
+        cfg = program.cfg("f")
+        assert estimates[cfg.entry_id] == pytest.approx(1.0)
+
+    def test_custom_probability_table(self, compile_program):
+        program = compile_program(
+            "int f(int *p) { if (p) return 1; return 0; }"
+            "int main(void) { return 0; }"
+        )
+        predictor = CalibratedPredictor(
+            probabilities={"pointer": 0.99}, combine_evidence=False
+        )
+        (block, branch), = program.cfg("f").conditional_branches()
+        prediction = predictor.predict_branch("f", block, branch)
+        assert prediction.taken_probability == pytest.approx(0.99)
+
+    def test_miss_rate_measurable_with_calibrated(self, compile_program):
+        program = compile_program(
+            """
+            int main(void) {
+                int i, acc = 0;
+                for (i = 0; i < 20; i++)
+                    if (i % 4 == 0) acc++;
+                return acc;
+            }
+            """
+        )
+        profile = Profile("t")
+        Machine(program, profile=profile).run()
+        report = measure_miss_rate(
+            program, CalibratedPredictor(), profile
+        )
+        assert 0.0 <= report.miss_rate <= 1.0
+
+
+class TestArcEstimation:
+    def test_markov_arcs_flow_consistent(self, compile_program):
+        program = compile_program(
+            """
+            int f(int n) {
+                int acc = 0;
+                while (n--) {
+                    if (n % 2) acc++;
+                }
+                return acc;
+            }
+            int main(void) { return f(9); }
+            """
+        )
+        from repro.estimators import markov_estimator
+
+        arcs = estimate_arc_frequencies(program, "f", "markov")
+        blocks = markov_estimator(program, "f")
+        cfg = program.cfg("f")
+        for block_id in cfg.blocks:
+            inflow = sum(
+                value
+                for (source, target), value in arcs.items()
+                if target == block_id
+            )
+            if block_id == cfg.entry_id:
+                inflow += 1.0
+            assert inflow == pytest.approx(blocks[block_id], abs=1e-6)
+
+    def test_arc_outflow_bounded_by_block(self, compile_program):
+        program = compile_program(
+            "int f(int x) { if (x) x = 1; return x; }"
+            "int main(void) { return f(1); }"
+        )
+        from repro.estimators import smart_estimator
+
+        arcs = estimate_arc_frequencies(program, "f", "smart")
+        blocks = smart_estimator(program, "f")
+        for (source, _), value in arcs.items():
+            assert value <= blocks[source] + 1e-9
+
+    def test_actual_arcs_zero_filled(self, compile_program):
+        program = compile_program(
+            "int f(int x) { if (x) return 1; return 0; }"
+            "int main(void) { return f(1); }"
+        )
+        profile = Profile("t")
+        Machine(program, profile=profile).run()
+        actual = actual_arc_frequencies(program, "f", profile)
+        assert set(actual) == set(program.cfg("f").edges())
+        # f(1): the false edge never runs but is present with count 0.
+        assert 0.0 in actual.values()
+
+    def test_arc_score_protocol(self, compile_program):
+        program = compile_program(
+            """
+            int main(void) {
+                int i, acc = 0;
+                for (i = 0; i < 30; i++)
+                    if (i % 3 == 0) acc += i;
+                return acc;
+            }
+            """
+        )
+        profiles = []
+        for _ in range(2):
+            profile = Profile("t")
+            Machine(program, profile=profile).run()
+            profiles.append(profile)
+        score = arc_score_over_profiles(program, profiles, cutoff=0.2)
+        assert 0.0 <= score <= 1.0 + 1e-9

@@ -1,0 +1,93 @@
+"""Golden-output regression tests for the benchmark suite.
+
+Every (program, input) pair's exact stdout, exit status, and block
+count are pinned in ``golden_outputs.json``.  Any change to the
+interpreter's semantics, the CFG builder, or a suite program shows up
+here first — and because block counts are pinned too, so does any
+change to how execution is counted (which would silently shift every
+profile-derived result in the paper's experiments).
+
+Regenerate after an *intentional* change with::
+
+    python tests/test_golden_outputs.py --regenerate
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "golden_outputs.json"
+)
+
+
+def _load_goldens():
+    with open(GOLDEN_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _golden_cases():
+    return sorted(_load_goldens())
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    return _load_goldens()
+
+
+@pytest.mark.parametrize("case", _golden_cases())
+def test_golden_output(case, goldens):
+    from repro.suite import program_inputs, run_on_input
+
+    name, index = case.rsplit(".", 1)
+    stdin = program_inputs(name)[int(index) - 1]
+    result = run_on_input(name, stdin, f"input{index}")
+    expected = goldens[case]
+    assert result.status == expected["status"], case
+    assert result.stdout == expected["stdout"], case
+    assert result.blocks_executed == expected["blocks"], case
+
+
+def test_goldens_cover_every_program_and_input():
+    from repro.suite import program_inputs, program_names
+
+    goldens = _load_goldens()
+    expected_cases = {
+        f"{name}.{index}"
+        for name in program_names()
+        for index in range(1, len(program_inputs(name)) + 1)
+    }
+    assert set(goldens) == expected_cases
+
+
+def _regenerate():
+    from repro.suite import program_inputs, program_names, run_on_input
+
+    goldens = {}
+    for name in program_names():
+        for index, stdin in enumerate(program_inputs(name), start=1):
+            result = run_on_input(name, stdin, f"input{index}")
+            goldens[f"{name}.{index}"] = {
+                "status": result.status,
+                "stdout": result.stdout,
+                "blocks": result.blocks_executed,
+            }
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
+        json.dump(goldens, handle, indent=1, sort_keys=True)
+    print(f"regenerated {len(goldens)} golden outputs")
+
+
+if __name__ == "__main__":
+    if "--regenerate" in sys.argv:
+        sys.path.insert(
+            0,
+            os.path.join(
+                os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                "src",
+            ),
+        )
+        _regenerate()
+    else:
+        print(__doc__)

@@ -1,0 +1,283 @@
+"""Tests for the AST-level branch-prediction heuristics."""
+
+import pytest
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.parser import parse
+from repro.prediction.error_functions import (
+    compute_error_functions,
+    settings_for_program,
+)
+from repro.prediction.heuristics import (
+    HeuristicSettings,
+    predict_condition,
+)
+from repro.program import Program
+
+
+def first_if(source, prelude=""):
+    unit = parse(f"{prelude}\nvoid f(void) {{ {source} }}")
+    for node in unit.walk():
+        if isinstance(node, ast.If):
+            return node
+    raise AssertionError("no if statement found")
+
+
+def predict_if(source, prelude="", settings=None):
+    node = first_if(source, prelude)
+    return predict_condition(node.condition, "if", node, settings)
+
+
+class TestConstantHeuristic:
+    def test_constant_true(self):
+        prediction = predict_if("if (1) ;")
+        assert prediction.is_constant
+        assert prediction.taken_probability == 1.0
+
+    def test_constant_false(self):
+        prediction = predict_if("if (0) ;")
+        assert prediction.is_constant
+        assert prediction.taken_probability == 0.0
+
+    def test_computed_constant(self):
+        prediction = predict_if("if (4 - 4) ;")
+        assert prediction.is_constant
+
+
+class TestLoopHeuristic:
+    def test_loop_taken_probability_default(self):
+        unit = parse("void f(int n) { while (n) n--; }")
+        loop = next(
+            node for node in unit.walk() if isinstance(node, ast.While)
+        )
+        prediction = predict_condition(loop.condition, "loop", loop)
+        assert prediction.reason == "loop"
+        assert prediction.taken_probability == pytest.approx(0.8)
+
+    def test_loop_probability_follows_iteration_guess(self):
+        unit = parse("void f(int n) { while (n) n--; }")
+        loop = next(
+            node for node in unit.walk() if isinstance(node, ast.While)
+        )
+        settings = HeuristicSettings(loop_iterations=10)
+        prediction = predict_condition(
+            loop.condition, "loop", loop, settings
+        )
+        assert prediction.taken_probability == pytest.approx(0.9)
+
+    def test_loop_overrides_other_idioms(self):
+        # A pointer condition in loop position still gets the loop prob.
+        unit = parse("void f(char *p) { while (p) p = 0; }")
+        loop = next(
+            node for node in unit.walk() if isinstance(node, ast.While)
+        )
+        prediction = predict_condition(loop.condition, "loop", loop)
+        assert prediction.reason == "loop"
+
+
+class TestPointerHeuristic:
+    PRELUDE = "int *p; int *q; int x;"
+
+    def test_bare_pointer_taken(self):
+        prediction = predict_if("if (p) ;", self.PRELUDE)
+        assert prediction.reason == "pointer"
+        assert prediction.predicted_taken
+
+    def test_pointer_eq_null_not_taken(self):
+        prediction = predict_if("if (p == 0) ;", self.PRELUDE)
+        assert prediction.reason == "pointer"
+        assert not prediction.predicted_taken
+
+    def test_pointer_ne_null_taken(self):
+        prediction = predict_if("if (p != 0) ;", self.PRELUDE)
+        assert prediction.predicted_taken
+
+    def test_null_on_left(self):
+        prediction = predict_if("if (0 == p) ;", self.PRELUDE)
+        assert prediction.reason == "pointer"
+        assert not prediction.predicted_taken
+
+    def test_pointer_vs_pointer_equality_not_taken(self):
+        prediction = predict_if("if (p == q) ;", self.PRELUDE)
+        assert prediction.reason == "pointer"
+        assert not prediction.predicted_taken
+
+    def test_cast_null_recognized(self):
+        prediction = predict_if("if (p == (int*)0) ;", self.PRELUDE)
+        assert prediction.reason == "pointer"
+
+    def test_int_comparison_not_pointer(self):
+        prediction = predict_if("if (x == 0) ;", self.PRELUDE)
+        assert prediction.reason != "pointer"
+
+
+class TestOpcodeHeuristic:
+    PRELUDE = "int x; double d;"
+
+    def test_equality_not_taken(self):
+        prediction = predict_if("if (x == 5) ;", self.PRELUDE)
+        assert prediction.reason == "opcode-eq"
+        assert not prediction.predicted_taken
+
+    def test_inequality_taken(self):
+        prediction = predict_if("if (x != 5) ;", self.PRELUDE)
+        assert prediction.predicted_taken
+
+    def test_less_than_zero_not_taken(self):
+        prediction = predict_if("if (x < 0) ;", self.PRELUDE)
+        assert prediction.reason == "opcode-neg"
+        assert not prediction.predicted_taken
+
+    def test_greater_than_zero_taken(self):
+        prediction = predict_if("if (x > 0) ;", self.PRELUDE)
+        assert prediction.predicted_taken
+
+    def test_zero_on_left_flips(self):
+        prediction = predict_if("if (0 < x) ;", self.PRELUDE)
+        assert prediction.predicted_taken
+        prediction = predict_if("if (0 > x) ;", self.PRELUDE)
+        assert not prediction.predicted_taken
+
+    def test_general_relational_uninformative(self):
+        prediction = predict_if("if (x < 100) ;", self.PRELUDE)
+        assert prediction.reason in ("default", "store")
+
+
+class TestErrorHeuristic:
+    def test_then_arm_error_not_taken(self):
+        prediction = predict_if("if (x) exit(1);", "int x;")
+        assert prediction.reason == "error-call"
+        assert not prediction.predicted_taken
+
+    def test_else_arm_error_taken(self):
+        prediction = predict_if(
+            "if (x) x = 1; else abort();", "int x;"
+        )
+        assert prediction.reason == "error-call"
+        assert prediction.predicted_taken
+
+    def test_error_outranks_opcode(self):
+        prediction = predict_if("if (x != 5) exit(1);", "int x;")
+        assert prediction.reason == "error-call"
+        assert not prediction.predicted_taken
+
+    def test_pointer_outranks_error(self):
+        prediction = predict_if(
+            "if (p == 0) exit(1);", "int *p;"
+        )
+        assert prediction.reason == "pointer"
+        assert not prediction.predicted_taken  # Both idioms agree here.
+
+    def test_transitive_error_wrapper(self):
+        program = Program.from_source(
+            """
+            void fatal(char *m) { puts(m); exit(1); }
+            void check(int x) { if (x != 7) fatal("bad"); }
+            int main(void) { check(7); return 0; }
+            """
+        )
+        settings = settings_for_program(program)
+        assert "fatal" in settings.error_functions
+        node = next(
+            n
+            for n in program.function("check").walk()
+            if isinstance(n, ast.If)
+        )
+        prediction = predict_condition(
+            node.condition, "if", node, settings
+        )
+        assert prediction.reason == "error-call"
+        assert not prediction.predicted_taken
+
+    def test_wrapper_of_wrapper(self):
+        program = Program.from_source(
+            """
+            void fatal(char *m) { puts(m); exit(1); }
+            void fatal2(char *m) { fatal(m); }
+            int main(void) { return 0; }
+            """
+        )
+        errors = compute_error_functions(program.unit)
+        assert {"fatal", "fatal2"} <= errors
+
+    def test_conditional_exit_is_not_noreturn(self):
+        program = Program.from_source(
+            """
+            void maybe_exit(int x) { if (x) exit(1); }
+            int main(void) { maybe_exit(0); return 0; }
+            """
+        )
+        errors = compute_error_functions(program.unit)
+        assert "maybe_exit" not in errors
+
+
+class TestOtherIdioms:
+    def test_multiple_ands_not_taken(self):
+        prediction = predict_if(
+            "if (a && b && c) ;", "int a, b, c;"
+        )
+        assert prediction.reason == "multiple-ands"
+        assert not prediction.predicted_taken
+
+    def test_single_and_not_flagged(self):
+        prediction = predict_if("if (a && b) ;", "int a, b;")
+        assert prediction.reason != "multiple-ands"
+
+    def test_return_arm_not_taken(self):
+        prediction = predict_if(
+            "if (a) return; x = 1;", "int a; int x;"
+        )
+        assert prediction.reason == "return"
+        assert not prediction.predicted_taken
+
+    def test_store_arm_taken(self):
+        prediction = predict_if(
+            "if (a) x = 1;", "int a; int x;"
+        )
+        assert prediction.reason == "store"
+        assert prediction.predicted_taken
+
+    def test_store_in_else_arm(self):
+        prediction = predict_if(
+            "if (a) ; else x = 1;", "int a; int x;"
+        )
+        assert prediction.reason == "store"
+        assert not prediction.predicted_taken
+
+    def test_uninformative_default(self):
+        prediction = predict_if("if (a) ;", "int a;")
+        assert prediction.reason == "default"
+        assert prediction.taken_probability == 0.5
+
+
+class TestSettingsValidation:
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            HeuristicSettings(taken_probability=0.3)
+        with pytest.raises(ValueError):
+            HeuristicSettings(taken_probability=1.0)
+
+    def test_bad_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            HeuristicSettings(loop_iterations=0)
+
+    def test_loop_probability_formula(self):
+        assert HeuristicSettings(
+            loop_iterations=5
+        ).loop_taken_probability == pytest.approx(0.8)
+        assert HeuristicSettings(
+            loop_iterations=1
+        ).loop_taken_probability == 0.5
+
+    def test_flipped_prediction(self):
+        prediction = predict_if("if (x == 0) ;", "int x;")
+        flipped = prediction.flipped()
+        assert flipped.taken_probability == pytest.approx(
+            1.0 - prediction.taken_probability
+        )
+
+    def test_settings_for_program_cached(self):
+        program = Program.from_source("int main(void) { return 0; }")
+        assert settings_for_program(program) is settings_for_program(
+            program
+        )

@@ -1,0 +1,254 @@
+"""Tests for the inter-procedural (function invocation) estimators."""
+
+import pytest
+
+from repro.callgraph.graph import POINTER_NODE
+from repro.estimators.base import intra_estimates
+from repro.estimators.inter import (
+    CallGraphSystem,
+    all_rec2_invocations,
+    all_rec_invocations,
+    build_call_graph_system,
+    call_site_invocations,
+    clamp_direct_recursion,
+    direct_invocations,
+    markov_invocations,
+    solve_with_repair,
+)
+from repro.experiments.examples import count_nodes_program
+
+
+class TestCallSiteEstimator:
+    def test_main_gets_external_entry(self, compile_program):
+        program = compile_program("int main(void) { return 0; }")
+        assert call_site_invocations(program)["main"] == 1.0
+
+    def test_straight_line_call_counts_once(self, compile_program):
+        program = compile_program(
+            """
+            int helper(void) { return 1; }
+            int main(void) { return helper() + helper(); }
+            """
+        )
+        invocations = call_site_invocations(program)
+        assert invocations["helper"] == pytest.approx(2.0)
+
+    def test_call_in_loop_scaled_by_loop_guess(self, compile_program):
+        program = compile_program(
+            """
+            int helper(void) { return 1; }
+            int main(void) {
+                int i, acc = 0;
+                for (i = 0; i < 10; i++) acc += helper();
+                return acc;
+            }
+            """
+        )
+        invocations = call_site_invocations(program)
+        assert invocations["helper"] == pytest.approx(4.0)
+
+    def test_callers_not_scaled_by_own_invocations(self, compile_program):
+        # The simple model sums site frequencies as if each caller is
+        # entered once (paper §4.3).
+        program = compile_program(
+            """
+            int leaf(void) { return 1; }
+            int middle(void) { return leaf(); }
+            int main(void) {
+                int i, acc = 0;
+                for (i = 0; i < 9; i++) acc += middle();
+                return acc;
+            }
+            """
+        )
+        invocations = call_site_invocations(program)
+        assert invocations["middle"] == pytest.approx(4.0)
+        assert invocations["leaf"] == pytest.approx(1.0)
+
+    def test_indirect_pool_split_by_address_of(self, compile_program):
+        program = compile_program(
+            """
+            int a(void) { return 1; }
+            int b(void) { return 2; }
+            int (*table[3])(void) = {a, a, b};
+            int main(void) {
+                return table[0]();
+            }
+            """
+        )
+        invocations = call_site_invocations(program)
+        # a has 2 address-ofs, b has 1: the pool (frequency 1) splits 2:1.
+        assert invocations["a"] == pytest.approx(2.0 / 3.0)
+        assert invocations["b"] == pytest.approx(1.0 / 3.0)
+
+
+class TestRecursionVariants:
+    SOURCE = """
+    int direct_rec(int n) {
+        if (n <= 0) return 0;
+        return direct_rec(n - 1);
+    }
+    int ping(int n);
+    int pong(int n) { if (n <= 0) return 0; return ping(n - 1); }
+    int ping(int n) { if (n <= 0) return 1; return pong(n - 1); }
+    int plain(void) { return 3; }
+    int main(void) {
+        return direct_rec(5) + ping(4) + plain();
+    }
+    """
+
+    def test_direct_multiplies_only_self_recursive(self, compile_program):
+        program = compile_program(self.SOURCE)
+        base = call_site_invocations(program)
+        direct = direct_invocations(program)
+        assert direct["direct_rec"] == pytest.approx(
+            base["direct_rec"] * 5
+        )
+        assert direct["ping"] == pytest.approx(base["ping"])
+        assert direct["plain"] == pytest.approx(base["plain"])
+
+    def test_all_rec_multiplies_scc_members(self, compile_program):
+        program = compile_program(self.SOURCE)
+        base = call_site_invocations(program)
+        all_rec = all_rec_invocations(program)
+        assert all_rec["ping"] == pytest.approx(base["ping"] * 5)
+        assert all_rec["pong"] == pytest.approx(base["pong"] * 5)
+        assert all_rec["plain"] == pytest.approx(base["plain"])
+
+    def test_all_rec2_scales_by_caller_counts(self, compile_program):
+        program = compile_program(self.SOURCE)
+        all_rec2 = all_rec2_invocations(program)
+        # One refinement step must keep non-called functions at the
+        # external entry only.
+        assert all_rec2["main"] == pytest.approx(1.0)
+        assert all_rec2["plain"] >= 1.0
+
+    def test_recursion_factor_parameter(self, compile_program):
+        program = compile_program(self.SOURCE)
+        x3 = direct_invocations(program, recursion_factor=3.0)
+        x5 = direct_invocations(program, recursion_factor=5.0)
+        assert x5["direct_rec"] == pytest.approx(
+            x3["direct_rec"] * 5.0 / 3.0
+        )
+
+
+class TestMarkovModel:
+    def test_linear_chain(self, compile_program):
+        program = compile_program(
+            """
+            int leaf(void) { return 1; }
+            int middle(void) { return leaf(); }
+            int main(void) { return middle(); }
+            """
+        )
+        invocations = markov_invocations(program)
+        assert invocations["main"] == pytest.approx(1.0)
+        assert invocations["middle"] == pytest.approx(1.0)
+        assert invocations["leaf"] == pytest.approx(1.0)
+
+    def test_loop_amplification_propagates(self, compile_program):
+        program = compile_program(
+            """
+            int leaf(void) { return 1; }
+            int middle(void) {
+                int i, acc = 0;
+                for (i = 0; i < 8; i++) acc += leaf();
+                return acc;
+            }
+            int main(void) {
+                int i, acc = 0;
+                for (i = 0; i < 8; i++) acc += middle();
+                return acc;
+            }
+            """
+        )
+        invocations = markov_invocations(program)
+        # middle ~ 4, leaf ~ 16: the Markov model multiplies through
+        # the call chain, unlike the simple estimators.
+        assert invocations["middle"] == pytest.approx(4.0)
+        assert invocations["leaf"] == pytest.approx(16.0)
+
+    def test_count_nodes_repair(self):
+        program = count_nodes_program()
+        estimates = intra_estimates(program, "smart")
+        system = build_call_graph_system(program, estimates)
+        raw = system.weights[("count_nodes", "count_nodes")]
+        assert raw == pytest.approx(1.6)
+        repaired = clamp_direct_recursion(system)
+        assert repaired == ["count_nodes"]
+        assert system.weights[("count_nodes", "count_nodes")] == 0.8
+        solution = solve_with_repair(system)
+        assert solution["count_nodes"] == pytest.approx(5.0)
+
+    def test_markov_nonnegative(self, compile_program):
+        program = compile_program(
+            """
+            int a(int n);
+            int b(int n) { return a(n - 1) + a(n - 2); }
+            int a(int n) { if (n <= 0) return 0; return b(n); }
+            int main(void) { return a(6); }
+            """
+        )
+        invocations = markov_invocations(program)
+        assert all(v >= 0 for v in invocations.values())
+
+    def test_pointer_node_excluded_from_result(self, compile_program):
+        program = compile_program(
+            """
+            int a(void) { return 1; }
+            int main(void) {
+                int (*f)(void) = a;
+                return f();
+            }
+            """
+        )
+        invocations = markov_invocations(program)
+        assert POINTER_NODE not in invocations
+        assert invocations["a"] == pytest.approx(1.0)
+
+    def test_unreachable_function_estimated_zero(self, compile_program):
+        program = compile_program(
+            """
+            int unused(void) { return 9; }
+            int main(void) { return 0; }
+            """
+        )
+        invocations = markov_invocations(program)
+        assert invocations["unused"] == 0.0
+
+    def test_system_solve_simple(self):
+        system = CallGraphSystem(nodes=["main", "f"], entry="main")
+        system.weights[("main", "f")] = 3.0
+        solution = system.solve()
+        assert solution["main"] == pytest.approx(1.0)
+        assert solution["f"] == pytest.approx(3.0)
+
+    def test_scc_ceiling_boundary_accepted(self):
+        # A clamped pure self-loop amplifies exactly to the ceiling 5;
+        # the repair must accept it without further scaling.
+        system = CallGraphSystem(nodes=["main", "r"], entry="main")
+        system.weights[("main", "r")] = 1.0
+        system.weights[("r", "r")] = 1.6
+        solution = solve_with_repair(system)
+        assert solution["r"] == pytest.approx(5.0)
+
+    def test_intra_estimator_choice_matters(self, compile_program):
+        program = compile_program(
+            """
+            int leaf(void) { return 1; }
+            int main(void) {
+                int *p = 0;
+                int n = 3;
+                while (n--) {
+                    if (p)
+                        leaf();
+                }
+                return 0;
+            }
+            """
+        )
+        smart = markov_invocations(program, "smart")
+        loop = markov_invocations(program, "loop")
+        # smart weights the pointer-guarded call higher (p predicted
+        # non-NULL) than loop's 50/50.
+        assert smart["leaf"] > loop["leaf"]

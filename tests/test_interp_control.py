@@ -1,0 +1,492 @@
+"""Interpreter tests: control flow, functions, recursion, and limits."""
+
+import pytest
+
+from repro.interp.errors import FuelExhausted, InterpreterError
+from repro.interp.machine import Machine
+from repro.profiles.profile import Profile
+from repro.program import Program
+
+
+class TestLoops:
+    def test_while(self, run_c):
+        source = """
+        int main(void) {
+            int n = 0;
+            while (n < 10) n++;
+            printf("%d", n);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "10"
+
+    def test_do_while_runs_at_least_once(self, run_c):
+        source = """
+        int main(void) {
+            int n = 100;
+            int iterations = 0;
+            do { iterations++; } while (n < 10);
+            printf("%d", iterations);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "1"
+
+    def test_for_sum(self, run_c):
+        source = """
+        int main(void) {
+            int i, total = 0;
+            for (i = 1; i <= 100; i++) total += i;
+            printf("%d", total);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "5050"
+
+    def test_break_leaves_innermost(self, run_c):
+        source = """
+        int main(void) {
+            int i, j, hits = 0;
+            for (i = 0; i < 3; i++)
+                for (j = 0; j < 10; j++) {
+                    if (j == 2) break;
+                    hits++;
+                }
+            printf("%d", hits);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "6"
+
+    def test_continue_skips(self, run_c):
+        source = """
+        int main(void) {
+            int i, odd_sum = 0;
+            for (i = 0; i < 10; i++) {
+                if (i % 2 == 0) continue;
+                odd_sum += i;
+            }
+            printf("%d", odd_sum);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "25"
+
+    def test_continue_in_while_reevaluates_condition(self, run_c):
+        source = """
+        int main(void) {
+            int n = 5, visits = 0;
+            while (n > 0) {
+                n--;
+                if (n == 3) continue;
+                visits++;
+            }
+            printf("%d %d", n, visits);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "0 4"
+
+
+class TestSwitch:
+    def test_dispatch(self, run_c):
+        source = """
+        int classify(int x) {
+            switch (x) {
+            case 1: return 100;
+            case 2: return 200;
+            default: return -1;
+            }
+        }
+        int main(void) {
+            printf("%d %d %d", classify(1), classify(2), classify(9));
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "100 200 -1"
+
+    def test_fallthrough(self, run_c):
+        source = """
+        int main(void) {
+            int r = 0;
+            switch (2) {
+            case 1: r += 1;
+            case 2: r += 2;
+            case 3: r += 4;
+                break;
+            case 4: r += 8;
+            }
+            printf("%d", r);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "6"
+
+    def test_no_match_no_default_skips_body(self, run_c):
+        source = """
+        int main(void) {
+            int r = 7;
+            switch (99) { case 1: r = 0; }
+            printf("%d", r);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "7"
+
+    def test_stacked_labels(self, run_c):
+        source = """
+        int is_vowelish(int c) {
+            switch (c) {
+            case 'a': case 'e': case 'i': case 'o': case 'u':
+                return 1;
+            }
+            return 0;
+        }
+        int main(void) {
+            printf("%d%d", is_vowelish('e'), is_vowelish('z'));
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "10"
+
+
+class TestGoto:
+    def test_forward_goto_skips(self, run_c):
+        source = """
+        int main(void) {
+            int x = 1;
+            goto done;
+            x = 99;
+        done:
+            printf("%d", x);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "1"
+
+    def test_backward_goto_loops(self, run_c):
+        source = """
+        int main(void) {
+            int n = 0;
+        again:
+            n++;
+            if (n < 5) goto again;
+            printf("%d", n);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "5"
+
+
+class TestFunctions:
+    def test_recursion_fibonacci(self, run_c):
+        source = """
+        int fib(int n) {
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main(void) { printf("%d", fib(15)); return 0; }
+        """
+        assert run_c(source).stdout == "610"
+
+    def test_mutual_recursion(self, run_c):
+        source = """
+        int is_odd(int n);
+        int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+        int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+        int main(void) {
+            printf("%d%d", is_even(10), is_odd(7));
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "11"
+
+    def test_arguments_passed_by_value(self, run_c):
+        source = """
+        void mangle(int x) { x = 999; }
+        int main(void) {
+            int x = 5;
+            mangle(x);
+            printf("%d", x);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "5"
+
+    def test_output_parameter_via_pointer(self, run_c):
+        source = """
+        void split(int value, int *tens, int *ones) {
+            *tens = value / 10;
+            *ones = value % 10;
+        }
+        int main(void) {
+            int t, o;
+            split(42, &t, &o);
+            printf("%d %d", t, o);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "4 2"
+
+    def test_void_return(self, run_c):
+        source = """
+        int sink = 0;
+        void store(int v) { sink = v; return; }
+        int main(void) { store(8); printf("%d", sink); return 0; }
+        """
+        assert run_c(source).stdout == "8"
+
+    def test_return_struct_by_value(self, run_c):
+        source = """
+        struct pair { int a, b; };
+        struct pair make(int a, int b) {
+            struct pair p;
+            p.a = a; p.b = b;
+            return p;
+        }
+        int main(void) {
+            struct pair p;
+            p = make(3, 4);
+            printf("%d", p.a + p.b);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "7"
+
+    def test_wrong_arity_raises(self, run_c):
+        with pytest.raises(InterpreterError):
+            run_c(
+                "int g(int a, int b) { return a + b; }"
+                "int main(void) { return g(1); }"
+            )
+
+    def test_call_depth_limit(self, compile_program):
+        program = compile_program(
+            "int loop(int n) { return loop(n + 1); }"
+            "int main(void) { return loop(0); }"
+        )
+        machine = Machine(
+            program, profile=Profile("t"), max_call_depth=50
+        )
+        with pytest.raises(InterpreterError, match="depth"):
+            machine.run()
+
+
+class TestFunctionPointers:
+    def test_call_through_pointer(self, run_c):
+        source = """
+        int double_it(int x) { return 2 * x; }
+        int main(void) {
+            int (*f)(int) = double_it;
+            printf("%d", f(21));
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "42"
+
+    def test_explicit_dereference_call(self, run_c):
+        source = """
+        int inc(int x) { return x + 1; }
+        int main(void) {
+            int (*f)(int) = &inc;
+            printf("%d", (*f)(9));
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "10"
+
+    def test_dispatch_table(self, run_c):
+        source = """
+        int add(int a, int b) { return a + b; }
+        int sub(int a, int b) { return a - b; }
+        int mul(int a, int b) { return a * b; }
+        int (*ops[3])(int, int) = {add, sub, mul};
+        int main(void) {
+            int i, r = 0;
+            for (i = 0; i < 3; i++)
+                r += ops[i](10, 3);
+            printf("%d", r);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == str(13 + 7 + 30)
+
+    def test_function_pointer_as_argument(self, run_c):
+        source = """
+        int apply_twice(int (*f)(int), int x) { return f(f(x)); }
+        int add3(int x) { return x + 3; }
+        int main(void) {
+            printf("%d", apply_twice(add3, 10));
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "16"
+
+    def test_call_through_bad_pointer_raises(self, run_c):
+        with pytest.raises(InterpreterError):
+            run_c(
+                "int main(void) { int (*f)(void) = (int(*)(void))123;"
+                " return f(); }"
+            )
+
+    def test_pointer_comparison_between_functions(self, run_c):
+        source = """
+        int a(void) { return 0; }
+        int b(void) { return 0; }
+        int main(void) {
+            int (*p)(void) = a;
+            printf("%d %d", p == a, p == b);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "1 0"
+
+
+class TestProgramLifecycle:
+    def test_main_return_value_is_status(self, run_c):
+        assert run_c("int main(void) { return 3; }").status == 3
+
+    def test_exit_unwinds(self, run_c):
+        source = """
+        void deep(int n) {
+            if (n == 0) exit(7);
+            deep(n - 1);
+        }
+        int main(void) { deep(5); return 0; }
+        """
+        result = run_c(source)
+        assert result.status == 7
+
+    def test_abort_sets_flag(self, run_c):
+        result = run_c("int main(void) { abort(); }")
+        assert result.aborted
+
+    def test_argv(self, run_c):
+        source = """
+        int main(int argc, char **argv) {
+            printf("%d %s", argc, argv[1]);
+            return 0;
+        }
+        """
+        result = run_c(source, argv=("prog", "hello"))
+        assert result.stdout == "1 hello".replace("1", "2")
+
+    def test_fuel_exhaustion(self, compile_program):
+        program = compile_program(
+            "int main(void) { for (;;) ; return 0; }"
+        )
+        machine = Machine(program, profile=Profile("t"), fuel=1000)
+        with pytest.raises(FuelExhausted):
+            machine.run()
+
+    def test_stdin_byte_stream(self, run_c):
+        source = """
+        int main(void) {
+            int c, n = 0;
+            while ((c = getchar()) != -1)
+                n += (c == 'x');
+            printf("%d", n);
+            return 0;
+        }
+        """
+        assert run_c(source, stdin="xaxbx").stdout == "3"
+
+
+class TestProfilingCounts:
+    def test_block_counts_match_execution(self, compile_program):
+        program = compile_program(
+            """
+            int main(void) {
+                int i;
+                for (i = 0; i < 7; i++) ;
+                return 0;
+            }
+            """
+        )
+        machine = Machine(program, profile=Profile("t"))
+        machine.run()
+        profile = machine.profile
+        cfg = program.cfg("main")
+        headers = [
+            b.block_id for b in cfg if b.label == "for"
+        ]
+        assert profile.block_counts["main"][headers[0]] == 8  # 7 + exit
+
+    def test_branch_outcomes_recorded(self, compile_program):
+        program = compile_program(
+            """
+            int main(void) {
+                int i, hits = 0;
+                for (i = 0; i < 10; i++)
+                    if (i % 2 == 0)
+                        hits++;
+                return hits;
+            }
+            """
+        )
+        machine = Machine(program, profile=Profile("t"))
+        machine.run()
+        outcomes = machine.profile.branch_outcomes["main"]
+        if_outcomes = [
+            o for o in outcomes.values() if o.total == 10
+        ]
+        assert any(o.taken == 5 and o.not_taken == 5 for o in if_outcomes)
+
+    def test_function_entries_counted(self, compile_program):
+        program = compile_program(
+            """
+            int helper(void) { return 1; }
+            int main(void) {
+                int i, acc = 0;
+                for (i = 0; i < 4; i++) acc += helper();
+                return acc;
+            }
+            """
+        )
+        machine = Machine(program, profile=Profile("t"))
+        machine.run()
+        assert machine.profile.entry_count("helper") == 4
+        assert machine.profile.entry_count("main") == 1
+
+    def test_call_sites_counted(self, compile_program):
+        program = compile_program(
+            """
+            int helper(void) { return 1; }
+            int main(void) {
+                helper();
+                helper();
+                return 0;
+            }
+            """
+        )
+        machine = Machine(program, profile=Profile("t"))
+        machine.run()
+        sites = program.call_sites()
+        assert len(sites) == 2
+        for site in sites:
+            assert machine.profile.call_site_count(site.site_id) == 1
+
+    def test_arc_counts_conserve_block_flow(self, compile_program):
+        program = compile_program(
+            """
+            int main(void) {
+                int i, total = 0;
+                for (i = 0; i < 5; i++)
+                    if (i > 2) total += i;
+                return total;
+            }
+            """
+        )
+        machine = Machine(program, profile=Profile("t"))
+        machine.run()
+        profile = machine.profile
+        cfg = program.cfg("main")
+        predecessors = cfg.predecessor_map()
+        for block_id, count in profile.block_counts["main"].items():
+            if block_id == cfg.entry_id:
+                continue
+            inflow = sum(
+                profile.arc_counts["main"].get((pred, block_id), 0)
+                for pred in set(predecessors[block_id])
+            )
+            assert inflow == count

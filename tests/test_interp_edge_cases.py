@@ -1,0 +1,297 @@
+"""Interpreter edge cases: conversions, lvalues, aggregates, scoping."""
+
+import pytest
+
+from repro.interp.errors import InterpreterError
+
+
+class TestCastsAndConversions:
+    def test_chained_casts(self, c_eval):
+        assert c_eval("(int)(char)300") == 300 - 256
+
+    def test_cast_double_to_char(self, run_c):
+        source = (
+            "int main(void) { char c = (char)65.9;"
+            ' printf("%c", c); return 0; }'
+        )
+        assert run_c(source).stdout == "A"
+
+    def test_void_cast_discards(self, run_c):
+        source = (
+            "int main(void) { int x = 5; (void)x; return x; }"
+        )
+        assert run_c(source).status == 5
+
+    def test_unsigned_comparison_after_wrap(self, run_c):
+        source = """
+        int main(void) {
+            unsigned int u = 0;
+            u = u - 1;  /* wraps to UINT_MAX */
+            printf("%d", u > 1000000u);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "1"
+
+    def test_long_holds_large_values(self, run_c):
+        source = """
+        int main(void) {
+            long big = 1000000000l;
+            big = big * 4l;
+            printf("%ld", big);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "4000000000"
+
+    def test_float_narrowing_roundtrip(self, run_c):
+        source = """
+        int main(void) {
+            double d = 2.75;
+            int i = d;
+            double back = i;
+            printf("%d %.1f", i, back);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "2 2.0"
+
+
+class TestLvaluesAndAggregates:
+    def test_array_element_compound_assign(self, run_c):
+        source = """
+        int main(void) {
+            int a[3] = {1, 2, 3};
+            a[1] *= 10;
+            a[0] += a[2];
+            printf("%d %d", a[0], a[1]);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "4 20"
+
+    def test_member_through_nested_pointers(self, run_c):
+        source = """
+        struct leaf { int v; };
+        struct node { struct leaf *payload; };
+        int main(void) {
+            struct leaf l;
+            struct node n;
+            struct node *p = &n;
+            l.v = 13;
+            n.payload = &l;
+            printf("%d", p->payload->v);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "13"
+
+    def test_address_of_member(self, run_c):
+        source = """
+        struct pair { int a, b; };
+        int main(void) {
+            struct pair p;
+            int *q = &p.b;
+            *q = 77;
+            printf("%d", p.b);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "77"
+
+    def test_array_inside_struct_decays(self, run_c):
+        source = """
+        struct box { int items[4]; };
+        int main(void) {
+            struct box b;
+            int *p = b.items;
+            p[2] = 5;
+            printf("%d", b.items[2]);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "5"
+
+    def test_struct_array_member_copy_on_assign(self, run_c):
+        source = """
+        struct vec { int d[3]; };
+        int main(void) {
+            struct vec a, b;
+            a.d[0] = 1; a.d[1] = 2; a.d[2] = 3;
+            b = a;
+            b.d[0] = 99;
+            printf("%d %d", a.d[0], b.d[0]);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "1 99"
+
+    def test_incdec_on_dereferenced_pointer(self, run_c):
+        source = """
+        int main(void) {
+            int x = 10;
+            int *p = &x;
+            (*p)++;
+            ++*p;
+            printf("%d", x);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "12"
+
+    def test_aggregate_condition_rejected(self, run_c):
+        with pytest.raises(InterpreterError):
+            run_c(
+                "struct s { int a; };"
+                "int main(void) { struct s v; v.a = 1;"
+                " if (v) return 1; return 0; }"
+            )
+
+    def test_literal_not_lvalue(self, run_c):
+        # Parse-level or run-level rejection both acceptable; the
+        # evaluator raises for non-lvalue assignment targets.
+        from repro.frontend.errors import FrontendError
+
+        with pytest.raises((InterpreterError, FrontendError)):
+            run_c("int main(void) { 5 = 3; return 0; }")
+
+
+class TestScopingAndInitialization:
+    def test_shadowed_local_in_block(self, run_c):
+        source = """
+        int main(void) {
+            int x = 1;
+            int first;
+            { int x = 2; first = x; }
+            printf("%d %d", first, x);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "2 1"
+
+    def test_for_scope_declaration(self, run_c):
+        source = """
+        int main(void) {
+            int total = 0;
+            for (int i = 0; i < 3; i++)
+                total += i;
+            for (int i = 10; i < 12; i++)
+                total += i;
+            printf("%d", total);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == str(0 + 1 + 2 + 10 + 11)
+
+    def test_declaration_initializer_reruns_per_iteration(self, run_c):
+        source = """
+        int main(void) {
+            int i, observed = 0;
+            for (i = 0; i < 3; i++) {
+                int fresh = 7;
+                observed += fresh;
+                fresh = 100;
+            }
+            printf("%d", observed);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "21"
+
+    def test_uninitialized_local_read_faults(self, run_c):
+        with pytest.raises(InterpreterError, match="uninitialized"):
+            run_c("int main(void) { int x; return x; }")
+
+    def test_global_initializer_ordering(self, run_c):
+        source = """
+        int base = 10;
+        int scaled = 0;
+        int main(void) {
+            printf("%d %d", base, scaled);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "10 0"
+
+    def test_enum_constants_usable_everywhere(self, run_c):
+        source = """
+        enum sizes { SMALL = 1, LARGE = 100 };
+        int table[LARGE];
+        int main(void) {
+            table[SMALL] = LARGE;
+            printf("%d", table[SMALL] + SMALL);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "101"
+
+    def test_typedef_struct_usage(self, run_c):
+        source = """
+        typedef struct point { int x, y; } Point;
+        Point origin = {0, 0};
+        int main(void) {
+            Point p;
+            p.x = 3; p.y = 4;
+            printf("%d %d", p.x - origin.x, p.y - origin.y);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "3 4"
+
+
+class TestExpressionStatements:
+    def test_comma_in_for_header(self, run_c):
+        source = """
+        int main(void) {
+            int i, j, meetings = 0;
+            for (i = 0, j = 10; i < j; i++, j--)
+                meetings++;
+            printf("%d %d %d", i, j, meetings);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "5 5 5"
+
+    def test_assignment_in_condition(self, run_c):
+        source = """
+        int next(void) {
+            static int n = 3;
+            return n--;
+        }
+        int main(void) {
+            int v, total = 0;
+            while ((v = next()) > 0)
+                total += v;
+            printf("%d", total);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "6"
+
+    def test_ternary_as_lvalue_source(self, run_c):
+        source = """
+        int main(void) {
+            int a = 1, b = 2;
+            int larger = a > b ? a : b;
+            printf("%d", larger);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "2"
+
+    def test_nested_ternary(self, c_eval):
+        assert c_eval("1 ? 2 ? 3 : 4 : 5") == 3
+
+    def test_sizeof_is_not_evaluated(self, run_c):
+        source = """
+        int calls = 0;
+        int bump(void) { calls++; return 1; }
+        int main(void) {
+            int size = sizeof(bump());
+            printf("%d %d", size, calls);
+            return 0;
+        }
+        """
+        # sizeof's operand is unevaluated in C; ours computes the type
+        # statically too.
+        assert run_c(source).stdout == "1 0"

@@ -1,0 +1,444 @@
+"""Interpreter tests: expression semantics (arithmetic, pointers,
+structs, conversions)."""
+
+import pytest
+
+from repro.interp.errors import InterpreterError
+
+
+class TestIntegerArithmetic:
+    def test_basic_operations(self, c_eval):
+        assert c_eval("2 + 3 * 4") == 14
+        assert c_eval("10 - 7") == 3
+        assert c_eval("7 / 2") == 3
+        assert c_eval("7 % 3") == 1
+
+    def test_division_truncates_toward_zero(self, c_eval):
+        assert c_eval("-7 / 2") == -3
+        assert c_eval("7 / -2") == -3
+        assert c_eval("-7 % 2") == -1
+
+    def test_division_by_zero_raises(self, run_c):
+        with pytest.raises(InterpreterError):
+            run_c("int main(void) { int z = 0; return 1 / z; }")
+
+    def test_bitwise(self, c_eval):
+        assert c_eval("0xF0 | 0x0F") == 255
+        assert c_eval("0xFF & 0xF0") == 240
+        assert c_eval("5 ^ 3") == 6
+        assert c_eval("~0") == -1
+
+    def test_shifts(self, c_eval):
+        assert c_eval("1 << 10") == 1024
+        assert c_eval("1024 >> 3") == 128
+
+    def test_comparisons_yield_zero_or_one(self, c_eval):
+        assert c_eval("3 < 4") == 1
+        assert c_eval("4 <= 4") == 1
+        assert c_eval("5 > 6") == 0
+        assert c_eval("5 != 5") == 0
+
+    def test_int_overflow_wraps(self, c_eval):
+        assert c_eval("2147483647 + 1") == -2147483648
+
+    def test_unsigned_wraps_to_zero(self, c_eval, run_c):
+        result = run_c(
+            "int main(void) { unsigned int u = 4294967295u;"
+            " u = u + 1; printf(\"%d\", u == 0); return 0; }"
+        )
+        assert result.stdout == "1"
+
+    def test_char_wraps_at_store(self, run_c):
+        result = run_c(
+            "int main(void) { char c = 200; printf(\"%d\", c);"
+            " return 0; }"
+        )
+        assert int(result.stdout) == 200 - 256
+
+    def test_negation_and_unary_plus(self, c_eval):
+        assert c_eval("-(3 + 4)") == -7
+        assert c_eval("+5") == 5
+
+    def test_logical_not(self, c_eval):
+        assert c_eval("!5") == 0
+        assert c_eval("!0") == 1
+
+
+class TestFloatingPoint:
+    def test_double_arithmetic(self, run_c):
+        result = run_c(
+            'int main(void) { double d = 1.5 * 4.0;'
+            ' printf("%.1f", d); return 0; }'
+        )
+        assert result.stdout == "6.0"
+
+    def test_mixed_int_double(self, run_c):
+        result = run_c(
+            'int main(void) { printf("%.2f", 7 / 2.0); return 0; }'
+        )
+        assert result.stdout == "3.50"
+
+    def test_float_to_int_truncates(self, c_eval):
+        assert c_eval("(int)3.9") == 3
+        assert c_eval("(int)-3.9") == -3
+
+    def test_int_to_double_conversion_on_assignment(self, run_c):
+        result = run_c(
+            'int main(void) { double d = 3; printf("%.1f", d);'
+            " return 0; }"
+        )
+        assert result.stdout == "3.0"
+
+    def test_float_division_by_zero_raises(self, run_c):
+        with pytest.raises(InterpreterError):
+            run_c(
+                "int main(void) { double z = 0.0; double d = 1.0 / z;"
+                " return (int)d; }"
+            )
+
+
+class TestShortCircuit:
+    def test_and_skips_rhs(self, run_c):
+        source = """
+        int calls = 0;
+        int bump(void) { calls++; return 1; }
+        int main(void) {
+            int r = 0 && bump();
+            printf("%d %d", r, calls);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "0 0"
+
+    def test_or_skips_rhs(self, run_c):
+        source = """
+        int calls = 0;
+        int bump(void) { calls++; return 0; }
+        int main(void) {
+            int r = 1 || bump();
+            printf("%d %d", r, calls);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "1 0"
+
+    def test_ternary_evaluates_one_arm(self, run_c):
+        source = """
+        int calls = 0;
+        int bump(int v) { calls++; return v; }
+        int main(void) {
+            int r = 1 ? 10 : bump(20);
+            printf("%d %d", r, calls);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "10 0"
+
+    def test_comma_evaluates_left_to_right(self, c_eval):
+        assert c_eval("(1, 2, 3)") == 3
+
+
+class TestAssignmentsAndIncrements:
+    def test_compound_assignments(self, run_c):
+        source = """
+        int main(void) {
+            int x = 10;
+            x += 5; x -= 3; x *= 2; x /= 4; x %= 4;
+            x <<= 3; x >>= 1; x |= 1; x &= 7; x ^= 2;
+            printf("%d", x);
+            return 0;
+        }
+        """
+        x = 10
+        x += 5; x -= 3; x *= 2; x //= 4; x %= 4
+        x <<= 3; x >>= 1; x |= 1; x &= 7; x ^= 2
+        assert int(run_c(source).stdout) == x
+
+    def test_pre_vs_post_increment(self, run_c):
+        source = """
+        int main(void) {
+            int x = 5;
+            int a = x++;
+            int b = ++x;
+            printf("%d %d %d", a, b, x);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "5 7 7"
+
+    def test_assignment_value(self, c_eval):
+        assert c_eval("(x = 42)", prelude="int x;") == 42
+
+    def test_chained_assignment(self, run_c):
+        source = (
+            "int main(void) { int a, b, c; a = b = c = 9;"
+            ' printf("%d%d%d", a, b, c); return 0; }'
+        )
+        assert run_c(source).stdout == "999"
+
+    def test_assignment_converts_to_target_type(self, run_c):
+        source = (
+            "int main(void) { int i; i = 3.7;"
+            ' printf("%d", i); return 0; }'
+        )
+        assert run_c(source).stdout == "3"
+
+
+class TestPointers:
+    def test_address_of_and_dereference(self, run_c):
+        source = (
+            "int main(void) { int x = 7; int *p = &x; *p = 9;"
+            ' printf("%d", x); return 0; }'
+        )
+        assert run_c(source).stdout == "9"
+
+    def test_pointer_arithmetic_scaled(self, run_c):
+        source = """
+        int main(void) {
+            int a[5] = {10, 20, 30, 40, 50};
+            int *p = a;
+            p = p + 2;
+            printf("%d %d %d", *p, *(p - 1), p[1]);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "30 20 40"
+
+    def test_pointer_difference(self, run_c):
+        source = """
+        int main(void) {
+            double a[8];
+            double *p = &a[6];
+            double *q = &a[2];
+            printf("%d", (int)(p - q));
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "4"
+
+    def test_pointer_increment_walks_string(self, run_c):
+        source = """
+        int main(void) {
+            char s[4];
+            char *p = s;
+            int n = 0;
+            strcpy(s, "abc");
+            while (*p++)
+                n++;
+            printf("%d", n);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "3"
+
+    def test_null_dereference_raises(self, run_c):
+        with pytest.raises(InterpreterError):
+            run_c("int main(void) { int *p = 0; return *p; }")
+
+    def test_pointer_comparisons(self, run_c):
+        source = """
+        int main(void) {
+            int a[3];
+            printf("%d %d", &a[1] > &a[0], &a[0] == a);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "1 1"
+
+    def test_pointer_to_pointer(self, run_c):
+        source = """
+        int main(void) {
+            int x = 1;
+            int *p = &x;
+            int **pp = &p;
+            **pp = 5;
+            printf("%d", x);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "5"
+
+    def test_struct_pointer_arithmetic_uses_struct_stride(self, run_c):
+        source = """
+        struct pair { int a, b; };
+        int main(void) {
+            struct pair array[3];
+            struct pair *p = array;
+            array[1].a = 42;
+            printf("%d", (p + 1)->a);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "42"
+
+
+class TestArraysAndStructs:
+    def test_array_initializer_with_zero_fill(self, run_c):
+        source = """
+        int main(void) {
+            int a[5] = {1, 2};
+            printf("%d %d %d", a[0], a[1], a[4]);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "1 2 0"
+
+    def test_two_dimensional_array(self, run_c):
+        source = """
+        int main(void) {
+            int m[3][4];
+            int i, j, total = 0;
+            for (i = 0; i < 3; i++)
+                for (j = 0; j < 4; j++)
+                    m[i][j] = i * 10 + j;
+            for (i = 0; i < 3; i++)
+                total += m[i][3];
+            printf("%d", total);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == str(3 + 13 + 23)
+
+    def test_struct_member_access(self, run_c):
+        source = """
+        struct point { int x, y; };
+        int main(void) {
+            struct point p;
+            p.x = 3;
+            p.y = 4;
+            printf("%d", p.x * p.x + p.y * p.y);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "25"
+
+    def test_struct_assignment_copies(self, run_c):
+        source = """
+        struct point { int x, y; };
+        int main(void) {
+            struct point a, b;
+            a.x = 1; a.y = 2;
+            b = a;
+            b.x = 99;
+            printf("%d %d", a.x, b.x);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "1 99"
+
+    def test_struct_passed_by_value(self, run_c):
+        source = """
+        struct point { int x, y; };
+        int manhattan(struct point p) { p.x += 100; return p.x + p.y; }
+        int main(void) {
+            struct point a;
+            a.x = 3; a.y = 4;
+            printf("%d %d", manhattan(a), a.x);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "107 3"
+
+    def test_nested_struct(self, run_c):
+        source = """
+        struct inner { int v; };
+        struct outer { struct inner i; int w; };
+        int main(void) {
+            struct outer o;
+            o.i.v = 6;
+            o.w = 7;
+            printf("%d", o.i.v * o.w);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "42"
+
+    def test_array_of_structs_with_initializers(self, run_c):
+        source = """
+        struct kv { int k; int v; };
+        struct kv table[2] = { {1, 10}, {2, 20} };
+        int main(void) {
+            printf("%d", table[0].v + table[1].v);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "30"
+
+    def test_union_shares_storage(self, run_c):
+        source = """
+        union u { int i; long l; };
+        int main(void) {
+            union u x;
+            x.i = 42;
+            printf("%d", (int)x.l);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "42"
+
+    def test_sizeof_values(self, c_eval):
+        assert c_eval("sizeof(int)") == 1
+        assert c_eval("sizeof(int[10])") == 10
+        prelude = "struct s { int a; double b[3]; };"
+        assert c_eval("sizeof(struct s)", prelude) == 4
+
+
+class TestGlobalsAndStatics:
+    def test_global_zero_initialized(self, run_c):
+        source = (
+            'int g; int main(void) { printf("%d", g); return 0; }'
+        )
+        assert run_c(source).stdout == "0"
+
+    def test_global_initializer(self, run_c):
+        source = (
+            "int g = 5 * 5;"
+            ' int main(void) { printf("%d", g); return 0; }'
+        )
+        assert run_c(source).stdout == "25"
+
+    def test_global_array_initializer(self, run_c):
+        source = """
+        int primes[4] = {2, 3, 5, 7};
+        int main(void) {
+            printf("%d", primes[0] + primes[3]);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "9"
+
+    def test_global_string(self, run_c):
+        source = """
+        char greeting[] = "hey";
+        int main(void) {
+            printf("%s %d", greeting, (int)sizeof(greeting));
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "hey 4"
+
+    def test_static_local_persists(self, run_c):
+        source = """
+        int counter(void) {
+            static int count = 0;
+            count++;
+            return count;
+        }
+        int main(void) {
+            counter(); counter();
+            printf("%d", counter());
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "3"
+
+    def test_global_pointer_to_global(self, run_c):
+        source = """
+        int value = 11;
+        int *indirect = &value;
+        int main(void) {
+            printf("%d", *indirect);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "11"

@@ -1,0 +1,129 @@
+"""Tests for estimate-driven basic-block layout."""
+
+import pytest
+
+from repro.interp.machine import Machine
+from repro.optimize import (
+    chain_blocks,
+    evaluate_layout_strategies,
+    fallthrough_fraction,
+    layout_from_estimates,
+    layout_from_profile,
+)
+from repro.profiles import Profile
+
+
+SOURCE = """
+int classify(int x) {
+    if (x < 0)
+        return -1;        /* cold: inputs are nonnegative */
+    while (x > 9)
+        x /= 10;
+    return x;
+}
+int main(void) {
+    int i, acc = 0;
+    for (i = 0; i < 40; i++)
+        acc += classify(i * i);
+    return acc & 0xff;
+}
+"""
+
+
+@pytest.fixture
+def program(compile_program):
+    return compile_program(SOURCE)
+
+
+@pytest.fixture
+def profile(program):
+    profile = Profile("t")
+    Machine(program, profile=profile).run()
+    return profile
+
+
+class TestChaining:
+    def test_layout_is_permutation(self, program):
+        for name in program.function_names:
+            layout = layout_from_estimates(program, name)
+            assert sorted(layout) == sorted(program.cfg(name).blocks)
+
+    def test_entry_block_first(self, program):
+        for name in program.function_names:
+            layout = layout_from_estimates(program, name)
+            assert layout[0] == program.cfg(name).entry_id
+
+    def test_deterministic(self, program):
+        first = layout_from_estimates(program, "classify")
+        second = layout_from_estimates(program, "classify")
+        assert first == second
+
+    def test_heaviest_arc_becomes_fallthrough(self, program):
+        cfg = program.cfg("classify")
+        # Hand-built weights: make one specific non-trivial arc
+        # dominate and check it lands adjacent.
+        edges = cfg.edges()
+        non_self = [
+            (s, t) for s, t in edges if s != t and t != cfg.entry_id
+        ]
+        heavy = non_self[-1]
+        weights = {arc: 1.0 for arc in edges}
+        weights[heavy] = 100.0
+        layout = chain_blocks(cfg, weights)
+        position = {b: i for i, b in enumerate(layout)}
+        assert position[heavy[1]] == position[heavy[0]] + 1
+
+    def test_self_loop_ignored(self, program):
+        cfg = program.cfg("classify")
+        weights = {arc: 1.0 for arc in cfg.edges()}
+        layout = chain_blocks(cfg, weights)
+        assert sorted(layout) == sorted(cfg.blocks)
+
+
+class TestFallthroughFraction:
+    def test_perfect_chain(self):
+        layout = [0, 1, 2]
+        arcs = {(0, 1): 10.0, (1, 2): 10.0}
+        assert fallthrough_fraction(layout, arcs) == 1.0
+
+    def test_no_fallthrough(self):
+        layout = [0, 1, 2]
+        arcs = {(0, 2): 10.0, (2, 1): 5.0}
+        assert fallthrough_fraction(layout, arcs) == 0.0
+
+    def test_mixed(self):
+        layout = [0, 1, 2]
+        arcs = {(0, 1): 3.0, (0, 2): 1.0}
+        assert fallthrough_fraction(layout, arcs) == 0.75
+
+    def test_empty_arcs(self):
+        assert fallthrough_fraction([0], {}) == 1.0
+
+
+class TestStrategies:
+    def test_estimate_beats_source_order(self, program, profile):
+        result = evaluate_layout_strategies(program, None, profile)
+        assert result["estimate"] >= result["original"]
+
+    def test_profile_layout_near_optimal_on_its_own_input(
+        self, program, profile
+    ):
+        result = evaluate_layout_strategies(program, profile, profile)
+        assert result["profile"] >= result["estimate"] - 0.05
+
+    def test_layout_from_profile_is_permutation(self, program, profile):
+        layout = layout_from_profile(program, "classify", profile)
+        assert sorted(layout) == sorted(program.cfg("classify").blocks)
+
+    def test_strategies_keys(self, program, profile):
+        with_training = evaluate_layout_strategies(
+            program, profile, profile
+        )
+        assert set(with_training) == {"original", "estimate", "profile"}
+        without = evaluate_layout_strategies(program, None, profile)
+        assert set(without) == {"original", "estimate"}
+
+    def test_fractions_bounded(self, program, profile):
+        result = evaluate_layout_strategies(program, profile, profile)
+        for value in result.values():
+            assert 0.0 <= value <= 1.0

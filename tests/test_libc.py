@@ -1,0 +1,393 @@
+"""Tests for the runtime library (libc subset)."""
+
+import pytest
+
+from repro.frontend.builtins_list import BUILTIN_FUNCTIONS
+from repro.interp.errors import InterpreterError
+from repro.interp.libc import IMPLEMENTED_BUILTINS
+
+
+def test_every_declared_builtin_is_implemented():
+    missing = set(BUILTIN_FUNCTIONS) - set(IMPLEMENTED_BUILTINS)
+    assert not missing
+
+
+def test_every_implemented_builtin_is_declared():
+    extra = set(IMPLEMENTED_BUILTINS) - set(BUILTIN_FUNCTIONS)
+    assert not extra
+
+
+class TestPrintf:
+    def check(self, run_c, fmt_call, expected):
+        source = f"int main(void) {{ {fmt_call}; return 0; }}"
+        assert run_c(source).stdout == expected
+
+    def test_plain_text(self, run_c):
+        self.check(run_c, 'printf("hello")', "hello")
+
+    def test_int(self, run_c):
+        self.check(run_c, 'printf("%d", -42)', "-42")
+
+    def test_multiple_args(self, run_c):
+        self.check(run_c, 'printf("%d+%d=%d", 1, 2, 3)', "1+2=3")
+
+    def test_width_and_zero_pad(self, run_c):
+        self.check(run_c, 'printf("%5d|%05d", 42, 42)', "   42|00042")
+
+    def test_left_align(self, run_c):
+        self.check(run_c, 'printf("%-4d|", 7)', "7   |")
+
+    def test_string_and_char(self, run_c):
+        self.check(run_c, 'printf("%s %c", "hi", 65)', "hi A")
+
+    def test_percent_escape(self, run_c):
+        self.check(run_c, 'printf("100%%")', "100%")
+
+    def test_hex_and_octal(self, run_c):
+        self.check(run_c, 'printf("%x %X %o", 255, 255, 8)', "ff FF 10")
+
+    def test_float_formats(self, run_c):
+        self.check(run_c, 'printf("%.2f %g", 3.14159, 0.5)', "3.14 0.5")
+
+    def test_long_modifier(self, run_c):
+        self.check(run_c, 'printf("%ld", 123456789l)', "123456789")
+
+    def test_star_width(self, run_c):
+        self.check(run_c, 'printf("%*d", 5, 1)', "    1")
+
+    def test_unsigned(self, run_c):
+        self.check(run_c, 'printf("%u", 7)', "7")
+
+    def test_sprintf(self, run_c):
+        source = """
+        int main(void) {
+            char buf[32];
+            int n = sprintf(buf, "x=%d", 5);
+            printf("%s %d", buf, n);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "x=5 3"
+
+    def test_return_value_is_length(self, run_c):
+        self.check(run_c, 'printf("%d", printf("ab"))', "ab2")
+
+
+class TestStdio:
+    def test_puts_appends_newline(self, run_c):
+        result = run_c('int main(void) { puts("line"); return 0; }')
+        assert result.stdout == "line\n"
+
+    def test_putchar(self, run_c):
+        result = run_c(
+            "int main(void) { putchar('o'); putchar('k'); return 0; }"
+        )
+        assert result.stdout == "ok"
+
+    def test_getchar_eof(self, run_c):
+        source = (
+            'int main(void) { printf("%d", getchar()); return 0; }'
+        )
+        assert run_c(source, stdin="").stdout == "-1"
+
+    def test_gets_reads_lines(self, run_c):
+        source = """
+        int main(void) {
+            char buf[32];
+            while (gets(buf))
+                printf("[%s]", buf);
+            return 0;
+        }
+        """
+        assert run_c(source, stdin="ab\ncd\n").stdout == "[ab][cd]"
+
+    def test_gets_returns_null_at_eof(self, run_c):
+        source = """
+        int main(void) {
+            char buf[8];
+            printf("%d", gets(buf) == 0);
+            return 0;
+        }
+        """
+        assert run_c(source, stdin="").stdout == "1"
+
+
+class TestStrings:
+    def test_strlen(self, run_c):
+        source = (
+            'int main(void) { printf("%d", (int)strlen("hello"));'
+            " return 0; }"
+        )
+        assert run_c(source).stdout == "5"
+
+    def test_strcmp_orderings(self, run_c):
+        source = """
+        int main(void) {
+            printf("%d %d %d",
+                   strcmp("abc", "abc") == 0,
+                   strcmp("abc", "abd") < 0,
+                   strcmp("b", "a") > 0);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "1 1 1"
+
+    def test_strncmp_limits(self, run_c):
+        source = (
+            'int main(void) { printf("%d",'
+            ' strncmp("abcX", "abcY", 3)); return 0; }'
+        )
+        assert run_c(source).stdout == "0"
+
+    def test_strcpy_strcat(self, run_c):
+        source = """
+        int main(void) {
+            char buf[16];
+            strcpy(buf, "foo");
+            strcat(buf, "bar");
+            printf("%s", buf);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "foobar"
+
+    def test_strncpy_pads(self, run_c):
+        source = """
+        int main(void) {
+            char buf[6];
+            int i, zeros = 0;
+            strncpy(buf, "ab", 5);
+            for (i = 0; i < 5; i++)
+                zeros += buf[i] == 0;
+            printf("%s %d", buf, zeros);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "ab 3"
+
+    def test_strchr_found_and_missing(self, run_c):
+        source = """
+        int main(void) {
+            char *s = "hello";
+            char *e = strchr(s, 'l');
+            printf("%d %d", (int)(e - s), strchr(s, 'z') == 0);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "2 1"
+
+    def test_strstr(self, run_c):
+        source = """
+        int main(void) {
+            char *h = "needle in haystack";
+            printf("%d %d",
+                   (int)(strstr(h, "in") - h),
+                   strstr(h, "xyz") == 0);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "7 1"
+
+    def test_memset_memcpy_memcmp(self, run_c):
+        source = """
+        int main(void) {
+            int a[4], b[4];
+            memset(a, 0, 4);
+            a[2] = 9;
+            memcpy(b, a, 4);
+            printf("%d %d", b[2], memcmp(a, b, 4));
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "9 0"
+
+
+class TestStdlib:
+    def test_malloc_and_use(self, run_c):
+        source = """
+        int main(void) {
+            int *p = malloc(10 * sizeof(int));
+            int i, total = 0;
+            for (i = 0; i < 10; i++) p[i] = i;
+            for (i = 0; i < 10; i++) total += p[i];
+            free(p);
+            printf("%d", total);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "45"
+
+    def test_calloc_zeroes(self, run_c):
+        source = """
+        int main(void) {
+            int *p = calloc(5, sizeof(int));
+            printf("%d", p[0] + p[4]);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "0"
+
+    def test_realloc_preserves_prefix(self, run_c):
+        source = """
+        int main(void) {
+            int *p = malloc(2);
+            int *q;
+            p[0] = 11; p[1] = 22;
+            q = realloc(p, 4);
+            printf("%d %d", q[0], q[1]);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "11 22"
+
+    def test_free_null_is_noop(self, run_c):
+        assert run_c("int main(void) { free(0); return 0; }").status == 0
+
+    def test_double_free_raises(self, run_c):
+        with pytest.raises(InterpreterError):
+            run_c(
+                "int main(void) { int *p = malloc(1); free(p);"
+                " free(p); return 0; }"
+            )
+
+    def test_atoi(self, run_c):
+        source = (
+            'int main(void) { printf("%d %d %d", atoi("42"),'
+            ' atoi("  -7"), atoi("9x")); return 0; }'
+        )
+        assert run_c(source).stdout == "42 -7 9"
+
+    def test_atof(self, run_c):
+        source = (
+            'int main(void) { printf("%.2f", atof("2.5")); return 0; }'
+        )
+        assert run_c(source).stdout == "2.50"
+
+    def test_abs(self, run_c):
+        source = (
+            'int main(void) { printf("%d %d", abs(-4), abs(4));'
+            " return 0; }"
+        )
+        assert run_c(source).stdout == "4 4"
+
+    def test_rand_deterministic_and_srand(self, run_c):
+        source = """
+        int main(void) {
+            int a, b;
+            srand(42);
+            a = rand();
+            srand(42);
+            b = rand();
+            printf("%d %d", a == b, a >= 0 && a < 32768);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "1 1"
+
+    def test_qsort_ints(self, run_c):
+        source = """
+        int compare(void *a, void *b) {
+            return *(int *)a - *(int *)b;
+        }
+        int main(void) {
+            int a[6] = {5, 2, 9, 1, 7, 3};
+            int i;
+            qsort(a, 6, sizeof(int), compare);
+            for (i = 0; i < 6; i++) printf("%d", a[i]);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "123579"
+
+    def test_qsort_structs(self, run_c):
+        source = """
+        struct item { int key; int payload; };
+        int by_key(void *a, void *b) {
+            return ((struct item *)a)->key - ((struct item *)b)->key;
+        }
+        int main(void) {
+            struct item items[3];
+            items[0].key = 3; items[0].payload = 30;
+            items[1].key = 1; items[1].payload = 10;
+            items[2].key = 2; items[2].payload = 20;
+            qsort(items, 3, sizeof(struct item), by_key);
+            printf("%d%d%d", items[0].payload, items[1].payload,
+                   items[2].payload);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "102030"
+
+
+class TestCtypeAndMath:
+    def test_ctype_predicates(self, run_c):
+        source = """
+        int main(void) {
+            printf("%d%d%d%d%d",
+                   isdigit('5'), isalpha('a'), isspace(' '),
+                   isupper('A'), islower('A'));
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "11110"
+
+    def test_case_conversion(self, run_c):
+        source = """
+        int main(void) {
+            printf("%c%c", toupper('a'), tolower('Z'));
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "Az"
+
+    def test_math_functions(self, run_c):
+        source = """
+        int main(void) {
+            printf("%.1f %.1f %.1f %.1f",
+                   sqrt(16.0), fabs(-2.5), pow(2.0, 10.0),
+                   floor(3.7));
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "4.0 2.5 1024.0 3.0"
+
+    def test_trig_identity(self, run_c):
+        source = """
+        int main(void) {
+            double x = 0.7;
+            double v = sin(x) * sin(x) + cos(x) * cos(x);
+            printf("%d", fabs(v - 1.0) < 0.0000001);
+            return 0;
+        }
+        """
+        assert run_c(source).stdout == "1"
+
+    def test_sqrt_domain_error_raises(self, run_c):
+        with pytest.raises(InterpreterError):
+            run_c(
+                "int main(void) { double x = -1.0;"
+                " return (int)sqrt(x); }"
+            )
+
+    def test_fmod(self, run_c):
+        source = (
+            'int main(void) { printf("%.1f", fmod(7.5, 2.0));'
+            " return 0; }"
+        )
+        assert run_c(source).stdout == "1.5"
+
+
+class TestErrors:
+    def test_exit_status_propagates(self, run_c):
+        assert run_c("int main(void) { exit(42); }").status == 42
+
+    def test_assert_fail_aborts(self, run_c):
+        result = run_c(
+            'int main(void) { __assert_fail("x > 0", 12); return 0; }'
+        )
+        assert result.aborted
+        assert "x > 0" in result.stdout
+
+    def test_unknown_function_raises(self, run_c):
+        with pytest.raises(InterpreterError, match="undefined"):
+            run_c("int main(void) { return mystery(); }")

@@ -1,0 +1,122 @@
+"""Tests for the dense linear solver, with numpy as oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import (
+    SingularMatrixError,
+    identity_minus,
+    residual_norm,
+    solve_linear_system,
+)
+
+
+class TestSolve:
+    def test_identity(self):
+        solution = solve_linear_system(
+            [[1.0, 0.0], [0.0, 1.0]], [3.0, 4.0]
+        )
+        assert solution == [3.0, 4.0]
+
+    def test_two_by_two(self):
+        solution = solve_linear_system(
+            [[2.0, 1.0], [1.0, 3.0]], [5.0, 10.0]
+        )
+        assert solution[0] == pytest.approx(1.0)
+        assert solution[1] == pytest.approx(3.0)
+
+    def test_requires_pivoting(self):
+        # Leading zero forces a row swap.
+        matrix = [[0.0, 1.0], [1.0, 0.0]]
+        assert solve_linear_system(matrix, [2.0, 3.0]) == [3.0, 2.0]
+
+    def test_singular_raises(self):
+        with pytest.raises(SingularMatrixError):
+            solve_linear_system([[1.0, 2.0], [2.0, 4.0]], [1.0, 2.0])
+
+    def test_zero_matrix_raises(self):
+        with pytest.raises(SingularMatrixError):
+            solve_linear_system([[0.0]], [1.0])
+
+    def test_inputs_not_modified(self):
+        matrix = [[2.0, 0.0], [0.0, 2.0]]
+        rhs = [2.0, 4.0]
+        solve_linear_system(matrix, rhs)
+        assert matrix == [[2.0, 0.0], [0.0, 2.0]]
+        assert rhs == [2.0, 4.0]
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            solve_linear_system([[1.0, 2.0]], [1.0])
+
+    def test_rhs_size_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            solve_linear_system([[1.0]], [1.0, 2.0])
+
+    def test_strchr_flow_system(self):
+        # The paper's Figure 7 system, solved directly.
+        # Order: entry, while, if, return1, incr, return2.
+        matrix = [
+            [1, 0, 0, 0, 0, 0],
+            [-1, 1, 0, 0, -1, 0],
+            [0, -0.8, 1, 0, 0, 0],
+            [0, 0, -0.2, 1, 0, 0],
+            [0, 0, -0.8, 0, 1, 0],
+            [0, -0.2, 0, 0, 0, 1],
+        ]
+        rhs = [1, 0, 0, 0, 0, 0]
+        solution = solve_linear_system(matrix, rhs)
+        assert solution[1] == pytest.approx(2.7777, abs=1e-3)
+        assert solution[2] == pytest.approx(2.2222, abs=1e-3)
+        assert solution[4] == pytest.approx(1.7777, abs=1e-3)
+
+
+class TestHelpers:
+    def test_identity_minus(self):
+        result = identity_minus([[0.5, 0.2], [0.0, 0.1]])
+        assert result == [[0.5, -0.2], [0.0, 0.9]]
+
+    def test_residual_norm_of_exact_solution(self):
+        matrix = [[2.0, 1.0], [1.0, 3.0]]
+        rhs = [5.0, 10.0]
+        solution = solve_linear_system(matrix, rhs)
+        assert residual_norm(matrix, solution, rhs) < 1e-9
+
+    def test_residual_norm_detects_error(self):
+        assert residual_norm([[1.0]], [2.0], [1.0]) == 1.0
+
+
+_matrix_entries = st.floats(min_value=-10.0, max_value=10.0)
+
+
+@st.composite
+def _well_conditioned_systems(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    matrix = [
+        [draw(_matrix_entries) for _ in range(n)] for _ in range(n)
+    ]
+    # Diagonal dominance guarantees non-singularity.
+    for i in range(n):
+        off = sum(abs(matrix[i][j]) for j in range(n) if j != i)
+        matrix[i][i] = off + draw(st.floats(1.0, 5.0))
+    rhs = [draw(_matrix_entries) for _ in range(n)]
+    return matrix, rhs
+
+
+@given(_well_conditioned_systems())
+@settings(max_examples=60)
+def test_solution_matches_numpy(system):
+    matrix, rhs = system
+    ours = solve_linear_system(matrix, rhs)
+    oracle = np.linalg.solve(np.array(matrix), np.array(rhs))
+    assert np.allclose(ours, oracle, atol=1e-8)
+
+
+@given(_well_conditioned_systems())
+@settings(max_examples=60)
+def test_residual_small(system):
+    matrix, rhs = system
+    solution = solve_linear_system(matrix, rhs)
+    assert residual_norm(matrix, solution, rhs) < 1e-6

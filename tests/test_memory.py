@@ -1,0 +1,151 @@
+"""Tests for the cell-addressed memory model."""
+
+import pytest
+
+from repro.interp.errors import InterpreterError
+from repro.interp.memory import HEAP_BASE, Memory
+
+
+class TestStack:
+    def test_alloc_returns_distinct_addresses(self):
+        memory = Memory()
+        a = memory.stack_alloc(3)
+        b = memory.stack_alloc(2)
+        assert b == a + 3
+
+    def test_store_and_load(self):
+        memory = Memory()
+        address = memory.stack_alloc(1)
+        memory.store(address, 42)
+        assert memory.load(address) == 42
+
+    def test_release_reclaims(self):
+        memory = Memory()
+        mark = memory.stack_mark()
+        address = memory.stack_alloc(4)
+        memory.store(address, 1)
+        memory.stack_release(mark)
+        assert not memory.valid(address)
+
+    def test_realloc_after_release_reuses_space(self):
+        memory = Memory()
+        mark = memory.stack_mark()
+        first = memory.stack_alloc(2)
+        memory.stack_release(mark)
+        second = memory.stack_alloc(2)
+        assert first == second
+
+    def test_stack_overflow_raises(self):
+        memory = Memory(stack_limit=10)
+        with pytest.raises(InterpreterError, match="overflow"):
+            memory.stack_alloc(11)
+
+    def test_negative_size_raises(self):
+        with pytest.raises(InterpreterError):
+            Memory().stack_alloc(-1)
+
+
+class TestHeap:
+    def test_heap_addresses_above_base(self):
+        memory = Memory()
+        assert memory.heap_alloc(1) >= HEAP_BASE
+
+    def test_heap_and_stack_disjoint(self):
+        memory = Memory()
+        stack_addr = memory.stack_alloc(1)
+        heap_addr = memory.heap_alloc(1)
+        memory.store(stack_addr, 1)
+        memory.store(heap_addr, 2)
+        assert memory.load(stack_addr) == 1
+        assert memory.load(heap_addr) == 2
+
+    def test_zero_size_allocation_gets_one_cell(self):
+        memory = Memory()
+        address = memory.heap_alloc(0)
+        memory.store(address, 5)
+        assert memory.load(address) == 5
+
+    def test_block_size_tracked(self):
+        memory = Memory()
+        address = memory.heap_alloc(7)
+        assert memory.heap_block_size(address) == 7
+        assert memory.heap_block_size(address + 1) is None
+
+    def test_free_unknown_address_raises(self):
+        memory = Memory()
+        memory.heap_alloc(4)
+        with pytest.raises(InterpreterError):
+            memory.free(12345)
+
+    def test_free_null_noop(self):
+        Memory().free(0)
+
+    def test_heap_limit(self):
+        memory = Memory(heap_limit=8)
+        with pytest.raises(InterpreterError, match="exhausted"):
+            memory.heap_alloc(9)
+
+
+class TestAccessErrors:
+    def test_null_load_raises(self):
+        with pytest.raises(InterpreterError, match="NULL"):
+            Memory().load(0)
+
+    def test_out_of_range_stack(self):
+        with pytest.raises(InterpreterError):
+            Memory().load(5)
+
+    def test_out_of_range_heap(self):
+        with pytest.raises(InterpreterError):
+            Memory().load(HEAP_BASE + 100)
+
+    def test_uninitialized_read_raises(self):
+        memory = Memory()
+        address = memory.stack_alloc(1)
+        with pytest.raises(InterpreterError, match="uninitialized"):
+            memory.load(address)
+
+    def test_load_or_none_tolerates_uninitialized(self):
+        memory = Memory()
+        address = memory.stack_alloc(1)
+        assert memory.load_or_none(address) is None
+
+
+class TestBulkOperations:
+    def test_copy_cells(self):
+        memory = Memory()
+        src = memory.heap_alloc(3)
+        dst = memory.heap_alloc(3)
+        for i, v in enumerate([1, 2, 3]):
+            memory.store(src + i, v)
+        memory.copy_cells(dst, src, 3)
+        assert [memory.load(dst + i) for i in range(3)] == [1, 2, 3]
+
+    def test_copy_overlapping_forward(self):
+        memory = Memory()
+        base = memory.heap_alloc(4)
+        for i in range(4):
+            memory.store(base + i, i)
+        memory.copy_cells(base + 1, base, 3)
+        assert [memory.load(base + i) for i in range(4)] == [0, 0, 1, 2]
+
+    def test_fill_cells(self):
+        memory = Memory()
+        base = memory.heap_alloc(4)
+        memory.fill_cells(base, 9, 4)
+        assert all(memory.load(base + i) == 9 for i in range(4))
+
+    def test_c_string_roundtrip(self):
+        memory = Memory()
+        base = memory.heap_alloc(16)
+        memory.write_c_string(base, "hello")
+        assert memory.read_c_string(base) == "hello"
+        assert memory.load(base + 5) == 0
+
+    def test_read_unterminated_string_raises(self):
+        memory = Memory()
+        base = memory.heap_alloc(3)
+        for i in range(3):
+            memory.store(base + i, ord("x"))
+        with pytest.raises(InterpreterError):
+            memory.read_c_string(base, limit=3)

@@ -1,0 +1,274 @@
+"""Tests for CFG-level predictors and miss-rate scoring."""
+
+import pytest
+
+from repro.interp.machine import Machine
+from repro.prediction import (
+    HeuristicPredictor,
+    ProfilePredictor,
+    UniformPredictor,
+    measure_miss_rate,
+    measure_psp_miss_rate,
+)
+from repro.prediction.predictor import label_weighted_switch_weights
+from repro.profiles import Profile, aggregate_profiles
+
+
+def run_with_profile(program, stdin=""):
+    profile = Profile(program.name)
+    Machine(program, stdin=stdin, profile=profile).run()
+    return profile
+
+
+class TestHeuristicPredictor:
+    def test_branch_prediction_dispatch(self, compile_program):
+        program = compile_program(
+            "int f(int *p) { if (p) return 1; return 0; }"
+            "int main(void) { return f(0); }"
+        )
+        predictor = HeuristicPredictor()
+        cfg = program.cfg("f")
+        (block, branch), = cfg.conditional_branches()
+        prediction = predictor.predict_branch("f", block, branch)
+        assert prediction.reason == "pointer"
+
+    def test_switch_weights_by_labels(self, compile_program):
+        program = compile_program(
+            """
+            int f(int x) {
+                switch (x) {
+                case 1: case 2: return 1;
+                case 3: return 2;
+                }
+                return 0;
+            }
+            int main(void) { return f(1); }
+            """
+        )
+        cfg = program.cfg("f")
+        (block, switch), = cfg.switch_branches()
+        weights = HeuristicPredictor().switch_weights("f", block, switch)
+        assert sum(weights.values()) == pytest.approx(1.0)
+        two_label_arm = next(
+            arm.target for arm in switch.arms if 1 in arm.values
+        )
+        one_label_arm = next(
+            arm.target for arm in switch.arms if 3 in arm.values
+        )
+        assert weights[two_label_arm] == pytest.approx(0.5)
+        assert weights[one_label_arm] == pytest.approx(0.25)
+        assert weights[switch.default_target] == pytest.approx(0.25)
+
+    def test_label_weight_helper_dedups_targets(self, compile_program):
+        program = compile_program(
+            """
+            int f(int x) {
+                switch (x) { case 1: return 1; }
+                return 0;
+            }
+            int main(void) { return f(2); }
+            """
+        )
+        (block, switch), = program.cfg("f").switch_branches()
+        weights = label_weighted_switch_weights(switch)
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+
+class TestUniformPredictor:
+    def test_loop_gets_loop_probability(self, compile_program):
+        program = compile_program(
+            "int main(void) { int n = 3; while (n) n--; return 0; }"
+        )
+        cfg = program.cfg("main")
+        (block, branch), = cfg.conditional_branches()
+        prediction = UniformPredictor().predict_branch(
+            "main", block, branch
+        )
+        assert prediction.taken_probability == pytest.approx(0.8)
+
+    def test_if_is_fifty_fifty(self, compile_program):
+        program = compile_program(
+            "int main(void) { int x = 1; if (x) x = 2; return x; }"
+        )
+        (block, branch), = program.cfg("main").conditional_branches()
+        prediction = UniformPredictor().predict_branch(
+            "main", block, branch
+        )
+        assert prediction.taken_probability == 0.5
+
+
+class TestProfilePredictor:
+    def test_majority_direction(self, compile_program):
+        program = compile_program(
+            """
+            int main(void) {
+                int i, acc = 0;
+                for (i = 0; i < 10; i++)
+                    if (i < 8) acc++;
+                return acc;
+            }
+            """
+        )
+        profile = run_with_profile(program)
+        predictor = ProfilePredictor(profile)
+        cfg = program.cfg("main")
+        branches = cfg.conditional_branches()
+        if_branch = next(
+            (block, branch)
+            for block, branch in branches
+            if branch.kind == "if"
+        )
+        prediction = predictor.predict_branch(
+            "main", if_branch[0], if_branch[1]
+        )
+        assert prediction.predicted_taken
+        assert prediction.taken_probability == pytest.approx(0.8)
+
+    def test_unseen_branch_falls_back(self, compile_program):
+        program = compile_program(
+            "int f(int x) { if (x) return 1; return 0; }"
+            "int main(void) { return 0; }"
+        )
+        profile = run_with_profile(program)  # f never runs
+        predictor = ProfilePredictor(profile)
+        (block, branch), = program.cfg("f").conditional_branches()
+        prediction = predictor.predict_branch("f", block, branch)
+        assert prediction.reason == "profile-unseen"
+
+    def test_fallback_predictor_used(self, compile_program):
+        program = compile_program(
+            "int f(int *p) { if (p) return 1; return 0; }"
+            "int main(void) { return 0; }"
+        )
+        profile = run_with_profile(program)
+        predictor = ProfilePredictor(
+            profile, fallback=HeuristicPredictor()
+        )
+        (block, branch), = program.cfg("f").conditional_branches()
+        prediction = predictor.predict_branch("f", block, branch)
+        assert prediction.reason == "pointer"
+
+
+class TestMissRates:
+    SOURCE = """
+    int main(void) {
+        int i, acc = 0;
+        for (i = 0; i < 100; i++)
+            if (i % 10 == 0)   /* taken 10% of the time */
+                acc++;
+        return acc;
+    }
+    """
+
+    def test_psp_miss_rate_is_minimum(self, compile_program):
+        program = compile_program(self.SOURCE)
+        profile = run_with_profile(program)
+        psp = measure_psp_miss_rate(program, profile)
+        heuristic = measure_miss_rate(
+            program, HeuristicPredictor(), profile
+        )
+        assert psp.miss_rate <= heuristic.miss_rate + 1e-12
+
+    def test_heuristic_gets_the_mod_test_right(self, compile_program):
+        # i % 10 == 0 -> opcode-eq predicts false: misses only the 10
+        # taken executions of 100.
+        program = compile_program(self.SOURCE)
+        profile = run_with_profile(program)
+        report = measure_miss_rate(
+            program, HeuristicPredictor(), profile
+        )
+        if_misses = 10
+        loop_misses = 1  # final exit of the for loop
+        assert report.misses == if_misses + loop_misses
+
+    def test_constant_branches_excluded(self, compile_program):
+        program = compile_program(
+            """
+            int main(void) {
+                int n = 0;
+                while (1) {
+                    n++;
+                    if (n > 4) break;
+                }
+                return n;
+            }
+            """
+        )
+        profile = run_with_profile(program)
+        report = measure_miss_rate(
+            program, HeuristicPredictor(), profile
+        )
+        assert report.excluded_constant == 5  # while(1) tested 5 times
+
+    def test_zero_branch_program(self, compile_program):
+        program = compile_program("int main(void) { return 0; }")
+        profile = run_with_profile(program)
+        report = measure_miss_rate(
+            program, HeuristicPredictor(), profile
+        )
+        assert report.total == 0
+        assert report.miss_rate == 0.0
+
+    def test_aggregate_profile_prediction(self, compile_program):
+        program = compile_program(self.SOURCE)
+        profiles = [run_with_profile(program) for _ in range(2)]
+        aggregate = aggregate_profiles(profiles)
+        report = measure_miss_rate(
+            program, ProfilePredictor(aggregate), profiles[0]
+        )
+        # Identical runs: aggregate prediction equals PSP.
+        psp = measure_psp_miss_rate(program, profiles[0])
+        assert report.miss_rate == pytest.approx(psp.miss_rate)
+
+
+class TestSwitchFraction:
+    def test_program_without_switches_is_zero(self, compile_program):
+        from repro.prediction import switch_branch_fraction
+
+        program = compile_program(
+            """
+            int main(void) {
+                int i, acc = 0;
+                for (i = 0; i < 5; i++) acc += i;
+                return acc;
+            }
+            """
+        )
+        profile = run_with_profile(program)
+        assert switch_branch_fraction(program, profile) == 0.0
+
+    def test_switch_heavy_program(self, compile_program):
+        from repro.prediction import switch_branch_fraction
+
+        program = compile_program(
+            """
+            int main(void) {
+                int i, acc = 0;
+                for (i = 0; i < 10; i++)
+                    switch (i % 3) {
+                    case 0: acc += 1; break;
+                    case 1: acc += 2; break;
+                    default: acc += 3;
+                    }
+                return acc;
+            }
+            """
+        )
+        profile = run_with_profile(program)
+        fraction = switch_branch_fraction(program, profile)
+        # 10 switch executions vs 11 loop tests.
+        assert fraction == pytest.approx(10 / 21)
+
+    def test_suite_matches_paper_footnote(self):
+        # The paper: switches "account for less than 3% of dynamic
+        # branches on average".  Check the switch-heaviest program.
+        from repro.prediction import switch_branch_fraction
+        from repro.suite import collect_profiles, load_program
+
+        program = load_program("cc")
+        profiles = collect_profiles("cc")
+        fraction = sum(
+            switch_branch_fraction(program, profile)
+            for profile in profiles
+        ) / len(profiles)
+        assert fraction < 0.05

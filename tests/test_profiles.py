@@ -1,0 +1,171 @@
+"""Tests for profile recording, normalization, and aggregation."""
+
+import pytest
+
+from repro.profiles import (
+    BranchOutcome,
+    Profile,
+    aggregate_profiles,
+    leave_one_out_aggregates,
+    normalized_copy,
+)
+
+
+def make_profile(name, block_count, entries=1.0):
+    profile = Profile("prog", name)
+    for _ in range(int(block_count)):
+        profile.record_block("f", 0)
+    profile.function_entries["f"] = entries
+    return profile
+
+
+class TestRecording:
+    def test_block_counts(self):
+        profile = Profile()
+        profile.record_block("f", 3)
+        profile.record_block("f", 3)
+        profile.record_block("g", 1)
+        assert profile.block_counts["f"][3] == 2
+        assert profile.block_counts["g"][1] == 1
+        assert profile.total_block_executions == 3
+
+    def test_arc_counts(self):
+        profile = Profile()
+        profile.record_arc("f", 0, 1)
+        profile.record_arc("f", 0, 1)
+        profile.record_arc("f", 0, 2)
+        assert profile.arc_counts["f"][(0, 1)] == 2
+        assert profile.arc_counts["f"][(0, 2)] == 1
+
+    def test_branch_outcomes(self):
+        profile = Profile()
+        profile.record_branch("f", 5, True)
+        profile.record_branch("f", 5, True)
+        profile.record_branch("f", 5, False)
+        outcome = profile.branch_outcomes["f"][5]
+        assert outcome.taken == 2
+        assert outcome.not_taken == 1
+        assert outcome.total == 3
+        assert outcome.majority_taken
+
+    def test_misses_if_predicted(self):
+        outcome = BranchOutcome(taken=7, not_taken=3)
+        assert outcome.misses_if_predicted(True) == 3
+        assert outcome.misses_if_predicted(False) == 7
+
+    def test_call_counts(self):
+        profile = Profile()
+        profile.record_call(101, "f")
+        profile.record_call(101, "f")
+        profile.record_call(101, "g")
+        assert profile.call_site_count(101) == 3
+        assert profile.call_target_counts[(101, "f")] == 2
+
+    def test_entry_count_default_zero(self):
+        assert Profile().entry_count("nope") == 0.0
+
+
+class TestCopyAndScale:
+    def test_copy_is_independent(self):
+        profile = make_profile("a", 10)
+        duplicate = profile.copy()
+        duplicate.record_block("f", 0)
+        assert profile.block_counts["f"][0] == 10
+        assert duplicate.block_counts["f"][0] == 11
+
+    def test_copy_preserves_branches(self):
+        profile = Profile()
+        profile.record_branch("f", 1, True)
+        duplicate = profile.copy()
+        duplicate.branch_outcomes["f"][1].taken += 5
+        assert profile.branch_outcomes["f"][1].taken == 1
+
+    def test_scale(self):
+        profile = make_profile("a", 10, entries=2.0)
+        profile.scale(0.5)
+        assert profile.block_counts["f"][0] == 5.0
+        assert profile.function_entries["f"] == 1.0
+        assert profile.total_block_executions == 5.0
+
+
+class TestNormalization:
+    def test_normalized_copy_hits_target(self):
+        profile = make_profile("a", 10)
+        scaled = normalized_copy(profile, 100.0)
+        assert scaled.total_block_executions == pytest.approx(100.0)
+        assert profile.total_block_executions == 10.0  # unchanged
+
+    def test_normalizing_empty_profile_is_safe(self):
+        empty = Profile("prog", "empty")
+        scaled = normalized_copy(empty, 100.0)
+        assert scaled.total_block_executions == 0.0
+
+
+class TestAggregation:
+    def test_aggregate_normalizes_then_sums(self):
+        small = make_profile("small", 10)
+        large = make_profile("large", 1000)
+        aggregate = aggregate_profiles([small, large])
+        # Both normalized to 1000 then summed: equal influence.
+        assert aggregate.block_counts["f"][0] == pytest.approx(2000.0)
+
+    def test_aggregate_input_name_concatenates(self):
+        aggregate = aggregate_profiles(
+            [make_profile("a", 1), make_profile("b", 1)]
+        )
+        assert aggregate.input_name == "a+b"
+
+    def test_aggregate_preserves_relative_shape(self):
+        # One profile dominated by block 0, another by block 1 — the
+        # aggregate must weigh them equally after normalization.
+        p1 = Profile("prog", "p1")
+        for _ in range(9):
+            p1.record_block("f", 0)
+        p1.record_block("f", 1)
+        p2 = Profile("prog", "p2")
+        for _ in range(90):
+            p2.record_block("f", 1)
+        for _ in range(10):
+            p2.record_block("f", 0)
+        aggregate = aggregate_profiles([p1, p2])
+        share0 = aggregate.block_counts["f"][0]
+        share1 = aggregate.block_counts["f"][1]
+        assert share0 == pytest.approx(100.0)
+        assert share1 == pytest.approx(100.0)
+
+    def test_aggregate_branch_outcomes_summed(self):
+        p1 = Profile()
+        p1.record_block("f", 0)
+        p1.record_branch("f", 0, True)
+        p2 = Profile()
+        p2.record_block("f", 0)
+        p2.record_branch("f", 0, False)
+        aggregate = aggregate_profiles([p1, p2])
+        outcome = aggregate.branch_outcomes["f"][0]
+        assert outcome.taken == 1
+        assert outcome.not_taken == 1
+
+    def test_aggregate_empty_list_raises(self):
+        with pytest.raises(ValueError):
+            aggregate_profiles([])
+
+
+class TestLeaveOneOut:
+    def test_pairs_cover_all_profiles(self):
+        profiles = [make_profile(str(i), 10 * (i + 1)) for i in range(4)]
+        pairs = leave_one_out_aggregates(profiles)
+        assert len(pairs) == 4
+        held_out = [pair[0] for pair in pairs]
+        assert held_out == profiles
+
+    def test_aggregate_excludes_held_out(self):
+        profiles = [make_profile(str(i), 10) for i in range(3)]
+        pairs = leave_one_out_aggregates(profiles)
+        for held_out, aggregate in pairs:
+            assert held_out.input_name not in aggregate.input_name.split(
+                "+"
+            )
+
+    def test_needs_two_profiles(self):
+        with pytest.raises(ValueError):
+            leave_one_out_aggregates([make_profile("only", 1)])

@@ -1,0 +1,165 @@
+"""Cross-cutting property-based tests.
+
+The central oracle: for randomly generated constant C expressions, the
+constant folder, the interpreter, and Python must all agree.  Plus
+flow-conservation invariants linking profiles, estimators, and CFGs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimators.intra import markov_estimator, smart_estimator
+from repro.interp.machine import Machine
+from repro.profiles import Profile
+from repro.program import Program
+
+# ----------------------------------------------------------------------
+# Random constant-expression generator (int arithmetic, C-safe).
+
+_small_ints = st.integers(min_value=0, max_value=50)
+
+
+@st.composite
+def _int_expressions(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        return str(draw(_small_ints))
+    kind = draw(st.sampled_from(["bin", "neg", "ternary", "cmp"]))
+    left = draw(_int_expressions(depth=depth - 1))
+    if kind == "neg":
+        return f"(-{left})"
+    right = draw(_int_expressions(depth=depth - 1))
+    if kind == "bin":
+        op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^"]))
+        return f"({left} {op} {right})"
+    if kind == "cmp":
+        op = draw(st.sampled_from(["<", ">", "==", "!=", "<=", ">="]))
+        return f"({left} {op} {right})"
+    condition = draw(_int_expressions(depth=depth - 1))
+    return f"({condition} ? {left} : {right})"
+
+
+@given(_int_expressions())
+@settings(max_examples=80, deadline=None)
+def test_interpreter_matches_constfold(text):
+    program = Program.from_source(
+        "int main(void) { printf(\"%d\", (" + text + ")); return 0; }"
+    )
+    machine = Machine(program, profile=Profile("t"))
+    result = machine.run()
+    interpreted = int(result.stdout)
+
+    from repro.frontend.constfold import fold_int_constant
+    from repro.frontend.parser import parse
+
+    unit = parse(
+        "int f(void) { return " + text + "; }"
+    )
+    folded = fold_int_constant(unit.functions[0].body.items[0].value)
+    assert folded is not None
+    # Both paths must agree exactly (32-bit wrap can differ from the
+    # folder's bigint result only beyond 2**31, which the generator's
+    # small operands cannot reach through depth-3 expressions of *,+).
+    assert interpreted == folded
+
+
+@st.composite
+def _branchy_programs(draw):
+    """A random but always-terminating C program with branches/loops."""
+    iterations = draw(st.integers(min_value=0, max_value=12))
+    threshold = draw(st.integers(min_value=0, max_value=12))
+    modulus = draw(st.integers(min_value=1, max_value=5))
+    use_break = draw(st.booleans())
+    body_extra = (
+        f"if (i == {threshold}) break;" if use_break else ""
+    )
+    return f"""
+    int main(void) {{
+        int i, acc = 0;
+        for (i = 0; i < {iterations}; i++) {{
+            {body_extra}
+            if (i % {modulus} == 0)
+                acc += i;
+            else
+                acc -= 1;
+        }}
+        return acc & 0xff;
+    }}
+    """
+
+
+@given(_branchy_programs())
+@settings(max_examples=40, deadline=None)
+def test_profile_flow_conservation(source):
+    """For every non-entry block: inflow arcs == block count."""
+    program = Program.from_source(source)
+    profile = Profile("t")
+    Machine(program, profile=profile).run()
+    cfg = program.cfg("main")
+    predecessors = cfg.predecessor_map()
+    counts = profile.block_counts["main"]
+    arcs = profile.arc_counts["main"]
+    for block_id, count in counts.items():
+        if block_id == cfg.entry_id:
+            continue
+        inflow = sum(
+            arcs.get((pred, block_id), 0.0)
+            for pred in set(predecessors[block_id])
+        )
+        assert inflow == count
+
+
+@given(_branchy_programs())
+@settings(max_examples=30, deadline=None)
+def test_markov_estimates_conserve_flow(source):
+    """Markov solution: every block's frequency equals the probability-
+    weighted inflow (the defining linear system)."""
+    program = Program.from_source(source)
+    from repro.estimators.intra.markov import (
+        transition_probabilities,
+    )
+    from repro.prediction.predictor import HeuristicPredictor
+
+    cfg = program.cfg("main")
+    transitions = transition_probabilities(cfg, HeuristicPredictor())
+    estimates = markov_estimator(program, "main")
+    for block_id in cfg.blocks:
+        inflow = sum(
+            estimates[source_id] * row.get(block_id, 0.0)
+            for source_id, row in transitions.items()
+        )
+        if block_id == cfg.entry_id:
+            inflow += 1.0
+        assert estimates[block_id] == pytest.approx(inflow, abs=1e-6)
+
+
+@given(_branchy_programs())
+@settings(max_examples=30, deadline=None)
+def test_smart_estimates_nonnegative_and_entry_one(source):
+    program = Program.from_source(source)
+    estimates = smart_estimator(program, "main")
+    cfg = program.cfg("main")
+    assert estimates[cfg.entry_id] == 1.0
+    assert all(value >= 0 for value in estimates.values())
+
+
+@given(st.integers(min_value=0, max_value=30))
+@settings(max_examples=20, deadline=None)
+def test_loop_iteration_counts_exact(n):
+    """The profiler's count of loop-body executions equals n."""
+    program = Program.from_source(
+        f"""
+        int main(void) {{
+            int i, acc = 0;
+            for (i = 0; i < {n}; i++)
+                acc++;
+            return acc;
+        }}
+        """
+    )
+    profile = Profile("t")
+    result = Machine(program, profile=profile).run()
+    assert result.status == n & 0xFF
+    cfg = program.cfg("main")
+    body = next(b.block_id for b in cfg if b.label == "for.body")
+    assert profile.block_counts["main"].get(body, 0.0) == n

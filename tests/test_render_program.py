@@ -1,0 +1,128 @@
+"""Tests for the render helpers and the Program container."""
+
+import pytest
+
+from repro.experiments.render import (
+    bar_chart,
+    percent,
+    series_table,
+    text_table,
+)
+from repro.program import Program
+
+
+class TestTextTable:
+    def test_alignment_and_separator(self):
+        table = text_table(
+            ["name", "value"], [("alpha", 1), ("b", 22)], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert set(lines[2]) == {"-"}
+        assert "alpha" in lines[3]
+
+    def test_numeric_right_alignment(self):
+        table = text_table(["n"], [("5",), ("500",)])
+        rows = table.splitlines()[2:]
+        assert rows[0].endswith("  5")
+        assert rows[1].endswith("500")
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            text_table(["a", "b"], [("only-one",)])
+
+    def test_empty_rows_ok(self):
+        table = text_table(["a"], [])
+        assert "a" in table
+
+
+class TestPercentAndBars:
+    def test_percent_formatting(self):
+        assert percent(0.876) == "87.6%"
+        assert percent(1.0, digits=0) == "100%"
+
+    def test_bar_chart_scales_to_maximum(self):
+        chart = bar_chart(
+            {"g": {"a": 10.0, "b": 5.0}}, width=10
+        )
+        lines = chart.splitlines()
+        bar_a = lines[1].count("#")
+        bar_b = lines[2].count("#")
+        assert bar_a == 10
+        assert bar_b == 5
+
+    def test_bar_chart_explicit_maximum(self):
+        chart = bar_chart(
+            {"g": {"a": 1.0}}, width=10, maximum=2.0
+        )
+        assert chart.splitlines()[1].count("#") == 5
+
+    def test_bar_chart_zero_values(self):
+        chart = bar_chart({"g": {"a": 0.0}})
+        assert "|" in chart
+
+    def test_series_table_missing_cell_dash(self):
+        table = series_table(
+            ["row1"], ["c1", "c2"], {"row1": {"c1": 0.5}}
+        )
+        assert "50.0%" in table
+        assert "-" in table
+
+
+class TestProgram:
+    SOURCE = """
+    int helper(int x) { return x * 2; }
+    int main(void) { return helper(21); }
+    """
+
+    def test_from_source_builds_everything(self):
+        program = Program.from_source(self.SOURCE, "demo")
+        assert program.name == "demo"
+        assert program.function_names == ["helper", "main"]
+        assert set(program.cfgs) == {"helper", "main"}
+        assert program.call_graph.functions == ["helper", "main"]
+
+    def test_block_count_sums_functions(self):
+        program = Program.from_source(self.SOURCE)
+        assert program.block_count() == sum(
+            len(cfg) for cfg in program.cfgs.values()
+        )
+
+    def test_has_function(self):
+        program = Program.from_source(self.SOURCE)
+        assert program.has_function("helper")
+        assert not program.has_function("ghost")
+
+    def test_source_retained(self):
+        program = Program.from_source(self.SOURCE)
+        assert "helper" in program.source
+
+    def test_call_sites_accessor(self):
+        program = Program.from_source(self.SOURCE)
+        (site,) = program.call_sites()
+        assert site.caller == "main"
+        assert site.callee == "helper"
+
+    def test_preprocessor_options_flow_through(self):
+        program = Program.from_source(
+            "int x = N;\nint main(void) { return x; }",
+            predefined={"N": "5"},
+        )
+        from repro.interp import run_program
+
+        assert run_program(program).status == 5
+
+    def test_virtual_headers_flow_through(self):
+        program = Program.from_source(
+            '#include "config.h"\nint main(void) { return LIMIT; }',
+            virtual_headers={"config.h": "#define LIMIT 9\n"},
+        )
+        from repro.interp import run_program
+
+        assert run_program(program).status == 9
+
+    def test_identity_semantics(self):
+        a = Program.from_source(self.SOURCE)
+        b = Program.from_source(self.SOURCE)
+        assert a != b  # eq=False: identity, so caching works per object
+        assert a == a

@@ -1,0 +1,123 @@
+"""Tests for estimated-profile synthesis (Wall's framing)."""
+
+import pytest
+
+from repro.estimators import synthesize_profile
+from repro.interp.machine import Machine
+from repro.metrics import intra_program_score
+from repro.profiles import Profile
+
+
+SOURCE = """
+int leaf(int x) { return x + 1; }
+int work(int n) {
+    int i, acc = 0;
+    for (i = 0; i < n; i++)
+        acc += leaf(i);
+    return acc;
+}
+int main(void) {
+    return work(30) & 0xff;
+}
+"""
+
+
+@pytest.fixture
+def program(compile_program):
+    return compile_program(SOURCE)
+
+
+@pytest.fixture
+def real_profile(program):
+    profile = Profile("t")
+    Machine(program, profile=profile).run()
+    return profile
+
+
+class TestSynthesizedProfile:
+    def test_entries_match_markov_invocations(self, program):
+        from repro.estimators import markov_invocations
+
+        synthetic = synthesize_profile(program)
+        invocations = markov_invocations(program)
+        for name, count in invocations.items():
+            assert synthetic.entry_count(name) == pytest.approx(count)
+
+    def test_block_counts_scale_with_entries(self, program):
+        synthetic = synthesize_profile(program)
+        cfg = program.cfg("leaf")
+        entry_count = synthetic.entry_count("leaf")
+        assert synthetic.block_counts["leaf"][
+            cfg.entry_id
+        ] == pytest.approx(entry_count)
+
+    def test_arc_flow_consistent_with_markov_intra(self, program):
+        synthetic = synthesize_profile(program, intra="markov")
+        cfg = program.cfg("work")
+        predecessors = cfg.predecessor_map()
+        blocks = synthetic.block_counts["work"]
+        arcs = synthetic.arc_counts["work"]
+        entries = synthetic.entry_count("work")
+        for block_id, count in blocks.items():
+            inflow = sum(
+                arcs.get((pred, block_id), 0.0)
+                for pred in set(predecessors[block_id])
+            )
+            if block_id == cfg.entry_id:
+                inflow += entries
+            assert inflow == pytest.approx(count, abs=1e-6)
+
+    def test_call_sites_populated(self, program):
+        synthetic = synthesize_profile(program)
+        sites = program.call_sites()
+        assert sites
+        for site in sites:
+            assert synthetic.call_site_count(site.site_id) > 0
+
+    def test_usable_with_evaluation_protocol(self, program, real_profile):
+        # The synthesized profile slots into any Profile-consuming API;
+        # its block counts, scored as an "estimate" against the real
+        # run, behave like the underlying intra estimates.
+        synthetic = synthesize_profile(program)
+        score = intra_program_score(
+            program,
+            {
+                name: synthetic.block_counts[name]
+                for name in program.function_names
+            },
+            real_profile,
+            cutoff=0.25,
+        )
+        assert score > 0.8
+
+    def test_usable_with_cost_model(self, program, real_profile):
+        from repro.optimize import function_costs
+
+        synthetic_costs = function_costs(
+            program, synthesize_profile(program)
+        )
+        real_costs = function_costs(program, real_profile)
+        synthetic_top = max(
+            synthetic_costs, key=lambda n: synthetic_costs[n]
+        )
+        real_top = max(real_costs, key=lambda n: real_costs[n])
+        assert synthetic_top == real_top
+
+    def test_custom_invocations_respected(self, program):
+        synthetic = synthesize_profile(
+            program, invocations={"main": 1.0, "work": 7.0, "leaf": 0.0}
+        )
+        assert synthetic.entry_count("work") == 7.0
+        assert synthetic.entry_count("leaf") == 0.0
+        assert all(
+            count == 0.0
+            for count in synthetic.block_counts["leaf"].values()
+        )
+
+    def test_input_name_recorded(self, program):
+        synthetic = synthesize_profile(program, input_name="static")
+        assert synthetic.input_name == "static"
+        assert synthetic.program_name == program.name
+
+    def test_total_block_executions_positive(self, program):
+        assert synthesize_profile(program).total_block_executions > 0
