@@ -25,12 +25,13 @@ sys.setrecursionlimit(max(sys.getrecursionlimit(), 82_000))
 
 @pytest.fixture(scope="session")
 def warm_suite():
-    """Compile every suite program and collect every profile once."""
-    from repro.suite import SUITE, collect_profiles, load_program
+    """Compile every suite program and collect every profile once,
+    through the parallel cached pipeline."""
+    from repro.suite import SUITE, collect_suite_profiles, load_program
 
     for entry in SUITE:
         load_program(entry.name)
-        collect_profiles(entry.name)
+    collect_suite_profiles()
     return True
 
 

@@ -1,0 +1,130 @@
+"""Profiling-pipeline benchmarks: cold cache, warm cache, parallel
+fan-out, and the single-thread interpreter hot loop.
+
+Each benchmark records its wall time into a module-level report that is
+printed as JSON at the end of the session (and written to the path in
+``REPRO_BENCH_JSON``, when set), so runs can be compared across
+revisions:
+
+* ``suite_cold_serial``    — interpret every (program × input) pair,
+  one process, empty cache;
+* ``suite_cold_parallel``  — same work fanned out over workers;
+* ``suite_warm``           — every pair served from the on-disk cache;
+* ``interp_compress``      — one compress input, pure interpretation
+  (the hot-loop microbenchmark).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from conftest import run_once
+
+_REPORT: dict[str, float] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_report():
+    yield
+    if not _REPORT:
+        return
+    payload = json.dumps(
+        {
+            "jobs_available": os.cpu_count() or 1,
+            "seconds": {k: round(v, 3) for k, v in sorted(_REPORT.items())},
+        },
+        indent=2,
+    )
+    print(f"\nprofiling benchmark report:\n{payload}")
+    target = os.environ.get("REPRO_BENCH_JSON")
+    if target:
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+
+
+def _timed(name: str, function, *args, **kwargs):
+    clock = time.perf_counter()
+    result = function(*args, **kwargs)
+    _REPORT[name] = time.perf_counter() - clock
+    return result
+
+
+def _fresh_cache(tmp_path_factory, monkeypatch, label: str) -> str:
+    directory = tmp_path_factory.mktemp(label)
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(directory))
+    return str(directory)
+
+
+def test_bench_suite_cold_serial(
+    benchmark, tmp_path_factory, monkeypatch
+):
+    from repro.profiles import cache_info
+    from repro.suite import clear_caches, collect_suite_profiles
+
+    directory = _fresh_cache(tmp_path_factory, monkeypatch, "cold-serial")
+    clear_caches()
+    profiles = run_once(
+        benchmark,
+        lambda: _timed(
+            "suite_cold_serial", collect_suite_profiles, jobs=1
+        ),
+    )
+    assert len(profiles) == 14
+    assert cache_info(directory)["entries"] == sum(
+        len(p) for p in profiles.values()
+    )
+
+
+def test_bench_suite_cold_parallel(
+    benchmark, tmp_path_factory, monkeypatch
+):
+    from repro.suite import clear_caches, collect_suite_profiles
+
+    _fresh_cache(tmp_path_factory, monkeypatch, "cold-parallel")
+    clear_caches()
+    jobs = max(2, os.cpu_count() or 1)
+    profiles = run_once(
+        benchmark,
+        lambda: _timed(
+            "suite_cold_parallel", collect_suite_profiles, jobs=jobs
+        ),
+    )
+    assert len(profiles) == 14
+
+
+def test_bench_suite_warm(benchmark, tmp_path_factory, monkeypatch):
+    from repro.suite import clear_caches, collect_suite_profiles
+
+    _fresh_cache(tmp_path_factory, monkeypatch, "warm")
+    clear_caches()
+    collect_suite_profiles(jobs=1)  # populate
+    clear_caches()  # drop the in-process memo, keep the disk cache
+    profiles = run_once(
+        benchmark,
+        lambda: _timed("suite_warm", collect_suite_profiles, jobs=1),
+    )
+    assert len(profiles) == 14
+    # Warm collection must be dramatically cheaper than interpretation.
+    if "suite_cold_serial" in _REPORT:
+        assert _REPORT["suite_warm"] < _REPORT["suite_cold_serial"] / 10
+
+
+def test_bench_interpreter_hot_loop(benchmark):
+    """Single-thread interpreter microbenchmark: compress, input 1,
+    no caching anywhere."""
+    from repro.suite import load_program, program_inputs, run_on_input
+
+    load_program("compress")  # compile outside the measured region
+    stdin = program_inputs("compress")[0]
+    result = run_once(
+        benchmark,
+        lambda: _timed(
+            "interp_compress", run_on_input, "compress", stdin, "input1"
+        ),
+    )
+    assert result.status == 0
+    assert result.profile.total_block_executions > 0

@@ -4,11 +4,18 @@ Usage (after installing the package)::
 
     python -m repro list                    # available experiments
     python -m repro run table2              # one table/figure
-    python -m repro run all                 # everything
+    python -m repro run all --jobs 4        # everything, parallel profiling
     python -m repro suite                   # run every suite program
     python -m repro exec compress --input 1 # run one program, show stdout
     python -m repro cfg compress table_lookup --dot  # dump a CFG
     python -m repro predict compress        # per-branch predictions
+    python -m repro profile-suite --timings # collect/warm all profiles
+    python -m repro cache info              # persistent profile cache
+    python -m repro cache clear
+
+Profiling is cached persistently (see ``repro.profiles.cache``) and can
+fan out over worker processes; ``--jobs``/``REPRO_JOBS`` control the
+worker count and ``REPRO_CACHE_DIR``/``REPRO_CACHE`` the cache.
 """
 
 from __future__ import annotations
@@ -20,10 +27,15 @@ from repro.cfg import cfg_to_dot
 from repro.experiments import EXPERIMENTS, run_all, run_experiment
 from repro.prediction.error_functions import settings_for_program
 from repro.prediction.predictor import HeuristicPredictor
+from repro.profiles import cache as profile_cache
 from repro.suite import (
     SUITE,
+    SuiteTimings,
+    collect_suite_profiles,
     load_program,
     program_inputs,
+    program_names,
+    resolve_jobs,
     run_on_input,
 )
 
@@ -34,9 +46,18 @@ def _command_list(_: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_jobs_or_fail(jobs: int | None) -> int:
+    """Resolve the worker count, turning a bad REPRO_JOBS value into a
+    clean CLI error instead of a traceback."""
+    try:
+        return resolve_jobs(jobs)
+    except ValueError as error:
+        raise SystemExit(f"repro: {error}") from None
+
+
 def _command_run(args: argparse.Namespace) -> int:
     if args.experiment == "all":
-        print(run_all())
+        print(run_all(jobs=_resolve_jobs_or_fail(args.jobs)))
         return 0
     try:
         print(run_experiment(args.experiment))
@@ -128,6 +149,44 @@ def _command_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_profile_suite(args: argparse.Namespace) -> int:
+    names = args.programs or program_names()
+    unknown = [n for n in names if n not in {e.name for e in SUITE}]
+    if unknown:
+        print(f"unknown suite programs: {unknown}", file=sys.stderr)
+        return 2
+    timings = SuiteTimings()
+    collect_suite_profiles(
+        names,
+        jobs=_resolve_jobs_or_fail(args.jobs),
+        use_cache=False if args.no_cache else None,
+        timings=timings,
+    )
+    if args.timings:
+        print(timings.render())
+    else:
+        print(
+            f"collected {sum(len(program_inputs(n)) for n in names)} "
+            f"profiles for {len(names)} programs "
+            f"({timings.cache_hits} cached, {timings.cache_misses} "
+            f"interpreted) in {timings.total_seconds:.2f}s"
+        )
+    return 0
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    if args.action == "info":
+        info = profile_cache.cache_info()
+        print(f"directory: {info['directory']}")
+        print(f"enabled:   {'yes' if info['enabled'] else 'no'}")
+        print(f"entries:   {info['entries']}")
+        print(f"size:      {info['bytes']} bytes")
+        return 0
+    removed = profile_cache.clear_cache()
+    print(f"removed {removed} cached profiles")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse CLI parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -147,6 +206,12 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="run one experiment (or 'all')"
     )
     run_parser.add_argument("experiment")
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="profiling worker processes (default: REPRO_JOBS or CPU count)",
+    )
     run_parser.set_defaults(handler=_command_run)
 
     subparsers.add_parser(
@@ -181,6 +246,39 @@ def build_parser() -> argparse.ArgumentParser:
     layout_parser.add_argument("program")
     layout_parser.add_argument("function")
     layout_parser.set_defaults(handler=_command_layout)
+
+    profile_parser = subparsers.add_parser(
+        "profile-suite",
+        help="collect (and cache) profiles for suite programs",
+    )
+    profile_parser.add_argument(
+        "programs",
+        nargs="*",
+        help="suite programs (default: all 14)",
+    )
+    profile_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: REPRO_JOBS or CPU count)",
+    )
+    profile_parser.add_argument(
+        "--timings",
+        action="store_true",
+        help="print a per-program timing and cache-traffic table",
+    )
+    profile_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the persistent profile cache",
+    )
+    profile_parser.set_defaults(handler=_command_profile_suite)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or clear the persistent profile cache"
+    )
+    cache_parser.add_argument("action", choices=("info", "clear"))
+    cache_parser.set_defaults(handler=_command_cache)
 
     return parser
 

@@ -22,8 +22,9 @@ from repro.optimize.selective import (
     sweep_selective_optimization,
 )
 from repro.profiles.aggregate import aggregate_profiles
+from repro.profiles.cache import cached_profile_for_source
 from repro.profiles.profile import Profile
-from repro.suite import collect_profiles, load_program
+from repro.suite import collect_profiles, load_program, program_source
 from repro.suite.registry import INPUTS_DIR
 
 
@@ -61,16 +62,21 @@ class Figure10Result:
 
 def evaluation_profile() -> Profile:
     """Profile of compress on the held-out evaluation input."""
-    program = load_program("compress")
     path = os.path.join(INPUTS_DIR, "compress.eval.txt")
     with open(path, encoding="utf-8") as handle:
         stdin = handle.read()
-    profile = Profile("compress", "eval")
-    machine = Machine(program, stdin=stdin, profile=profile)
-    result = machine.run()
-    if result.status != 0:
-        raise RuntimeError("compress failed on the evaluation input")
-    return profile
+
+    def interpret() -> Profile:
+        program = load_program("compress")
+        fresh = Profile("compress", "eval")
+        result = Machine(program, stdin=stdin, profile=fresh).run()
+        if result.status != 0:
+            raise RuntimeError("compress failed on the evaluation input")
+        return fresh
+
+    return cached_profile_for_source(
+        program_source("compress"), stdin, interpret
+    )
 
 
 def run_figure10() -> Figure10Result:

@@ -101,8 +101,21 @@ def run_experiment(name: str) -> str:
     return result.render()  # type: ignore[attr-defined]
 
 
-def run_all() -> str:
+def prefetch_profiles(jobs: int | None = None) -> None:
+    """Warm every suite profile through the parallel cached pipeline.
+
+    All experiments share the same profiles; collecting them up front
+    (fanned out over ``jobs`` workers, served from the persistent cache
+    when warm) means the per-experiment code never pays for profiling.
+    """
+    from repro.suite import collect_suite_profiles
+
+    collect_suite_profiles(jobs=jobs)
+
+
+def run_all(jobs: int | None = None) -> str:
     """Run every experiment, concatenating the rendered sections."""
+    prefetch_profiles(jobs=jobs)
     sections = []
     for name in EXPERIMENTS:
         sections.append(f"=== {name} ===\n\n{run_experiment(name)}")

@@ -13,10 +13,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.estimators.intra.astwalk import smart_estimator
-from repro.experiments.examples import paper_block_names, strchr_program
+from repro.experiments.examples import (
+    STRCHR_HARNESS,
+    STRCHR_SOURCE,
+    paper_block_names,
+    strchr_program,
+)
 from repro.experiments.render import percent, text_table
 from repro.interp.machine import Machine
 from repro.metrics.weight_matching import weight_matching_score
+from repro.profiles.cache import cached_profile_for_source
 from repro.profiles.profile import Profile
 
 
@@ -58,11 +64,17 @@ class Table2Result:
 def run_table2() -> Table2Result:
     """Profile the strchr harness and score the smart estimate."""
     program = strchr_program()
-    profile = Profile("strchr-example")
-    machine = Machine(program, profile=profile)
-    result = machine.run()
-    if result.status != 0:
-        raise RuntimeError("strchr harness failed")
+
+    def interpret() -> Profile:
+        fresh = Profile("strchr-example")
+        result = Machine(program, profile=fresh).run()
+        if result.status != 0:
+            raise RuntimeError("strchr harness failed")
+        return fresh
+
+    profile = cached_profile_for_source(
+        STRCHR_SOURCE + "\n" + STRCHR_HARNESS, "", interpret
+    )
     names = paper_block_names(program)
     cfg = program.cfg("my_strchr")
     estimates = smart_estimator(program, "my_strchr")

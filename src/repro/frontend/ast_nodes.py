@@ -7,7 +7,10 @@ pointer heuristic needs to know that a comparison's operand is a pointer.
 
 Every node carries a :class:`SourceLocation` and a ``node_id`` unique
 within its translation unit, used to key CFG blocks and profile events
-back to syntax.
+back to syntax.  The counter restarts at every translation unit (see
+:func:`reset_node_counter`), so ids are a pure function of the source
+text — required for profiles cached on disk or computed in worker
+processes to mean the same thing everywhere.
 """
 
 from __future__ import annotations
@@ -22,9 +25,15 @@ from repro.frontend.errors import SourceLocation
 _node_counter = itertools.count(1)
 
 
+def reset_node_counter() -> None:
+    """Restart node numbering (called at the start of each parse)."""
+    global _node_counter
+    _node_counter = itertools.count(1)
+
+
 @dataclass
 class Node:
-    """Common base: location plus a per-process unique id."""
+    """Common base: location plus a per-translation-unit unique id."""
 
     location: SourceLocation = field(
         default_factory=SourceLocation, repr=False

@@ -1265,5 +1265,12 @@ def parse(
     filename: str = "<input>",
     builtin_functions: Optional[dict[str, ct.FunctionType]] = None,
 ) -> ast.TranslationUnit:
-    """Parse preprocessed C text into a translation unit."""
+    """Parse preprocessed C text into a translation unit.
+
+    Node ids restart at 1 for every unit, making them (and everything
+    keyed by them — call-site profile counts in particular) a pure
+    function of the source text, stable across processes and cache
+    round trips.
+    """
+    ast.reset_node_counter()
     return Parser(text, filename, builtin_functions).parse()

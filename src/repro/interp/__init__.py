@@ -1,5 +1,15 @@
 """CFG interpreter with profiling: machine, evaluator, memory, libc."""
 
+#: Interpreter semantics version.  Bump whenever a change could alter
+#: the *profile* a program run produces (block/arc/branch/call counts
+#: or exit status) — the persistent profile cache keys on this, so a
+#: bump invalidates every cached profile.  Pure speedups that preserve
+#: observable counts do not require a bump.
+#:
+#: 2: node ids restart per translation unit, changing the call-site ids
+#:    recorded in profiles.
+INTERP_VERSION = 2
+
 from repro.interp.errors import (
     FuelExhausted,
     InterpreterError,
@@ -9,6 +19,7 @@ from repro.interp.machine import ExecutionResult, Machine, run_program
 from repro.interp.memory import HEAP_BASE, Memory
 
 __all__ = [
+    "INTERP_VERSION",
     "ExecutionResult",
     "FuelExhausted",
     "HEAP_BASE",

@@ -44,6 +44,11 @@ class Evaluator:
 
     def __init__(self, machine: "Machine"):
         self._machine = machine
+        self._memory = machine.memory
+        #: AST node class -> bound ``_rv_*`` method, filled lazily.
+        #: Saves an f-string format plus getattr per expression in the
+        #: interpreter's hottest path.
+        self._dispatch: dict[type, object] = {}
 
     # ------------------------------------------------------------------
     # rvalues.
@@ -52,14 +57,16 @@ class Evaluator:
         """Evaluate ``expression`` for its value.  Returns
         ``(value, ctype)`` where aggregates come back as
         :class:`AggregateValue`."""
-        method = getattr(
-            self, f"_rv_{type(expression).__name__}", None
-        )
+        cls = expression.__class__
+        method = self._dispatch.get(cls)
         if method is None:
-            raise InterpreterError(
-                f"cannot evaluate {type(expression).__name__}",
-                expression.location,
-            )
+            method = getattr(self, f"_rv_{cls.__name__}", None)
+            if method is None:
+                raise InterpreterError(
+                    f"cannot evaluate {cls.__name__}",
+                    expression.location,
+                )
+            self._dispatch[cls] = method
         try:
             return method(expression)
         except InterpreterError as error:
@@ -318,7 +325,7 @@ class Evaluator:
             step = _stride(decayed)
         delta = step if e.op == "++" else -step
         new_value = convert(old + delta, decayed)
-        self._machine.memory.store(address, new_value)
+        self._memory.store(address, new_value)
         result = new_value if e.is_prefix else old
         return result, decayed
 
@@ -355,8 +362,14 @@ class Evaluator:
 
     def lvalue(self, expression: ast.Expression) -> tuple[int, ct.CType]:
         """Evaluate ``expression`` for its address.  Returns
-        ``(address, ctype)``."""
-        if isinstance(expression, ast.Identifier):
+        ``(address, ctype)``.
+
+        The expression hierarchy is flat (every node class is a leaf),
+        so the common lvalue shapes are dispatched on exact class
+        before the general isinstance chain.
+        """
+        cls = expression.__class__
+        if cls is ast.Identifier:
             if expression.binding in ("function", "builtin", "enum-constant"):
                 raise InterpreterError(
                     f"{expression.name} is not an lvalue", expression.location
@@ -364,15 +377,7 @@ class Evaluator:
             return self._machine.lookup_variable(
                 expression.name, expression.location
             )
-        if isinstance(expression, ast.Dereference):
-            value, ctype = self.rvalue(expression.operand)
-            if isinstance(value, AggregateValue) or isinstance(value, float):
-                raise InterpreterError(
-                    "dereference of non-pointer", expression.location
-                )
-            pointee = _pointee(ct.decay(ctype))
-            return value, pointee
-        if isinstance(expression, ast.Index):
+        if cls is ast.Index:
             base_value, base_type = self.rvalue(expression.base)
             if isinstance(base_value, AggregateValue) or isinstance(
                 base_value, float
@@ -386,6 +391,14 @@ class Evaluator:
                 base_value + int(index) * element.sizeof(),
                 element,
             )
+        if isinstance(expression, ast.Dereference):
+            value, ctype = self.rvalue(expression.operand)
+            if isinstance(value, AggregateValue) or isinstance(value, float):
+                raise InterpreterError(
+                    "dereference of non-pointer", expression.location
+                )
+            pointee = _pointee(ct.decay(ctype))
+            return value, pointee
         if isinstance(expression, ast.Member):
             if expression.arrow:
                 base_value, base_type = self.rvalue(expression.base)
@@ -420,19 +433,24 @@ class Evaluator:
     def _load_typed(
         self, address: int, ctype: ct.CType
     ) -> tuple[object, ct.CType]:
-        if isinstance(ctype, ct.ArrayType):
-            return address, ctype.decay()  # Decay to pointer to first cell.
-        if isinstance(ctype, ct.StructType):
-            size = ctype.sizeof()
-            memory = self._machine.memory
-            cells = [
-                memory.load_or_none(address + offset)
-                for offset in range(size)
-            ]
-            return AggregateValue(cells, ctype), ctype
-        if isinstance(ctype, ct.FunctionType):
+        # Fast path first: scalar loads dominate, so pay one combined
+        # isinstance check before the per-kind dispatch.
+        if isinstance(
+            ctype, (ct.ArrayType, ct.StructType, ct.FunctionType)
+        ):
+            if isinstance(ctype, ct.ArrayType):
+                # Decay to pointer to first cell.
+                return address, ctype.decay()
+            if isinstance(ctype, ct.StructType):
+                size = ctype.sizeof()
+                memory = self._memory
+                cells = [
+                    memory.load_or_none(address + offset)
+                    for offset in range(size)
+                ]
+                return AggregateValue(cells, ctype), ctype
             return address, ct.PointerType(ctype)
-        return self._machine.memory.load(address), ctype
+        return self._memory.load(address), ctype
 
     def _store_converted(
         self,
@@ -447,14 +465,14 @@ class Evaluator:
                 raise InterpreterError(
                     "scalar assigned to aggregate", location
                 )
-            memory = self._machine.memory
+            memory = self._memory
             for offset, cell in enumerate(value.cells):
                 memory.store_raw(address + offset, cell)
             return value, target_type
         if isinstance(value, AggregateValue):
             raise InterpreterError("aggregate assigned to scalar", location)
         converted = convert(value, target_type)
-        self._machine.memory.store(address, converted)
+        self._memory.store(address, converted)
         return converted, target_type
 
 

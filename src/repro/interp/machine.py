@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Optional
+from weakref import WeakKeyDictionary
 
 from repro.cfg.block import (
     CondBranch,
@@ -34,7 +35,7 @@ from repro.interp.errors import (
 from repro.interp.evaluator import Evaluator
 from repro.interp.memory import Memory
 from repro.interp.values import AggregateValue, convert
-from repro.profiles.profile import Profile
+from repro.profiles.profile import BranchOutcome, Profile
 from repro.program import Program
 
 
@@ -63,6 +64,86 @@ class _FunctionInfo:
     definition: ast.FunctionDef
     local_declarations: list[ast.Declaration] = field(default_factory=list)
     static_declarations: list[ast.Declaration] = field(default_factory=list)
+    #: Lazily built on first call: (parameter entries, local entries)
+    #: with sizes precomputed — see :meth:`Machine.call_user`.
+    call_plan: Optional[
+        tuple[
+            tuple[tuple[str, ct.CType, int, bool], ...],
+            tuple[tuple[str, ct.CType, int], ...],
+        ]
+    ] = None
+
+
+# Block-plan terminator kinds (element [1] of a block plan tuple).
+_KIND_JUMP = 0
+_KIND_COND = 1
+_KIND_SWITCH = 2
+_KIND_RETURN = 3
+
+# Statement opcodes within a block plan.
+_STMT_EXPR = 0
+_STMT_DECL = 1
+
+#: Per-program execution plans, shared by every Machine interpreting
+#: the same (memoized) Program.  The plan flattens each basic block
+#: into ``(statements, kind, a, b, c)`` tuples so the hot loop does no
+#: isinstance dispatch and no repeated CFG lookups.
+_PLAN_CACHE: "WeakKeyDictionary[Program, dict[str, tuple[dict, int]]]" = (
+    WeakKeyDictionary()
+)
+
+
+def _build_block_plan(cfg) -> tuple[dict[int, tuple], int]:
+    """Flatten one CFG into the hot-loop execution plan."""
+    blocks: dict[int, tuple] = {}
+    for block in cfg:
+        statements: list[tuple[int, ast.Statement]] = []
+        for statement in block.statements:
+            if isinstance(statement, ast.ExpressionStatement):
+                if statement.expression is not None:
+                    statements.append(
+                        (_STMT_EXPR, statement.expression)
+                    )
+            elif isinstance(statement, ast.Declaration):
+                # Statics are initialized once at startup; locals
+                # without initializers need no per-execution work.
+                if (
+                    statement.storage != "static"
+                    and statement.initializer is not None
+                ):
+                    statements.append((_STMT_DECL, statement))
+            else:  # pragma: no cover - builder keeps blocks straight-line
+                raise InterpreterError(
+                    f"cannot execute {type(statement).__name__}",
+                    statement.location,
+                )
+        terminator = block.terminator
+        if isinstance(terminator, Jump):
+            plan = (tuple(statements), _KIND_JUMP, terminator.target, None, None)
+        elif isinstance(terminator, CondBranch):
+            plan = (
+                tuple(statements),
+                _KIND_COND,
+                terminator.condition,
+                terminator.true_target,
+                terminator.false_target,
+            )
+        elif isinstance(terminator, SwitchBranch):
+            plan = (
+                tuple(statements),
+                _KIND_SWITCH,
+                terminator.condition,
+                tuple((arm.values, arm.target) for arm in terminator.arms),
+                terminator.default_target,
+            )
+        elif isinstance(terminator, ReturnTerm):
+            plan = (tuple(statements), _KIND_RETURN, terminator.value, None, None)
+        else:  # pragma: no cover - terminator set is closed
+            raise InterpreterError(
+                f"unknown terminator {type(terminator).__name__}"
+            )
+        blocks[block.block_id] = plan
+    return blocks, cfg.entry_id
 
 
 class Machine:
@@ -321,127 +402,167 @@ class Machine:
                     f"{len(arguments)}",
                     location,
                 )
-        mark = self.memory.stack_mark()
+        plan = info.call_plan
+        if plan is None:
+            param_entries = tuple(
+                (
+                    param_name,
+                    param_type,
+                    _sizeof_or_fail(param_type, definition),
+                    isinstance(param_type, ct.StructType),
+                )
+                for param_type, param_name in zip(
+                    parameters, definition.parameter_names
+                )
+            )
+            local_entries = tuple(
+                (
+                    declaration.name,
+                    declaration.declared_type,
+                    _sizeof_or_fail(
+                        declaration.declared_type, declaration
+                    ),
+                )
+                for declaration in info.local_declarations
+            )
+            plan = info.call_plan = (param_entries, local_entries)
+        param_entries, local_entries = plan
+        memory = self.memory
+        stack_alloc = memory.stack_alloc
+        mark = memory.stack_mark()
         variables: dict[str, tuple[int, ct.CType]] = {}
-        for (value, value_type), param_type, param_name in zip(
-            arguments, parameters, definition.parameter_names
-        ):
-            size = _sizeof_or_fail(param_type, definition)
-            address = self.memory.stack_alloc(size)
-            if isinstance(param_type, ct.StructType):
+        for (value, value_type), (
+            param_name,
+            param_type,
+            size,
+            is_struct,
+        ) in zip(arguments, param_entries):
+            address = stack_alloc(size)
+            if is_struct:
                 if not isinstance(value, AggregateValue):
                     raise InterpreterError(
                         f"expected struct argument for {param_name}",
                         location,
                     )
                 for offset, cell in enumerate(value.cells):
-                    self.memory.store_raw(address + offset, cell)
+                    memory.store_raw(address + offset, cell)
             else:
                 if isinstance(value, AggregateValue):
                     raise InterpreterError(
                         f"aggregate passed to scalar parameter {param_name}",
                         location,
                     )
-                self.memory.store(address, convert(value, param_type))
+                memory.store(address, convert(value, param_type))
             if param_name:
                 variables[param_name] = (address, param_type)
-        for declaration in info.local_declarations:
-            size = _sizeof_or_fail(declaration.declared_type, declaration)
-            address = self.memory.stack_alloc(size)
-            variables[declaration.name] = (
-                address,
-                declaration.declared_type,
-            )
+        for local_name, local_type, size in local_entries:
+            variables[local_name] = (stack_alloc(size), local_type)
         frame = _Frame(name, variables, mark)
         self._frames.append(frame)
-        self.profile.record_function_entry(name)
+        self.profile.function_entries[name] += 1
         try:
             return self._execute_cfg(name, definition)
         finally:
             self._frames.pop()
-            self.memory.stack_release(mark)
+            memory.stack_release(mark)
 
     # ------------------------------------------------------------------
     # CFG execution.
 
+    def _block_plan(self, name: str) -> tuple[dict[int, tuple], int]:
+        """The flattened execution plan of one function, cached per
+        Program so every run of the same (memoized) program shares it."""
+        plans = _PLAN_CACHE.get(self.program)
+        if plans is None:
+            plans = {}
+            _PLAN_CACHE[self.program] = plans
+        plan = plans.get(name)
+        if plan is None:
+            plan = _build_block_plan(self.program.cfg(name))
+            plans[name] = plan
+        return plan
+
     def _execute_cfg(
         self, name: str, definition: ast.FunctionDef
     ) -> tuple[object, ct.CType]:
-        cfg = self.program.cfg(name)
-        current = cfg.entry_id
+        # Hot loop.  Everything touched per block — the plan, the
+        # profile's per-function count dicts, and the evaluator entry
+        # points — is bound to a local once, so the loop body does no
+        # attribute chasing and no isinstance dispatch (the plan tags
+        # every terminator with an integer kind).
+        blocks, current = self._block_plan(name)
+        profile = self.profile
+        fn_blocks = profile.block_counts[name]
+        fn_arcs = profile.arc_counts[name]
+        fn_branches = profile.branch_outcomes[name]
+        evaluator = self.evaluator
+        rvalue = evaluator.rvalue
+        truthy = evaluator.truthy
+        scalar = evaluator.scalar
         return_type = definition.ftype.return_type
-        while True:
-            if self._fuel <= 0:
-                raise FuelExhausted(
-                    "execution budget exhausted", definition.location
-                )
-            self._fuel -= 1
-            self.profile.record_block(name, current)
-            block = cfg.block(current)
-            for statement in block.statements:
-                self._execute_statement(statement)
-            terminator = block.terminator
-            if isinstance(terminator, Jump):
-                self.profile.record_arc(name, current, terminator.target)
-                current = terminator.target
-            elif isinstance(terminator, CondBranch):
-                taken = self.evaluator.truthy(terminator.condition)
-                self.profile.record_branch(name, current, taken)
-                target = (
-                    terminator.true_target
-                    if taken
-                    else terminator.false_target
-                )
-                self.profile.record_arc(name, current, target)
-                current = target
-            elif isinstance(terminator, SwitchBranch):
-                value = self.evaluator.scalar(terminator.condition)
-                target = terminator.default_target
-                for arm in terminator.arms:
-                    if value in arm.values:
-                        target = arm.target
-                        break
-                self.profile.record_arc(name, current, target)
-                current = target
-            elif isinstance(terminator, ReturnTerm):
-                if terminator.value is None:
-                    return 0, return_type
-                value, value_type = self.evaluator.rvalue(terminator.value)
-                if isinstance(return_type, ct.StructType):
-                    return value, return_type
-                if isinstance(value, AggregateValue):
-                    raise InterpreterError(
-                        "aggregate returned from scalar function",
-                        definition.location,
+        executed = 0
+        try:
+            while True:
+                if self._fuel <= 0:
+                    raise FuelExhausted(
+                        "execution budget exhausted", definition.location
                     )
-                if isinstance(return_type, ct.VoidType):
-                    return 0, return_type
-                return convert(value, return_type), return_type
-            else:  # pragma: no cover - terminator set is closed
-                raise InterpreterError(
-                    f"unknown terminator {type(terminator).__name__}",
-                    definition.location,
-                )
-
-    def _execute_statement(self, statement: ast.Statement) -> None:
-        if isinstance(statement, ast.ExpressionStatement):
-            if statement.expression is not None:
-                self.evaluator.rvalue(statement.expression)
-        elif isinstance(statement, ast.Declaration):
-            if statement.storage == "static":
-                return  # Initialized once at startup.
-            if statement.initializer is not None:
-                address, ctype = self.lookup_variable(
-                    statement.name, statement.location
-                )
-                self.initialize_storage(
-                    address, ctype, statement.initializer
-                )
-        else:  # pragma: no cover - builder keeps blocks straight-line
-            raise InterpreterError(
-                f"cannot execute {type(statement).__name__}",
-                statement.location,
-            )
+                self._fuel -= 1
+                executed += 1
+                fn_blocks[current] += 1
+                statements, kind, a, b, c = blocks[current]
+                for opcode, payload in statements:
+                    if opcode == _STMT_EXPR:
+                        rvalue(payload)
+                    else:
+                        address, ctype = self.lookup_variable(
+                            payload.name, payload.location
+                        )
+                        self.initialize_storage(
+                            address, ctype, payload.initializer
+                        )
+                if kind == _KIND_JUMP:
+                    fn_arcs[(current, a)] += 1
+                    current = a
+                elif kind == _KIND_COND:
+                    taken = truthy(a)
+                    outcome = fn_branches.get(current)
+                    if outcome is None:
+                        outcome = BranchOutcome()
+                        fn_branches[current] = outcome
+                    if taken:
+                        outcome.taken += 1
+                        target = b
+                    else:
+                        outcome.not_taken += 1
+                        target = c
+                    fn_arcs[(current, target)] += 1
+                    current = target
+                elif kind == _KIND_RETURN:
+                    if a is None:
+                        return 0, return_type
+                    value, value_type = rvalue(a)
+                    if isinstance(return_type, ct.StructType):
+                        return value, return_type
+                    if isinstance(value, AggregateValue):
+                        raise InterpreterError(
+                            "aggregate returned from scalar function",
+                            definition.location,
+                        )
+                    if isinstance(return_type, ct.VoidType):
+                        return 0, return_type
+                    return convert(value, return_type), return_type
+                else:  # _KIND_SWITCH
+                    value = scalar(a)
+                    target = c
+                    for values, arm_target in b:
+                        if value in values:
+                            target = arm_target
+                            break
+                    fn_arcs[(current, target)] += 1
+                    current = target
+        finally:
+            profile.total_block_executions += executed
 
     # ------------------------------------------------------------------
     # Initializers.
@@ -520,8 +641,12 @@ def _sizeof_or_fail(ctype: ct.CType, node: ast.Node) -> int:
 
 
 def _zero_fill(memory: Memory, address: int, size: int) -> None:
-    for offset in range(size):
-        memory.store(address + offset, 0)
+    if size <= 0:
+        return
+    # Allocations never span regions, so one slot resolution covers
+    # the whole range; the slice assignment replaces a store per cell.
+    region, index = memory._slot(address)
+    region[index : index + size] = [0] * size
 
 
 def run_program(

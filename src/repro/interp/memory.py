@@ -101,13 +101,30 @@ class Memory:
         raise InterpreterError(f"stack address {address:#x} out of range")
 
     def load(self, address: int) -> int | float:
-        region, index = self._slot(address)
+        # Hottest interpreter entry point: the slot resolution is
+        # inlined (rather than calling :meth:`_slot`) to avoid a call
+        # and tuple build per memory read.
+        if address >= HEAP_BASE:
+            region = self._heap
+            index = address - HEAP_BASE
+            if index >= len(region):
+                raise InterpreterError(
+                    f"heap address {address:#x} out of range"
+                )
+        else:
+            region = self._stack
+            index = address - 1
+            if index < 0 or index >= len(region):
+                if address == 0:
+                    raise InterpreterError("NULL pointer dereference")
+                raise InterpreterError(
+                    f"stack address {address:#x} out of range"
+                )
         value = region[index]
         if value is None:
             raise InterpreterError(
                 f"read of uninitialized memory at {address:#x}"
             )
-        assert isinstance(value, (int, float))
         return value
 
     def load_or_none(self, address: int) -> int | float | None:
@@ -119,7 +136,23 @@ class Memory:
         return value
 
     def store(self, address: int, value: int | float) -> None:
-        region, index = self._slot(address)
+        # Inlined like :meth:`load`; see the comment there.
+        if address >= HEAP_BASE:
+            region = self._heap
+            index = address - HEAP_BASE
+            if index >= len(region):
+                raise InterpreterError(
+                    f"heap address {address:#x} out of range"
+                )
+        else:
+            region = self._stack
+            index = address - 1
+            if index < 0 or index >= len(region):
+                if address == 0:
+                    raise InterpreterError("NULL pointer dereference")
+                raise InterpreterError(
+                    f"stack address {address:#x} out of range"
+                )
         region[index] = value
 
     def store_raw(self, address: int, value: int | float | None) -> None:
@@ -138,11 +171,32 @@ class Memory:
     # Bulk helpers (used by libc and aggregate assignment).
 
     def copy_cells(self, dest: int, source: int, count: int) -> None:
+        if count <= 0:
+            return
+        source_region, source_index = self._slot(source)
+        dest_region, dest_index = self._slot(dest)
+        if (
+            source_index + count <= len(source_region)
+            and dest_index + count <= len(dest_region)
+        ):
+            # Bulk path: both ranges are fully mapped, so one slice
+            # copy replaces a load/store pair per cell (the list copy
+            # also keeps overlapping memmove-style copies correct).
+            dest_region[dest_index : dest_index + count] = source_region[
+                source_index : source_index + count
+            ]
+            return
         values = [self.load_or_none(source + i) for i in range(count)]
         for i, value in enumerate(values):
             self.store_raw(dest + i, value)
 
     def fill_cells(self, dest: int, value: int | float, count: int) -> None:
+        if count <= 0:
+            return
+        region, index = self._slot(dest)
+        if index + count <= len(region):
+            region[index : index + count] = [value] * count
+            return
         for i in range(count):
             self.store(dest + i, value)
 

@@ -29,8 +29,11 @@ def solve_linear_system(
         raise ValueError("matrix must be square")
     if len(rhs) != n:
         raise ValueError("rhs length must match matrix size")
-    # Augmented working copy.
-    work = [list(map(float, row)) + [float(rhs[i])] for i, row in enumerate(matrix)]
+    # Augmented working copy, each row preallocated at its final width.
+    work = [
+        [float(value) for value in row] + [float(rhs[i])]
+        for i, row in enumerate(matrix)
+    ]
     scale = max(
         (abs(value) for row in work for value in row[:-1]), default=1.0
     )
@@ -48,21 +51,34 @@ def solve_linear_system(
             )
         if pivot_row != column:
             work[column], work[pivot_row] = work[pivot_row], work[column]
-        pivot = work[column][column]
+        pivot_values = work[column]
+        pivot = pivot_values[column]
+        tail = pivot_values[column + 1 :]
         for row in range(column + 1, n):
-            factor = work[row][column] / pivot
+            row_values = work[row]
+            factor = row_values[column] / pivot
+            # CFG flow systems are sparse, so zero factors dominate;
+            # skipping them avoids the whole inner update.
             if factor == 0.0:
                 continue
-            work[row][column] = 0.0
-            for k in range(column + 1, n + 1):
-                work[row][k] -= factor * work[column][k]
+            row_values[column] = 0.0
+            # Same element-wise operation (and therefore identical
+            # rounding) as the scalar loop, vectorized over the row
+            # tail in one slice assignment.
+            row_values[column + 1 :] = [
+                value - factor * pivot_value
+                for value, pivot_value in zip(
+                    row_values[column + 1 :], tail
+                )
+            ]
 
     solution = [0.0] * n
     for row in range(n - 1, -1, -1):
-        accumulated = work[row][n]
+        work_row = work[row]
+        accumulated = work_row[n]
         for k in range(row + 1, n):
-            accumulated -= work[row][k] * solution[k]
-        solution[row] = accumulated / work[row][row]
+            accumulated -= work_row[k] * solution[k]
+        solution[row] = accumulated / work_row[row]
     return solution
 
 

@@ -1,0 +1,120 @@
+"""Profile serialization: exact JSON round-trips for :class:`Profile`.
+
+The persistent profile cache and the parallel profiling pipeline both
+move profiles across process boundaries, so the encoding must be
+*exact*: every count (floats included — counts are integral, well below
+2**53, and JSON round-trips doubles exactly) and, just as importantly,
+every **insertion order**.  Profiles record events in execution order
+and downstream consumers iterate their dicts, so a profile that came
+back from disk must iterate identically to one recorded in-process.
+All mappings are therefore encoded as lists of ``[key, value]`` pairs
+in iteration order rather than as JSON objects, which also lets us keep
+non-string keys (block ids, arc tuples) typed.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from typing import Any
+
+from repro.profiles.profile import BranchOutcome, Profile
+
+#: Bump when the encoding below changes shape; the cache keys on it.
+PROFILE_FORMAT_VERSION = 1
+
+
+def profile_to_dict(profile: Profile) -> dict[str, Any]:
+    """Encode ``profile`` as JSON-serializable plain data."""
+    return {
+        "format": PROFILE_FORMAT_VERSION,
+        "program_name": profile.program_name,
+        "input_name": profile.input_name,
+        "block_counts": [
+            [function, list(map(list, counts.items()))]
+            for function, counts in profile.block_counts.items()
+        ],
+        "arc_counts": [
+            [
+                function,
+                [[source, target, count] for (source, target), count in arcs.items()],
+            ]
+            for function, arcs in profile.arc_counts.items()
+        ],
+        "branch_outcomes": [
+            [
+                function,
+                [
+                    [block_id, outcome.taken, outcome.not_taken]
+                    for block_id, outcome in branches.items()
+                ],
+            ]
+            for function, branches in profile.branch_outcomes.items()
+        ],
+        "function_entries": list(map(list, profile.function_entries.items())),
+        "call_site_counts": list(map(list, profile.call_site_counts.items())),
+        "call_target_counts": [
+            [site_id, callee, count]
+            for (site_id, callee), count in profile.call_target_counts.items()
+        ],
+        "total_block_executions": profile.total_block_executions,
+        "exit_status": profile.exit_status,
+    }
+
+
+def profile_from_dict(data: dict[str, Any]) -> Profile:
+    """Decode a :func:`profile_to_dict` payload back into a Profile."""
+    version = data.get("format")
+    if version != PROFILE_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported profile format {version!r} "
+            f"(expected {PROFILE_FORMAT_VERSION})"
+        )
+    profile = Profile(data["program_name"], data["input_name"])
+    for function, pairs in data["block_counts"]:
+        counts = profile.block_counts[function]
+        for block_id, count in pairs:
+            counts[block_id] = count
+    for function, triples in data["arc_counts"]:
+        arcs = profile.arc_counts[function]
+        for source, target, count in triples:
+            arcs[(source, target)] = count
+    for function, triples in data["branch_outcomes"]:
+        branches = profile.branch_outcomes[function]
+        for block_id, taken, not_taken in triples:
+            branches[block_id] = BranchOutcome(taken, not_taken)
+    profile.function_entries = defaultdict(
+        float, {name: count for name, count in data["function_entries"]}
+    )
+    profile.call_site_counts = defaultdict(
+        float, {site_id: count for site_id, count in data["call_site_counts"]}
+    )
+    profile.call_target_counts = defaultdict(
+        float,
+        {
+            (site_id, callee): count
+            for site_id, callee, count in data["call_target_counts"]
+        },
+    )
+    profile.total_block_executions = data["total_block_executions"]
+    profile.exit_status = data["exit_status"]
+    return profile
+
+
+def dumps_profile(profile: Profile) -> str:
+    """Profile -> compact JSON text."""
+    return json.dumps(profile_to_dict(profile), separators=(",", ":"))
+
+
+def loads_profile(text: str) -> Profile:
+    """JSON text -> Profile."""
+    return profile_from_dict(json.loads(text))
+
+
+def profiles_equal(left: Profile, right: Profile) -> bool:
+    """Exact equality of every count *and* iteration order.
+
+    Used by the determinism tests: two profiles that compare equal here
+    produce byte-identical rendered experiment output.
+    """
+    return profile_to_dict(left) == profile_to_dict(right)

@@ -1,5 +1,12 @@
-"""The 14-program benchmark suite and its loader."""
+"""The 14-program benchmark suite, its loader, and the parallel
+cached profiling pipeline."""
 
+from repro.suite.pipeline import (
+    SuiteTimings,
+    collect_suite_profiles,
+    resolve_jobs,
+    warm_suite_cache,
+)
 from repro.suite.registry import (
     SUITE,
     SUITE_BY_NAME,
@@ -7,6 +14,8 @@ from repro.suite.registry import (
     clear_caches,
     collect_profiles,
     load_program,
+    profile_for_input,
+    profile_key,
     program_inputs,
     program_names,
     program_source,
@@ -18,12 +27,18 @@ __all__ = [
     "SUITE",
     "SUITE_BY_NAME",
     "SuiteEntry",
+    "SuiteTimings",
     "clear_caches",
     "collect_profiles",
+    "collect_suite_profiles",
     "load_program",
+    "profile_for_input",
+    "profile_key",
     "program_inputs",
     "program_names",
     "program_source",
+    "resolve_jobs",
     "run_on_input",
     "source_line_count",
+    "warm_suite_cache",
 ]

@@ -1,0 +1,213 @@
+"""Parallel suite-profiling pipeline with persistent caching.
+
+This is the profile *acquisition* layer the experiments sit on.  It
+collects the profiles of every requested (program × input) pair:
+
+1. pairs already in the persistent on-disk cache are loaded without
+   interpreting anything;
+2. the remaining pairs fan out over a ``ProcessPoolExecutor`` (worker
+   count from the ``jobs`` argument, the ``REPRO_JOBS`` environment
+   variable, or ``os.cpu_count()``);
+3. results are merged in deterministic (suite order, input index)
+   order, so parallel collection renders byte-for-byte identically to
+   serial collection.
+
+Workers return *serialized* profiles (plain JSON-compatible data — the
+live ``Profile`` holds lambda-defaulted defaultdicts, which do not
+pickle) and also write them straight into the shared cache, so a
+crashed run still keeps its finished work.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.profiles import cache as profile_cache
+from repro.profiles.profile import Profile
+from repro.profiles.serialize import profile_from_dict, profile_to_dict
+from repro.suite import registry
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit arg > ``REPRO_JOBS`` env > cpu count."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_JOBS must be an integer, got {env!r}"
+                ) from None
+        else:
+            jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+@dataclass
+class ProgramTiming:
+    """Wall time and cache traffic for one suite program."""
+
+    name: str
+    seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+@dataclass
+class SuiteTimings:
+    """Timing report for one pipeline run (``--timings``)."""
+
+    jobs: int = 1
+    cache_used: bool = True
+    total_seconds: float = 0.0
+    programs: list[ProgramTiming] = field(default_factory=list)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(p.cache_hits for p in self.programs)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(p.cache_misses for p in self.programs)
+
+    def render(self) -> str:
+        lines = [
+            f"{'program':10} {'seconds':>8} {'hits':>5} {'misses':>7}",
+        ]
+        for timing in self.programs:
+            lines.append(
+                f"{timing.name:10} {timing.seconds:8.2f} "
+                f"{timing.cache_hits:5d} {timing.cache_misses:7d}"
+            )
+        lines.append(
+            f"{'TOTAL':10} {self.total_seconds:8.2f} "
+            f"{self.cache_hits:5d} {self.cache_misses:7d}"
+        )
+        lines.append(
+            f"(jobs={self.jobs}, cache="
+            f"{'on' if self.cache_used else 'off'})"
+        )
+        return "\n".join(lines)
+
+
+def _profile_pair_worker(
+    task: tuple[str, int, bool]
+) -> tuple[str, int, dict]:
+    """Run one (program, input index) pair in a worker process.
+
+    Loads (memoized per worker) the program, interprets the input, and
+    returns the serialized profile; with caching on, the profile is
+    also stored in the shared on-disk cache before returning.
+    """
+    name, index, use_cache = task
+    stdin = registry.program_inputs(name)[index - 1]
+    result = registry.run_on_input(name, stdin, f"input{index}")
+    if use_cache:
+        key = registry.profile_key(name, stdin)
+        profile_cache.store_profile(key, result.profile)
+    return name, index, profile_to_dict(result.profile)
+
+
+def collect_suite_profiles(
+    names: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+    timings: Optional[SuiteTimings] = None,
+) -> dict[str, list[Profile]]:
+    """Collect profiles for the given programs (default: whole suite).
+
+    Returns ``{program name: [profile per input, in index order]}`` in
+    suite order regardless of worker scheduling, and seeds the
+    registry's in-process memo so later ``collect_profiles`` calls are
+    free.
+    """
+    start = time.perf_counter()
+    ordered = list(names) if names is not None else registry.program_names()
+    for name in ordered:
+        if name not in registry.SUITE_BY_NAME:
+            raise KeyError(f"unknown suite program {name!r}")
+    jobs = resolve_jobs(jobs)
+    if use_cache is None:
+        use_cache = profile_cache.cache_enabled()
+
+    per_program: dict[str, ProgramTiming] = {
+        name: ProgramTiming(name) for name in ordered
+    }
+    inputs: dict[str, list[str]] = {
+        name: registry.program_inputs(name) for name in ordered
+    }
+    # Resolve cache hits up front; what remains is the fan-out work.
+    collected: dict[tuple[str, int], Profile] = {}
+    pending: list[tuple[str, int, bool]] = []
+    for name in ordered:
+        clock = time.perf_counter()
+        for index, stdin in enumerate(inputs[name], start=1):
+            cached = None
+            if use_cache:
+                cached = profile_cache.load_cached_profile(
+                    registry.profile_key(name, stdin)
+                )
+            if cached is not None:
+                collected[(name, index)] = cached
+                per_program[name].cache_hits += 1
+            else:
+                pending.append((name, index, use_cache))
+                per_program[name].cache_misses += 1
+        per_program[name].seconds += time.perf_counter() - clock
+
+    if pending:
+        if jobs > 1 and len(pending) > 1:
+            task_clock = time.perf_counter()
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                results = list(
+                    pool.map(_profile_pair_worker, pending)
+                )
+            elapsed = time.perf_counter() - task_clock
+            for name, index, payload in results:
+                collected[(name, index)] = profile_from_dict(payload)
+            # Wall time is shared across workers; attribute it evenly
+            # to the programs that had misses.
+            miss_total = sum(
+                1 for _ in pending
+            )
+            for name, index, _ in pending:
+                per_program[name].seconds += elapsed / miss_total
+        else:
+            for name, index, _ in pending:
+                clock = time.perf_counter()
+                collected[(name, index)] = registry.profile_for_input(
+                    name, index, inputs[name][index - 1], use_cache
+                )
+                per_program[name].seconds += time.perf_counter() - clock
+
+    # Deterministic merge: suite order, then input index.
+    merged: dict[str, list[Profile]] = {}
+    for name in ordered:
+        merged[name] = [
+            collected[(name, index)]
+            for index in range(1, len(inputs[name]) + 1)
+        ]
+        registry.seed_profile_memo(name, merged[name])
+
+    if timings is not None:
+        timings.jobs = jobs
+        timings.cache_used = use_cache
+        timings.programs = [per_program[name] for name in ordered]
+        timings.total_seconds = time.perf_counter() - start
+    return merged
+
+
+def warm_suite_cache(
+    names: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+) -> SuiteTimings:
+    """Populate the persistent cache for the whole suite; returns the
+    timing report."""
+    timings = SuiteTimings()
+    collect_suite_profiles(names, jobs=jobs, timings=timings)
+    return timings

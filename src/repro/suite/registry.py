@@ -15,10 +15,13 @@ expensive step every experiment shares).
 
 from __future__ import annotations
 
+import glob
 import os
+import re
 from dataclasses import dataclass
 
 from repro.interp.machine import ExecutionResult, Machine
+from repro.profiles import cache as profile_cache
 from repro.profiles.profile import Profile
 from repro.program import Program
 
@@ -151,16 +154,34 @@ def source_line_count(name: str) -> int:
 
 
 def input_paths(name: str) -> list[str]:
-    """Paths of every input for ``name``, sorted by index."""
-    paths: list[str] = []
-    index = 1
-    while True:
-        path = os.path.join(INPUTS_DIR, f"{name}.{index}.txt")
-        if not os.path.isfile(path):
-            break
-        paths.append(path)
-        index += 1
-    return paths
+    """Paths of every input for ``name``, sorted by index.
+
+    Inputs are globbed once (``<name>.<k>.txt``) rather than probed one
+    ``isfile`` call at a time; the numbering must be contiguous from 1,
+    and a gap raises a clear error instead of silently truncating the
+    input set.
+    """
+    pattern = os.path.join(INPUTS_DIR, f"{name}.*.txt")
+    matcher = re.compile(
+        re.escape(name) + r"\.(\d+)\.txt\Z"
+    )
+    indexed: dict[int, str] = {}
+    for path in glob.glob(pattern):
+        match = matcher.match(os.path.basename(path))
+        if match is None:
+            continue
+        indexed[int(match.group(1))] = path
+    if not indexed:
+        return []
+    expected = range(1, max(indexed) + 1)
+    missing = [index for index in expected if index not in indexed]
+    if missing:
+        raise FileNotFoundError(
+            f"suite program {name!r} has a gap in its input numbering: "
+            f"missing {', '.join(f'{name}.{i}.txt' for i in missing)} "
+            f"(found indices {sorted(indexed)})"
+        )
+    return [indexed[index] for index in expected]
 
 
 def program_inputs(name: str) -> list[str]:
@@ -208,15 +229,52 @@ def run_on_input(
     return result
 
 
-def collect_profiles(name: str) -> list[Profile]:
-    """Profiles of ``name`` on all of its inputs (memoized)."""
+def profile_key(name: str, stdin: str) -> str:
+    """Persistent-cache key for one (suite program, input text) pair."""
+    return profile_cache.profile_cache_key(program_source(name), stdin)
+
+
+def profile_for_input(
+    name: str, index: int, stdin: str, use_cache: bool | None = None
+) -> Profile:
+    """Profile of one (program, input), via the persistent cache.
+
+    On a cache hit the interpreter never runs; on a miss the program is
+    interpreted and the resulting profile stored for every later
+    consumer (CLI, pytest, benchmarks).
+    """
+    if use_cache is None:
+        use_cache = profile_cache.cache_enabled()
+    key = profile_key(name, stdin) if use_cache else ""
+    if use_cache:
+        cached = profile_cache.load_cached_profile(key)
+        if cached is not None:
+            return cached
+    result = run_on_input(name, stdin, f"input{index}")
+    if use_cache:
+        profile_cache.store_profile(key, result.profile)
+    return result.profile
+
+
+def collect_profiles(
+    name: str, use_cache: bool | None = None
+) -> list[Profile]:
+    """Profiles of ``name`` on all of its inputs (memoized in-process,
+    persisted on disk across processes)."""
     if name not in _PROFILE_CACHE:
         profiles = []
         for index, stdin in enumerate(program_inputs(name), start=1):
-            result = run_on_input(name, stdin, f"input{index}")
-            profiles.append(result.profile)
+            profiles.append(
+                profile_for_input(name, index, stdin, use_cache)
+            )
         _PROFILE_CACHE[name] = profiles
     return _PROFILE_CACHE[name]
+
+
+def seed_profile_memo(name: str, profiles: list[Profile]) -> None:
+    """Install already-collected profiles into the in-process memo
+    (used by the parallel pipeline after a fan-out)."""
+    _PROFILE_CACHE[name] = profiles
 
 
 def clear_caches() -> None:

@@ -21,6 +21,24 @@ from repro.profiles.profile import Profile  # noqa: E402
 from repro.program import Program  # noqa: E402
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_profile_cache(tmp_path_factory):
+    """Point the persistent profile cache at a per-session temp dir.
+
+    Tests still exercise the real cache machinery (suite profiles are
+    interpreted once per pytest session, then served from disk), but
+    never read from or write to the developer's real cache.
+    """
+    cache_dir = tmp_path_factory.mktemp("profile-cache")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    yield str(cache_dir)
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
+
+
 @pytest.fixture
 def compile_program():
     """Factory: C source -> Program."""
