@@ -1,0 +1,56 @@
+"""The shared static-analysis engine.
+
+Every consumer of static estimates — the experiment harness, the CLI,
+the benchmarks — talks to a per-program :class:`AnalysisSession`
+(:mod:`repro.analysis.session`), which computes each analysis artifact
+(branch predictions, per-block transition probabilities, intra
+estimates, call-graph invocation estimates, call-site frequencies)
+exactly once per (program, estimator) pair and hands the cached result
+to every caller.  An optional on-disk layer
+(:mod:`repro.analysis.cache`) persists the computed estimates alongside
+the PR-1 profile cache, keyed by a content hash of the source, so
+separate processes (parallel experiment workers, repeated CLI runs)
+share the analysis work too.
+"""
+
+from repro.analysis.cache import (
+    ANALYSIS_VERSION,
+    analysis_cache_dir,
+    analysis_cache_enabled,
+    analysis_cache_info,
+    analysis_cache_key,
+    clear_analysis_cache,
+    load_cached_analysis,
+    store_analysis,
+)
+from repro.analysis.session import (
+    AnalysisSession,
+    MemoizedPredictor,
+    SessionStats,
+    clear_sessions,
+    record_stage,
+    session_for_source,
+    session_for_suite,
+    stage_snapshot,
+    stage_totals_since,
+)
+
+__all__ = [
+    "ANALYSIS_VERSION",
+    "AnalysisSession",
+    "MemoizedPredictor",
+    "SessionStats",
+    "analysis_cache_dir",
+    "analysis_cache_enabled",
+    "analysis_cache_info",
+    "analysis_cache_key",
+    "clear_analysis_cache",
+    "clear_sessions",
+    "load_cached_analysis",
+    "record_stage",
+    "session_for_source",
+    "session_for_suite",
+    "stage_snapshot",
+    "stage_totals_since",
+    "store_analysis",
+]

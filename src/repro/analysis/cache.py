@@ -1,0 +1,175 @@
+"""Persistent on-disk cache for computed analysis artifacts.
+
+The in-process :class:`~repro.analysis.session.AnalysisSession` memo
+makes each analysis free after its first computation *within* a
+process; this layer extends that across processes — parallel experiment
+workers, repeated CLI invocations, the pytest tier, and the benchmark
+harness all share one store, exactly as they share the PR-1 profile
+cache.
+
+Layout mirrors the profile cache: one JSON file per entry under a
+directory, keyed by a SHA-256 content hash over
+
+* the program's full C source text (analysis inputs are derived from
+  the source deterministically, so the source hash covers the CFGs,
+  the call graph, and the heuristic settings),
+* the artifact kind and estimator name (e.g. ``intra:markov`` or
+  ``inter:markov:smart``),
+* the analysis semantics version (:data:`ANALYSIS_VERSION` — bump when
+  a heuristic, CFG construction, or solver change invalidates stored
+  estimates), and
+* the package version.
+
+Environment knobs:
+
+* ``REPRO_ANALYSIS_CACHE_DIR`` — cache directory.  Defaults to an
+  ``analysis/`` subdirectory of the profile cache directory, so
+  pointing ``REPRO_CACHE_DIR`` somewhere hermetic (as the test suite
+  does) isolates both caches at once.
+* ``REPRO_ANALYSIS_CACHE=0`` — disable just this layer;
+  ``REPRO_CACHE=0`` disables it together with the profile cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Optional
+
+import repro
+from repro.profiles import cache as profile_cache
+
+#: Bump when analysis semantics change (heuristics, CFG construction,
+#: estimator algorithms, solver behavior) so stale entries miss.
+ANALYSIS_VERSION = 1
+
+_FALSEY = {"0", "no", "off", "false", ""}
+
+
+def analysis_cache_enabled() -> bool:
+    """Whether the analysis layer is on.
+
+    ``REPRO_CACHE=0`` turns off all persistent caching;
+    ``REPRO_ANALYSIS_CACHE=0`` turns off just this layer.
+    """
+    if not profile_cache.cache_enabled():
+        return False
+    knob = os.environ.get("REPRO_ANALYSIS_CACHE", "1").strip().lower()
+    return knob not in _FALSEY
+
+
+def analysis_cache_dir() -> str:
+    """The analysis cache directory (not necessarily created yet)."""
+    explicit = os.environ.get("REPRO_ANALYSIS_CACHE_DIR")
+    if explicit:
+        return explicit
+    return os.path.join(profile_cache.cache_dir(), "analysis")
+
+
+def analysis_cache_key(source: str, kind: str, estimator: str) -> str:
+    """Content hash identifying one (program, artifact) analysis."""
+    hasher = hashlib.sha256()
+    for part in (
+        f"analysis={ANALYSIS_VERSION}",
+        f"package={repro.__version__}",
+        kind,
+        estimator,
+        source,
+    ):
+        encoded = part.encode("utf-8")
+        hasher.update(str(len(encoded)).encode("ascii"))
+        hasher.update(b":")
+        hasher.update(encoded)
+    return hasher.hexdigest()
+
+
+def _entry_path(key: str, directory: Optional[str] = None) -> str:
+    return os.path.join(directory or analysis_cache_dir(), f"{key}.json")
+
+
+def load_cached_analysis(
+    key: str, directory: Optional[str] = None
+) -> Optional[dict]:
+    """The cached payload for ``key``, or None on a miss.
+
+    Unreadable entries count as misses; a later store overwrites them.
+    """
+    try:
+        with open(_entry_path(key, directory), encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    return payload
+
+
+def store_analysis(
+    key: str, payload: dict, directory: Optional[str] = None
+) -> str:
+    """Atomically write ``payload`` under ``key``; returns the path.
+
+    Same tempfile + ``os.replace`` discipline as the profile cache, so
+    parallel experiment workers can race on a key without corruption.
+    """
+    directory = directory or analysis_cache_dir()
+    os.makedirs(directory, exist_ok=True)
+    path = _entry_path(key, directory)
+    encoded = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    fd, temp_path = tempfile.mkstemp(
+        prefix=f".{key[:16]}-", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(encoded)
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def analysis_cache_info(directory: Optional[str] = None) -> dict[str, object]:
+    """Summary of the analysis cache: directory, entries, total bytes."""
+    directory = directory or analysis_cache_dir()
+    entries = 0
+    total_bytes = 0
+    if os.path.isdir(directory):
+        for name in os.listdir(directory):
+            if not name.endswith(".json"):
+                continue
+            entries += 1
+            try:
+                total_bytes += os.path.getsize(
+                    os.path.join(directory, name)
+                )
+            except OSError:
+                pass
+    return {
+        "directory": directory,
+        "enabled": analysis_cache_enabled(),
+        "entries": entries,
+        "bytes": total_bytes,
+    }
+
+
+def clear_analysis_cache(directory: Optional[str] = None) -> int:
+    """Delete every analysis entry; returns how many were removed."""
+    directory = directory or analysis_cache_dir()
+    removed = 0
+    if not os.path.isdir(directory):
+        return 0
+    for name in os.listdir(directory):
+        if not (name.endswith(".json") or name.endswith(".tmp")):
+            continue
+        try:
+            os.unlink(os.path.join(directory, name))
+            removed += 1
+        except OSError:
+            pass
+    return removed

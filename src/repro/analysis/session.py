@@ -1,0 +1,440 @@
+"""Memoized per-program analysis sessions.
+
+An :class:`AnalysisSession` wraps one :class:`~repro.program.Program`
+and owns every static-analysis artifact derived from it:
+
+* the branch predictor (heuristic settings + per-branch prediction
+  memo),
+* per-function CFG transition probabilities,
+* intra-procedural block-frequency estimates, per estimator,
+* call-graph invocation estimates, per (backend, intra estimator),
+* global call-site frequency estimates, per backend.
+
+Each artifact is computed exactly once per session and handed (as a
+defensive copy) to every consumer, so ten experiments asking for the
+smart estimates of ``compress`` cost one AST walk, not ten.  Sessions
+attach to the program object itself (:meth:`AnalysisSession.of`), which
+makes the memo available to *every* code path holding the program —
+including the estimator registry functions — without threading a
+session argument through each call chain.
+
+Sessions also consult the optional on-disk layer
+(:mod:`repro.analysis.cache`): computed intra estimates and Markov
+invocations are persisted keyed by a content hash of the source, so a
+second process (a parallel experiment worker, the next CLI run) loads
+them instead of re-solving.
+
+Every computation records its wall time into a module-level stage
+accumulator (``parse``, ``intra:<estimator>``, ``inter:<backend>``,
+``transitions``, ``callsites``), surfaced by ``repro run all
+--timings`` and the analysis benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis import cache as analysis_cache
+from repro.cfg.block import BasicBlock, CondBranch, SwitchBranch
+from repro.estimators.base import (
+    IntraEstimator,
+    local_call_site_frequency,
+    resolve_intra_estimator,
+)
+from repro.estimators.inter.markov import invocations_from_estimates
+from repro.estimators.inter.simple import SIMPLE_INTER_ESTIMATORS
+from repro.estimators.intra.markov import (
+    solve_flow_system,
+    transition_probabilities,
+)
+from repro.prediction.error_functions import settings_for_program
+from repro.prediction.heuristics import BranchPrediction
+from repro.prediction.predictor import BranchPredictor, HeuristicPredictor
+from repro.program import Program
+
+# ----------------------------------------------------------------------
+# Stage timing accumulator (process-global; parallel workers return
+# their deltas to the parent, which merges them).
+
+_STAGE_SECONDS: dict[str, float] = {}
+_STAGE_COUNTS: dict[str, int] = {}
+
+
+def record_stage(stage: str, seconds: float) -> None:
+    """Add one timed run of ``stage`` to the process-global totals."""
+    _STAGE_SECONDS[stage] = _STAGE_SECONDS.get(stage, 0.0) + seconds
+    _STAGE_COUNTS[stage] = _STAGE_COUNTS.get(stage, 0) + 1
+
+
+def stage_snapshot() -> dict[str, float]:
+    """Current per-stage totals (seconds), for later deltas."""
+    return dict(_STAGE_SECONDS)
+
+
+def stage_totals_since(before: dict[str, float]) -> dict[str, float]:
+    """Per-stage seconds accumulated since ``before`` was snapshot."""
+    return {
+        stage: total - before.get(stage, 0.0)
+        for stage, total in _STAGE_SECONDS.items()
+        if total - before.get(stage, 0.0) > 0.0
+    }
+
+
+# ----------------------------------------------------------------------
+# Predictor memoization.
+
+
+class MemoizedPredictor:
+    """A :class:`BranchPredictor` caching per-branch predictions.
+
+    Predictions depend only on the branch's terminator, which is fixed
+    per block, so ``(function, block id)`` is a complete key.  Sharing
+    one of these per program means the heuristic AST matching runs once
+    per branch instead of once per (branch, profile, experiment).
+    """
+
+    def __init__(self, base: BranchPredictor):
+        self.base = base
+        self._branches: dict[tuple[str, int], BranchPrediction] = {}
+        self._switches: dict[tuple[str, int], dict[int, float]] = {}
+
+    def predict_branch(
+        self, function: str, block: BasicBlock, branch: CondBranch
+    ) -> BranchPrediction:
+        key = (function, block.block_id)
+        hit = self._branches.get(key)
+        if hit is None:
+            hit = self.base.predict_branch(function, block, branch)
+            self._branches[key] = hit
+        return hit
+
+    def switch_weights(
+        self, function: str, block: BasicBlock, switch: SwitchBranch
+    ) -> dict[int, float]:
+        key = (function, block.block_id)
+        hit = self._switches.get(key)
+        if hit is None:
+            hit = self.base.switch_weights(function, block, switch)
+            self._switches[key] = hit
+        return dict(hit)
+
+
+@dataclass
+class SessionStats:
+    """Memo and disk-cache traffic for one session."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    disk_stores: int = 0
+
+
+class AnalysisSession:
+    """All memoized analysis artifacts for one program."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.stats = SessionStats()
+        self._predictor: Optional[MemoizedPredictor] = None
+        self._transitions: dict[str, dict[int, dict[int, float]]] = {}
+        self._intra: dict[str, dict[str, dict[int, float]]] = {}
+        self._invocations: dict[tuple[str, str], dict[str, float]] = {}
+        self._call_sites: dict[tuple[str, str], dict[int, float]] = {}
+
+    @classmethod
+    def of(cls, program: Program) -> "AnalysisSession":
+        """The session attached to ``program``, created on demand.
+
+        Attaching to the program object (rather than a registry keyed
+        by name) ties the session's lifetime to the program's: when the
+        suite registry drops a memoized program, its session goes too.
+        """
+        session = getattr(program, "_analysis_session", None)
+        if session is None:
+            session = cls(program)
+            program._analysis_session = session
+        return session
+
+    # ------------------------------------------------------------------
+    # Predictor and transitions.
+
+    def predictor(self) -> MemoizedPredictor:
+        """The program's smart heuristic predictor, prediction-memoized."""
+        if self._predictor is None:
+            self._predictor = MemoizedPredictor(
+                HeuristicPredictor(settings_for_program(self.program))
+            )
+        return self._predictor
+
+    def transitions(self, function_name: str) -> dict[int, dict[int, float]]:
+        """Per-block successor probabilities for one function."""
+        cached = self._transitions.get(function_name)
+        if cached is None:
+            self.stats.misses += 1
+            clock = time.perf_counter()
+            cached = transition_probabilities(
+                self.program.cfg(function_name), self.predictor()
+            )
+            record_stage("transitions", time.perf_counter() - clock)
+            self._transitions[function_name] = cached
+        else:
+            self.stats.hits += 1
+        return {block: dict(row) for block, row in cached.items()}
+
+    # ------------------------------------------------------------------
+    # Intra-procedural estimates.
+
+    def intra_estimates(
+        self, estimator: "str | IntraEstimator" = "smart"
+    ) -> dict[str, dict[int, float]]:
+        """Per-function block-frequency estimates, memoized per
+        estimator name (callables are computed but not memoized)."""
+        if not isinstance(estimator, str):
+            return self._compute_intra(estimator)
+        cached = self._intra.get(estimator)
+        if cached is None:
+            self.stats.misses += 1
+            cached = self._load_intra_from_disk(estimator)
+            if cached is None:
+                clock = time.perf_counter()
+                cached = self._compute_intra(estimator)
+                record_stage(
+                    f"intra:{estimator}", time.perf_counter() - clock
+                )
+                self._store_intra_to_disk(estimator, cached)
+            self._intra[estimator] = cached
+        else:
+            self.stats.hits += 1
+        return {name: dict(blocks) for name, blocks in cached.items()}
+
+    def _compute_intra(
+        self, estimator: "str | IntraEstimator"
+    ) -> dict[str, dict[int, float]]:
+        if estimator == "markov":
+            # Route through the memoized predictor and transitions so
+            # the heuristic pass is shared with every other consumer.
+            return {
+                name: solve_flow_system(
+                    self.program.cfg(name), self.transitions(name)
+                )
+                for name in self.program.function_names
+            }
+        function = resolve_intra_estimator(estimator)
+        return {
+            name: function(self.program, name)
+            for name in self.program.function_names
+        }
+
+    def _load_intra_from_disk(
+        self, estimator: str
+    ) -> Optional[dict[str, dict[int, float]]]:
+        if not self.program.source or not analysis_cache.analysis_cache_enabled():
+            return None
+        payload = analysis_cache.load_cached_analysis(
+            analysis_cache.analysis_cache_key(
+                self.program.source, "intra", estimator
+            )
+        )
+        if payload is None or not isinstance(
+            payload.get("functions"), dict
+        ):
+            return None
+        try:
+            estimates = {
+                name: {
+                    int(block_id): float(value)
+                    for block_id, value in blocks.items()
+                }
+                for name, blocks in payload["functions"].items()
+            }
+        except (AttributeError, TypeError, ValueError):
+            return None
+        # A stale entry for a different function set must not survive.
+        if set(estimates) != set(self.program.function_names):
+            return None
+        self.stats.disk_hits += 1
+        return estimates
+
+    def _store_intra_to_disk(
+        self, estimator: str, estimates: dict[str, dict[int, float]]
+    ) -> None:
+        if not self.program.source or not analysis_cache.analysis_cache_enabled():
+            return
+        analysis_cache.store_analysis(
+            analysis_cache.analysis_cache_key(
+                self.program.source, "intra", estimator
+            ),
+            {
+                "functions": {
+                    name: {
+                        str(block_id): value
+                        for block_id, value in blocks.items()
+                    }
+                    for name, blocks in estimates.items()
+                }
+            },
+        )
+        self.stats.disk_stores += 1
+
+    # ------------------------------------------------------------------
+    # Inter-procedural (invocation) estimates.
+
+    def invocations(
+        self, backend: str = "markov", estimator: str = "smart"
+    ) -> dict[str, float]:
+        """Function-invocation estimates, memoized per (backend,
+        intra estimator).  Backends: ``markov`` plus the four simple
+        combiners (``call_site``, ``direct``, ``all_rec``,
+        ``all_rec2``)."""
+        key = (backend, estimator)
+        cached = self._invocations.get(key)
+        if cached is None:
+            self.stats.misses += 1
+            cached = self._load_invocations_from_disk(backend, estimator)
+            if cached is None:
+                # Intra estimates are a separate (memoized and
+                # separately timed) stage; compute them first so the
+                # inter stage times only its own work.
+                estimates = self.intra_estimates(estimator)
+                clock = time.perf_counter()
+                if backend == "markov":
+                    cached = invocations_from_estimates(
+                        self.program, estimates
+                    )
+                elif backend in SIMPLE_INTER_ESTIMATORS:
+                    cached = SIMPLE_INTER_ESTIMATORS[backend](
+                        self.program, estimator
+                    )
+                else:
+                    raise KeyError(
+                        f"unknown invocation backend {backend!r}; "
+                        f"choices: "
+                        f"{['markov', *sorted(SIMPLE_INTER_ESTIMATORS)]}"
+                    )
+                record_stage(
+                    f"inter:{backend}", time.perf_counter() - clock
+                )
+                self._store_invocations_to_disk(
+                    backend, estimator, cached
+                )
+            self._invocations[key] = cached
+        else:
+            self.stats.hits += 1
+        return dict(cached)
+
+    def _load_invocations_from_disk(
+        self, backend: str, estimator: str
+    ) -> Optional[dict[str, float]]:
+        # Only the Markov backend is worth persisting: the simple
+        # combiners are a linear pass over already-memoized estimates.
+        if backend != "markov":
+            return None
+        if not self.program.source or not analysis_cache.analysis_cache_enabled():
+            return None
+        payload = analysis_cache.load_cached_analysis(
+            analysis_cache.analysis_cache_key(
+                self.program.source, "inter", f"{backend}:{estimator}"
+            )
+        )
+        if payload is None or not isinstance(
+            payload.get("invocations"), dict
+        ):
+            return None
+        try:
+            invocations = {
+                name: float(value)
+                for name, value in payload["invocations"].items()
+            }
+        except (TypeError, ValueError):
+            return None
+        if set(invocations) != set(self.program.function_names):
+            return None
+        self.stats.disk_hits += 1
+        return invocations
+
+    def _store_invocations_to_disk(
+        self, backend: str, estimator: str, invocations: dict[str, float]
+    ) -> None:
+        if backend != "markov":
+            return
+        if not self.program.source or not analysis_cache.analysis_cache_enabled():
+            return
+        analysis_cache.store_analysis(
+            analysis_cache.analysis_cache_key(
+                self.program.source, "inter", f"{backend}:{estimator}"
+            ),
+            {"invocations": invocations},
+        )
+        self.stats.disk_stores += 1
+
+    # ------------------------------------------------------------------
+    # Global call-site frequencies.
+
+    def call_site_frequencies(
+        self, backend: str = "markov", estimator: str = "smart"
+    ) -> dict[int, float]:
+        """Estimated global frequency per call-site id (pointer calls
+        omitted), memoized per (backend, intra estimator)."""
+        key = (backend, estimator)
+        cached = self._call_sites.get(key)
+        if cached is None:
+            self.stats.misses += 1
+            estimates = self.intra_estimates(estimator)
+            invocations = self.invocations(backend, estimator)
+            clock = time.perf_counter()
+            cached = {}
+            for site in self.program.call_sites():
+                if site.callee is None:
+                    continue
+                local = local_call_site_frequency(site, estimates)
+                cached[site.site_id] = local * invocations.get(
+                    site.caller, 0.0
+                )
+            record_stage("callsites", time.perf_counter() - clock)
+            self._call_sites[key] = cached
+        else:
+            self.stats.hits += 1
+        return dict(cached)
+
+
+# ----------------------------------------------------------------------
+# Session constructors.
+
+#: Sessions for example sources, keyed by (name, source) so repeated
+#: construction of the same example shares one parse.
+_SOURCE_SESSIONS: dict[tuple[str, str], AnalysisSession] = {}
+
+
+def session_for_source(source: str, name: str) -> AnalysisSession:
+    """A session for arbitrary C source, parsed at most once per
+    process per (name, source) pair."""
+    key = (name, source)
+    session = _SOURCE_SESSIONS.get(key)
+    if session is None:
+        clock = time.perf_counter()
+        program = Program.from_source(source, name)
+        record_stage("parse", time.perf_counter() - clock)
+        session = AnalysisSession.of(program)
+        _SOURCE_SESSIONS[key] = session
+    return session
+
+
+def session_for_suite(name: str) -> AnalysisSession:
+    """The session of one suite program (compiled at most once per
+    process, via the suite registry's program memo)."""
+    from repro.suite import registry
+
+    already_loaded = name in registry._PROGRAM_CACHE
+    clock = time.perf_counter()
+    program = registry.load_program(name)
+    if not already_loaded:
+        record_stage("parse", time.perf_counter() - clock)
+    return AnalysisSession.of(program)
+
+
+def clear_sessions() -> None:
+    """Drop example-source sessions (suite sessions live and die with
+    the registry's program memo)."""
+    _SOURCE_SESSIONS.clear()

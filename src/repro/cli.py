@@ -23,10 +23,15 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.analysis import cache as analysis_cache
+from repro.analysis.session import session_for_suite
 from repro.cfg import cfg_to_dot
-from repro.experiments import EXPERIMENTS, run_all, run_experiment
-from repro.prediction.error_functions import settings_for_program
-from repro.prediction.predictor import HeuristicPredictor
+from repro.experiments import (
+    EXPERIMENTS,
+    RunAllTimings,
+    run_all,
+    run_experiment,
+)
 from repro.profiles import cache as profile_cache
 from repro.suite import (
     SUITE,
@@ -57,8 +62,22 @@ def _resolve_jobs_or_fail(jobs: int | None) -> int:
 
 def _command_run(args: argparse.Namespace) -> int:
     if args.experiment == "all":
-        print(run_all(jobs=_resolve_jobs_or_fail(args.jobs)))
+        timings = RunAllTimings() if args.timings else None
+        print(
+            run_all(
+                jobs=_resolve_jobs_or_fail(args.jobs), timings=timings
+            )
+        )
+        if timings is not None:
+            # stderr, so stdout stays byte-identical with and without
+            # the flag (and across serial vs parallel runs).
+            print(timings.render(), file=sys.stderr)
         return 0
+    if args.timings:
+        print(
+            "repro: --timings only applies to 'run all'", file=sys.stderr
+        )
+        return 2
     try:
         print(run_experiment(args.experiment))
     except KeyError as error:
@@ -135,8 +154,9 @@ def _command_layout(args: argparse.Namespace) -> int:
 
 
 def _command_predict(args: argparse.Namespace) -> int:
-    program = load_program(args.program)
-    predictor = HeuristicPredictor(settings_for_program(program))
+    session = session_for_suite(args.program)
+    program = session.program
+    predictor = session.predictor()
     for name, cfg in program.cfgs.items():
         for block, branch in cfg.conditional_branches():
             prediction = predictor.predict_branch(name, block, branch)
@@ -176,14 +196,22 @@ def _command_profile_suite(args: argparse.Namespace) -> int:
 
 def _command_cache(args: argparse.Namespace) -> int:
     if args.action == "info":
-        info = profile_cache.cache_info()
-        print(f"directory: {info['directory']}")
-        print(f"enabled:   {'yes' if info['enabled'] else 'no'}")
-        print(f"entries:   {info['entries']}")
-        print(f"size:      {info['bytes']} bytes")
+        for title, info in (
+            ("profile cache", profile_cache.cache_info()),
+            ("analysis cache", analysis_cache.analysis_cache_info()),
+        ):
+            print(f"{title}:")
+            print(f"  directory: {info['directory']}")
+            print(f"  enabled:   {'yes' if info['enabled'] else 'no'}")
+            print(f"  entries:   {info['entries']}")
+            print(f"  size:      {info['bytes']} bytes")
         return 0
-    removed = profile_cache.clear_cache()
-    print(f"removed {removed} cached profiles")
+    removed_profiles = profile_cache.clear_cache()
+    removed_analyses = analysis_cache.clear_analysis_cache()
+    print(
+        f"removed {removed_profiles} cached profiles and "
+        f"{removed_analyses} cached analyses"
+    )
     return 0
 
 
@@ -210,7 +238,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs",
         type=int,
         default=None,
-        help="profiling worker processes (default: REPRO_JOBS or CPU count)",
+        help=(
+            "worker processes for profiling and experiments "
+            "(default: REPRO_JOBS or CPU count)"
+        ),
+    )
+    run_parser.add_argument(
+        "--timings",
+        action="store_true",
+        help=(
+            "with 'all': print a per-stage timing report to stderr "
+            "(profiling, per-experiment wall time, analysis stages)"
+        ),
     )
     run_parser.set_defaults(handler=_command_run)
 

@@ -46,7 +46,18 @@ def resolve_intra_estimator(
 def intra_estimates(
     program: Program, estimator: "str | IntraEstimator" = "smart"
 ) -> dict[str, dict[int, float]]:
-    """Per-function block-frequency estimates for the whole program."""
+    """Per-function block-frequency estimates for the whole program.
+
+    Registry-name estimators are served from (and memoized in) the
+    program's :class:`~repro.analysis.session.AnalysisSession`, so
+    every consumer of e.g. the smart estimates shares one AST walk;
+    ad-hoc callables are computed directly.
+    """
+    if isinstance(estimator, str):
+        resolve_intra_estimator(estimator)  # Validate the name early.
+        from repro.analysis.session import AnalysisSession
+
+        return AnalysisSession.of(program).intra_estimates(estimator)
     function = resolve_intra_estimator(estimator)
     return {name: function(program, name) for name in program.function_names}
 

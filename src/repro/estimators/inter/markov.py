@@ -32,7 +32,8 @@ from repro.estimators.base import (
     intra_estimates,
     local_call_site_frequency,
 )
-from repro.linalg.solve import SingularMatrixError, solve_linear_system
+from repro.linalg.solve import SingularMatrixError
+from repro.linalg.sparse import solve_flow_rows
 from repro.program import Program
 
 #: Clamp value for impossible direct-recursion arcs (paper: 0.8).
@@ -61,19 +62,24 @@ class CallGraphSystem:
             callee for (caller, callee) in self.weights if caller == node
         ]
 
-    def solve(self) -> dict[str, float]:
-        """Solve ``f = e + W^T f``; raises SingularMatrixError."""
+    def solve(self, method: str = "auto") -> dict[str, float]:
+        """Solve ``f = e + W^T f``; raises SingularMatrixError.
+
+        Built directly in sparse dict-row form (one entry per call-graph
+        arc plus the diagonal) and dispatched on density; ``method``
+        forces the ``"dense"`` oracle or the ``"sparse"`` solver.
+        """
         index = {name: i for i, name in enumerate(self.nodes)}
         n = len(self.nodes)
-        matrix = [[0.0] * n for _ in range(n)]
-        for i in range(n):
-            matrix[i][i] = 1.0
+        rows: list[dict[int, float]] = [{i: 1.0} for i in range(n)]
         for (caller, callee), weight in self.weights.items():
-            matrix[index[callee]][index[caller]] -= weight
+            row = rows[index[callee]]
+            j = index[caller]
+            row[j] = row.get(j, 0.0) - weight
         rhs = [0.0] * n
         if self.entry in index:
             rhs[index[self.entry]] = 1.0
-        solution = solve_linear_system(matrix, rhs)
+        solution = solve_flow_rows(rows, rhs, method=method)
         return {name: solution[index[name]] for name in self.nodes}
 
 
@@ -235,6 +241,23 @@ def solve_with_repair(
     )
 
 
+def invocations_from_estimates(
+    program: Program,
+    estimates: dict[str, dict[int, float]],
+    clamp: float = DEFAULT_RECURSION_CLAMP,
+    ceiling: float = DEFAULT_SCC_CEILING,
+) -> dict[str, float]:
+    """The call-graph Markov pipeline on precomputed intra estimates.
+
+    The pointer node's internal estimate is dropped from the result.
+    """
+    system = build_call_graph_system(program, estimates)
+    solution = solve_with_repair(system, clamp, ceiling)
+    solution.pop(POINTER_NODE, None)
+    # Clip the tiny negatives tolerated above.
+    return {name: max(value, 0.0) for name, value in solution.items()}
+
+
 def markov_invocations(
     program: Program,
     estimator: "str | IntraEstimator" = "smart",
@@ -243,11 +266,19 @@ def markov_invocations(
 ) -> dict[str, float]:
     """Function invocation estimates from the call-graph Markov model.
 
-    The pointer node's internal estimate is dropped from the result.
+    With a registry estimator name and default repair parameters, the
+    result comes from (and is memoized in) the program's
+    :class:`~repro.analysis.session.AnalysisSession`, so repeated
+    callers share one solve.
     """
-    estimates = intra_estimates(program, estimator)
-    system = build_call_graph_system(program, estimates)
-    solution = solve_with_repair(system, clamp, ceiling)
-    solution.pop(POINTER_NODE, None)
-    # Clip the tiny negatives tolerated above.
-    return {name: max(value, 0.0) for name, value in solution.items()}
+    if (
+        isinstance(estimator, str)
+        and clamp == DEFAULT_RECURSION_CLAMP
+        and ceiling == DEFAULT_SCC_CEILING
+    ):
+        from repro.analysis.session import AnalysisSession
+
+        return AnalysisSession.of(program).invocations("markov", estimator)
+    return invocations_from_estimates(
+        program, intra_estimates(program, estimator), clamp, ceiling
+    )

@@ -30,7 +30,8 @@ from repro.cfg.block import (
     ReturnTerm,
     SwitchBranch,
 )
-from repro.linalg.solve import SingularMatrixError, solve_linear_system
+from repro.linalg.solve import SingularMatrixError
+from repro.linalg.sparse import solve_flow_rows
 from repro.prediction.predictor import BranchPredictor, HeuristicPredictor
 from repro.program import Program
 
@@ -80,29 +81,34 @@ def transition_probabilities(
 def solve_flow_system(
     cfg: ControlFlowGraph,
     transitions: dict[int, dict[int, float]],
+    method: str = "auto",
 ) -> dict[int, float]:
     """Solve ``f = e + P^T f`` for the CFG, entry pinned at 1.
 
-    Damps the transition probabilities and retries when singular.
-    Raises :class:`SingularMatrixError` if even heavy damping fails.
+    The system ``I - P^T`` is built directly in sparse dict-row form
+    (one entry per CFG edge plus the diagonal) and dispatched on
+    density; ``method`` forces ``"dense"`` (the oracle) or
+    ``"sparse"``.  Damps the transition probabilities and retries when
+    singular.  Raises :class:`SingularMatrixError` if even heavy
+    damping fails.
     """
     block_ids = sorted(cfg.blocks)
     index = {block_id: i for i, block_id in enumerate(block_ids)}
     n = len(block_ids)
     last_error: Optional[SingularMatrixError] = None
     for damping in DAMPING_FACTORS:
-        matrix = [[0.0] * n for _ in range(n)]
-        for i in range(n):
-            matrix[i][i] = 1.0
+        rows: list[dict[int, float]] = [{i: 1.0} for i in range(n)]
         for source, row in transitions.items():
+            j = index[source]
             for target, probability in row.items():
-                matrix[index[target]][index[source]] -= (
-                    probability * damping
+                target_row = rows[index[target]]
+                target_row[j] = (
+                    target_row.get(j, 0.0) - probability * damping
                 )
         rhs = [0.0] * n
         rhs[index[cfg.entry_id]] = 1.0
         try:
-            solution = solve_linear_system(matrix, rhs)
+            solution = solve_flow_rows(rows, rhs, method=method)
         except SingularMatrixError as error:
             last_error = error
             continue

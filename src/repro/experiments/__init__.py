@@ -1,5 +1,10 @@
 """Experiment harnesses: one module per table/figure in the paper."""
 
-from repro.experiments.runner import EXPERIMENTS, run_all, run_experiment
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    RunAllTimings,
+    run_all,
+    run_experiment,
+)
 
-__all__ = ["EXPERIMENTS", "run_all", "run_experiment"]
+__all__ = ["EXPERIMENTS", "RunAllTimings", "run_all", "run_experiment"]

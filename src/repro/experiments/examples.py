@@ -11,20 +11,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis.session import AnalysisSession, session_for_source
 from repro.cfg.block import CondBranch, Jump, ReturnTerm
 from repro.estimators.intra.astwalk import AstFrequencyWalker
-from repro.estimators.intra.markov import (
-    solve_flow_system,
-    transition_probabilities,
-)
-from repro.estimators.base import intra_estimates
-from repro.estimators.inter.markov import (
-    build_call_graph_system,
-    markov_invocations,
-)
+from repro.estimators.inter.markov import build_call_graph_system
 from repro.frontend import ast_nodes as ast
 from repro.prediction.error_functions import settings_for_program
-from repro.prediction.predictor import HeuristicPredictor
 from repro.program import Program
 
 #: Figure 1: the paper's simple implementation of strchr.
@@ -79,16 +71,31 @@ int main(void)
 """
 
 
-def strchr_program() -> Program:
-    """The strchr example plus its two-call harness."""
-    return Program.from_source(
+def strchr_session() -> AnalysisSession:
+    """The shared analysis session of the strchr example.
+
+    Figure 3, Figures 6/7, and Table 2 all consume this one session, so
+    the example source is parsed once per process no matter how many of
+    them run.
+    """
+    return session_for_source(
         STRCHR_SOURCE + "\n" + STRCHR_HARNESS, "strchr-example"
     )
 
 
+def strchr_program() -> Program:
+    """The strchr example plus its two-call harness."""
+    return strchr_session().program
+
+
+def count_nodes_session() -> AnalysisSession:
+    """The shared analysis session of the Figure 8 example."""
+    return session_for_source(COUNT_NODES_SOURCE, "count-nodes-example")
+
+
 def count_nodes_program() -> Program:
     """The Figure 8 example compiled into a Program."""
-    return Program.from_source(COUNT_NODES_SOURCE, "count-nodes-example")
+    return count_nodes_session().program
 
 
 #: Display names matching the paper's Figure 6 labels, keyed by our CFG
@@ -221,17 +228,17 @@ class MarkovExampleResult:
 
 def run_markov_example() -> MarkovExampleResult:
     """Figures 6/7: the strchr CFG system and its exact solution."""
-    program = strchr_program()
+    session = strchr_session()
+    program = session.program
     cfg = program.cfg("my_strchr")
     names = paper_block_names(program)
-    predictor = HeuristicPredictor(settings_for_program(program))
-    transitions = transition_probabilities(cfg, predictor)
+    transitions = session.transitions("my_strchr")
     probabilities = {
         (source, target): probability
         for source, row in transitions.items()
         for target, probability in row.items()
     }
-    solution = solve_flow_system(cfg, transitions)
+    solution = session.intra_estimates("markov")["my_strchr"]
     predecessors = cfg.predecessor_map()
     equations = []
     for block_id in sorted(cfg.blocks):
@@ -289,8 +296,9 @@ class Figure8Result:
 
 def run_figure8() -> Figure8Result:
     """Figure 8: the count_nodes self-arc pathology and its repair."""
-    program = count_nodes_program()
-    estimates = intra_estimates(program, "smart")
+    session = count_nodes_session()
+    program = session.program
+    estimates = session.intra_estimates("smart")
     system = build_call_graph_system(program, estimates)
     raw_weight = system.weights.get(("count_nodes", "count_nodes"), 0.0)
     unrepaired: dict[str, float] | None
@@ -298,5 +306,5 @@ def run_figure8() -> Figure8Result:
         unrepaired = system.solve()
     except Exception:
         unrepaired = None
-    repaired = markov_invocations(program)
+    repaired = session.invocations("markov", "smart")
     return Figure8Result(raw_weight, unrepaired, repaired)

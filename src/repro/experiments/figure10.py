@@ -12,7 +12,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
-from repro.estimators.inter.markov import markov_invocations
+from repro.analysis.session import session_for_suite
 from repro.experiments.render import text_table
 from repro.interp.machine import Machine
 from repro.optimize.selective import (
@@ -81,13 +81,14 @@ def evaluation_profile() -> Profile:
 
 def run_figure10() -> Figure10Result:
     """Run the Figure 10 sweeps for all three rankings."""
-    program = load_program("compress")
+    session = session_for_suite("compress")
+    program = session.program
     profiles = collect_profiles("compress")
     held_out = evaluation_profile()
     rankings = [
         (
             "estimate",
-            ranking_from_estimate(markov_invocations(program, "smart")),
+            ranking_from_estimate(session.invocations("markov", "smart")),
         ),
         ("profile", ranking_from_profile(program, profiles[0])),
         (

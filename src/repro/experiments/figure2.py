@@ -17,15 +17,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis.session import session_for_suite
 from repro.experiments.render import percent, series_table
-from repro.prediction.error_functions import settings_for_program
 from repro.prediction.missrate import (
     measure_miss_rate,
     measure_psp_miss_rate,
 )
-from repro.prediction.predictor import HeuristicPredictor, ProfilePredictor
+from repro.prediction.predictor import ProfilePredictor
 from repro.profiles.aggregate import leave_one_out_aggregates
-from repro.suite import SUITE, collect_profiles, load_program
+from repro.suite import SUITE, collect_profiles
 
 COLUMNS = ("predictor", "profiling", "PSP")
 
@@ -68,9 +68,12 @@ class Figure2Result:
 
 def miss_rates_for_program(name: str) -> dict[str, float]:
     """The three Figure 2 miss rates for one suite program."""
-    program = load_program(name)
+    session = session_for_suite(name)
+    program = session.program
     profiles = collect_profiles(name)
-    heuristic = HeuristicPredictor(settings_for_program(program))
+    # The session's predictor memoizes per-branch predictions, so the
+    # heuristic AST matching runs once per branch, not once per profile.
+    heuristic = session.predictor()
 
     heuristic_rates = [
         measure_miss_rate(program, heuristic, profile).miss_rate
@@ -103,7 +106,7 @@ def average_switch_fraction() -> float:
 
     fractions = []
     for entry in SUITE:
-        program = load_program(entry.name)
+        program = session_for_suite(entry.name).program
         profiles = collect_profiles(entry.name)
         fractions.append(
             sum(

@@ -11,14 +11,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.estimators.base import intra_estimates
+from repro.analysis.session import session_for_suite
 from repro.experiments.render import percent, series_table
 from repro.metrics.protocol import (
     INTRA_CUTOFF,
     intra_profiling_baseline,
     intra_score_over_profiles,
 )
-from repro.suite import SUITE, collect_profiles, load_program
+from repro.suite import SUITE, collect_profiles
 
 COLUMNS = ("loop", "smart", "markov", "profiling")
 
@@ -51,11 +51,12 @@ def scores_for_program(
     name: str, cutoff: float = INTRA_CUTOFF
 ) -> dict[str, float]:
     """The four Figure 4 columns for one suite program."""
-    program = load_program(name)
+    session = session_for_suite(name)
+    program = session.program
     profiles = collect_profiles(name)
     scores: dict[str, float] = {}
     for estimator in ("loop", "smart", "markov"):
-        estimates = intra_estimates(program, estimator)
+        estimates = session.intra_estimates(estimator)
         scores[estimator] = intra_score_over_profiles(
             program, estimates, profiles, cutoff
         )

@@ -14,14 +14,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.estimators.inter.markov import markov_invocations
+from repro.analysis.session import session_for_suite
 from repro.estimators.inter.simple import SIMPLE_INTER_ESTIMATORS
 from repro.experiments.render import percent, series_table
 from repro.metrics.protocol import (
     invocation_profiling_baseline,
     invocation_score_over_profiles,
 )
-from repro.suite import SUITE, collect_profiles, load_program
+from repro.suite import SUITE, collect_profiles
 
 SIMPLE_COLUMNS = (
     "call_site",
@@ -83,11 +83,12 @@ def simple_scores_for_program(
     name: str, cutoff: float = 0.25
 ) -> dict[str, float]:
     """Figure 5a columns for one program."""
-    program = load_program(name)
+    session = session_for_suite(name)
+    program = session.program
     profiles = collect_profiles(name)
     scores: dict[str, float] = {}
-    for estimator_name, estimator in SIMPLE_INTER_ESTIMATORS.items():
-        estimate = estimator(program, "smart")
+    for estimator_name in SIMPLE_INTER_ESTIMATORS:
+        estimate = session.invocations(estimator_name, "smart")
         scores[estimator_name] = invocation_score_over_profiles(
             program, estimate, profiles, cutoff
         )
@@ -101,10 +102,11 @@ def markov_scores_for_program(
     name: str, cutoff: float
 ) -> dict[str, float]:
     """Figure 5b/5c columns for one program at one cutoff."""
-    program = load_program(name)
+    session = session_for_suite(name)
+    program = session.program
     profiles = collect_profiles(name)
-    direct = SIMPLE_INTER_ESTIMATORS["direct"](program, "smart")
-    markov = markov_invocations(program, "smart")
+    direct = session.invocations("direct", "smart")
+    markov = session.invocations("markov", "smart")
     return {
         "direct": invocation_score_over_profiles(
             program, direct, profiles, cutoff

@@ -13,17 +13,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.estimators.callsites import (
-    direct_call_site_estimator,
-    markov_call_site_estimator,
-)
+from repro.analysis.session import session_for_suite
 from repro.experiments.render import percent, series_table
 from repro.metrics.protocol import (
     CALL_SITE_CUTOFF,
     call_site_profiling_baseline,
     call_site_score_over_profiles,
 )
-from repro.suite import SUITE, collect_profiles, load_program
+from repro.suite import SUITE, collect_profiles
 
 COLUMNS = ("direct", "markov", "profiling")
 
@@ -54,14 +51,21 @@ def scores_for_program(
     name: str, cutoff: float = CALL_SITE_CUTOFF
 ) -> dict[str, float]:
     """The three Figure 9 columns for one program."""
-    program = load_program(name)
+    session = session_for_suite(name)
+    program = session.program
     profiles = collect_profiles(name)
     return {
         "direct": call_site_score_over_profiles(
-            program, direct_call_site_estimator(program), profiles, cutoff
+            program,
+            session.call_site_frequencies("direct"),
+            profiles,
+            cutoff,
         ),
         "markov": call_site_score_over_profiles(
-            program, markov_call_site_estimator(program), profiles, cutoff
+            program,
+            session.call_site_frequencies("markov"),
+            profiles,
+            cutoff,
         ),
         "profiling": call_site_profiling_baseline(
             program, profiles, cutoff

@@ -2,12 +2,24 @@
 
 Every table and figure in the paper's evaluation has an entry here;
 the CLI and the benchmark harness both dispatch through this table.
+
+``run_all`` first warms every suite profile through the parallel cached
+pipeline, then runs the experiments themselves — serially with
+``jobs=1``, or fanned out over a ``ProcessPoolExecutor`` otherwise.
+Workers inherit the warm profile memo (and fall back to the persistent
+caches), return their rendered sections plus per-stage analysis
+timings, and the parent merges the sections in registry order, so
+parallel output is byte-for-byte identical to serial output.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.suite.pipeline import SuiteTimings, resolve_jobs
 
 from repro.experiments.examples import (
     run_figure3,
@@ -101,7 +113,9 @@ def run_experiment(name: str) -> str:
     return result.render()  # type: ignore[attr-defined]
 
 
-def prefetch_profiles(jobs: int | None = None) -> None:
+def prefetch_profiles(
+    jobs: int | None = None, timings: Optional[SuiteTimings] = None
+) -> None:
     """Warm every suite profile through the parallel cached pipeline.
 
     All experiments share the same profiles; collecting them up front
@@ -110,13 +124,108 @@ def prefetch_profiles(jobs: int | None = None) -> None:
     """
     from repro.suite import collect_suite_profiles
 
-    collect_suite_profiles(jobs=jobs)
+    collect_suite_profiles(jobs=jobs, timings=timings)
 
 
-def run_all(jobs: int | None = None) -> str:
-    """Run every experiment, concatenating the rendered sections."""
-    prefetch_profiles(jobs=jobs)
-    sections = []
-    for name in EXPERIMENTS:
-        sections.append(f"=== {name} ===\n\n{run_experiment(name)}")
-    return "\n\n\n".join(sections)
+@dataclass
+class RunAllTimings:
+    """Instrumentation for one ``run_all`` (``repro run all --timings``).
+
+    Covers all three layers: the profiling pipeline, wall time per
+    experiment, and the analysis-session stage totals (parse, transition
+    probabilities, intra/inter estimation, call sites) merged across
+    every worker.
+    """
+
+    jobs: int = 1
+    total_seconds: float = 0.0
+    profiling: SuiteTimings = field(default_factory=SuiteTimings)
+    #: experiment name -> wall seconds, in registry order.
+    experiment_seconds: dict[str, float] = field(default_factory=dict)
+    #: analysis stage -> seconds, summed over all workers.
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = ["profiling pipeline:"]
+        lines.extend(
+            "  " + line for line in self.profiling.render().splitlines()
+        )
+        lines.append("")
+        lines.append(f"{'experiment':12} {'seconds':>8}")
+        for name, seconds in self.experiment_seconds.items():
+            lines.append(f"{name:12} {seconds:8.2f}")
+        lines.append("")
+        lines.append(f"{'analysis stage':16} {'seconds':>8}")
+        for stage in sorted(self.stage_seconds):
+            lines.append(
+                f"{stage:16} {self.stage_seconds[stage]:8.2f}"
+            )
+        lines.append("")
+        lines.append(
+            f"TOTAL {self.total_seconds:8.2f}  (jobs={self.jobs})"
+        )
+        return "\n".join(lines)
+
+
+def _experiment_worker(name: str) -> tuple[str, str, dict[str, float], float]:
+    """Run one experiment in a worker process.
+
+    Returns the rendered section plus the analysis stage seconds it
+    accumulated, so the parent can merge timing reports across workers.
+    """
+    from repro.analysis.session import stage_snapshot, stage_totals_since
+
+    before = stage_snapshot()
+    clock = time.perf_counter()
+    rendered = run_experiment(name)
+    seconds = time.perf_counter() - clock
+    return name, rendered, stage_totals_since(before), seconds
+
+
+def run_all(
+    jobs: int | None = None, timings: Optional[RunAllTimings] = None
+) -> str:
+    """Run every experiment, concatenating the rendered sections.
+
+    With ``jobs > 1`` the experiments fan out over worker processes;
+    the merged output is byte-identical to a serial run.
+    """
+    start = time.perf_counter()
+    jobs = resolve_jobs(jobs)
+    profiling = SuiteTimings()
+    prefetch_profiles(jobs=jobs, timings=profiling)
+
+    names = list(EXPERIMENTS)
+    rendered: dict[str, str] = {}
+    experiment_seconds: dict[str, float] = {}
+    stage_seconds: dict[str, float] = {}
+
+    def merge_stages(delta: dict[str, float]) -> None:
+        for stage, seconds in delta.items():
+            stage_seconds[stage] = stage_seconds.get(stage, 0.0) + seconds
+
+    if jobs > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for name, text, stages, seconds in pool.map(
+                _experiment_worker, names
+            ):
+                rendered[name] = text
+                experiment_seconds[name] = seconds
+                merge_stages(stages)
+    else:
+        for name, text, stages, seconds in map(_experiment_worker, names):
+            rendered[name] = text
+            experiment_seconds[name] = seconds
+            merge_stages(stages)
+
+    if timings is not None:
+        timings.jobs = jobs
+        timings.profiling = profiling
+        timings.experiment_seconds = {
+            name: experiment_seconds[name] for name in names
+        }
+        timings.stage_seconds = stage_seconds
+        timings.total_seconds = time.perf_counter() - start
+    return "\n\n\n".join(
+        f"=== {name} ===\n\n{rendered[name]}" for name in names
+    )

@@ -12,12 +12,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.estimators.intra.astwalk import smart_estimator
 from repro.experiments.examples import (
     STRCHR_HARNESS,
     STRCHR_SOURCE,
     paper_block_names,
-    strchr_program,
+    strchr_session,
 )
 from repro.experiments.render import percent, text_table
 from repro.interp.machine import Machine
@@ -63,7 +62,8 @@ class Table2Result:
 
 def run_table2() -> Table2Result:
     """Profile the strchr harness and score the smart estimate."""
-    program = strchr_program()
+    session = strchr_session()
+    program = session.program
 
     def interpret() -> Profile:
         fresh = Profile("strchr-example")
@@ -77,7 +77,7 @@ def run_table2() -> Table2Result:
     )
     names = paper_block_names(program)
     cfg = program.cfg("my_strchr")
-    estimates = smart_estimator(program, "my_strchr")
+    estimates = session.intra_estimates("smart")["my_strchr"]
 
     # The estimate stays per-invocation (the paper's table shows the
     # one-entry-normalized estimate against two calls' worth of actual

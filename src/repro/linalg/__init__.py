@@ -1,4 +1,11 @@
-"""Pure-Python dense linear algebra for the Markov models."""
+"""Pure-Python linear algebra for the Markov models.
+
+Dense Gaussian elimination (:mod:`repro.linalg.solve`) is the oracle;
+the sparse dict-row solver (:mod:`repro.linalg.sparse`) handles the
+large, sparse CFG and call-graph flow systems via SCC-ordered
+elimination, with :func:`solve_flow_rows` dispatching between the two
+on system size and density.
+"""
 
 from repro.linalg.solve import (
     SingularMatrixError,
@@ -6,10 +13,28 @@ from repro.linalg.solve import (
     residual_norm,
     solve_linear_system,
 )
+from repro.linalg.sparse import (
+    SPARSE_DENSITY_CUTOFF,
+    SPARSE_MIN_SIZE,
+    dense_from_rows,
+    density,
+    rows_from_dense,
+    solve_flow_rows,
+    solve_sparse_system,
+    use_sparse_solver,
+)
 
 __all__ = [
+    "SPARSE_DENSITY_CUTOFF",
+    "SPARSE_MIN_SIZE",
     "SingularMatrixError",
+    "dense_from_rows",
+    "density",
     "identity_minus",
     "residual_norm",
+    "rows_from_dense",
+    "solve_flow_rows",
     "solve_linear_system",
+    "solve_sparse_system",
+    "use_sparse_solver",
 ]

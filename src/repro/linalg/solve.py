@@ -82,23 +82,51 @@ def solve_linear_system(
     return solution
 
 
-def identity_minus(matrix: Matrix) -> Matrix:
-    """Return ``I - matrix`` (used to build flow systems)."""
+def identity_minus(matrix):
+    """Return ``I - matrix`` (used to build flow systems).
+
+    Accepts either dense rows (lists) or sparse dict-rows and returns
+    the same representation.  Rows are built from the nonzero entries
+    only: dense output rows start as preallocated identity rows and
+    subtract just the nonzeros, instead of evaluating
+    ``(1 if i == j else 0) - matrix[i][j]`` across every zero.
+    """
     n = len(matrix)
-    return [
-        [
-            (1.0 if i == j else 0.0) - matrix[i][j]
-            for j in range(n)
-        ]
-        for i in range(n)
-    ]
+    if n and isinstance(matrix[0], dict):
+        result_sparse: list[dict[int, float]] = []
+        for i, row in enumerate(matrix):
+            out: dict[int, float] = {i: 1.0}
+            for j, value in row.items():
+                out[j] = out.get(j, 0.0) - value
+            result_sparse.append(out)
+        return result_sparse
+    result: Matrix = []
+    for i, row in enumerate(matrix):
+        out_row = [0.0] * n
+        out_row[i] = 1.0
+        for j, value in enumerate(row):
+            if value != 0.0:
+                out_row[j] -= value
+        result.append(out_row)
+    return result
 
 
-def residual_norm(matrix: Matrix, solution: Vector, rhs: Vector) -> float:
-    """Max-norm of ``matrix @ solution - rhs`` (used by tests)."""
-    n = len(matrix)
+def residual_norm(matrix, solution: Vector, rhs: Vector) -> float:
+    """Max-norm of ``matrix @ solution - rhs`` (used by tests).
+
+    Accepts dense rows or sparse dict-rows; only nonzero entries
+    contribute to each row's dot product, so sparse rows never touch
+    the implicit zeros.
+    """
     worst = 0.0
-    for i in range(n):
-        value = sum(matrix[i][j] * solution[j] for j in range(n)) - rhs[i]
+    for i, row in enumerate(matrix):
+        value = -rhs[i]
+        if isinstance(row, dict):
+            for j, coefficient in row.items():
+                value += coefficient * solution[j]
+        else:
+            for j, coefficient in enumerate(row):
+                if coefficient != 0.0:
+                    value += coefficient * solution[j]
         worst = max(worst, abs(value))
     return worst

@@ -278,6 +278,14 @@ def seed_profile_memo(name: str, profiles: list[Profile]) -> None:
 
 
 def clear_caches() -> None:
-    """Drop memoized programs and profiles (used by tests)."""
+    """Drop memoized programs and profiles (used by tests).
+
+    Analysis sessions attach to the memoized program objects, so
+    dropping the programs drops their sessions; example-source sessions
+    are cleared explicitly.
+    """
+    from repro.analysis.session import clear_sessions
+
     _PROGRAM_CACHE.clear()
     _PROFILE_CACHE.clear()
+    clear_sessions()

@@ -1,0 +1,249 @@
+"""Tests for the memoized analysis sessions and their disk layer."""
+
+import os
+
+import pytest
+
+from repro.analysis import cache as analysis_cache
+from repro.analysis.session import (
+    AnalysisSession,
+    clear_sessions,
+    record_stage,
+    session_for_source,
+    session_for_suite,
+    stage_snapshot,
+    stage_totals_since,
+)
+from repro.estimators.base import intra_estimates
+from repro.estimators.inter.markov import markov_invocations
+from repro.estimators.intra.astwalk import smart_estimator
+from repro.program import Program
+
+SOURCE = """\
+int helper(int x)
+{
+    int total = 0;
+    while (x > 0) {
+        total = total + x;
+        x = x - 1;
+    }
+    return total;
+}
+
+int main(void)
+{
+    return helper(5);
+}
+"""
+
+
+@pytest.fixture
+def program():
+    return Program.from_source(SOURCE, "<session-test>")
+
+
+class TestMemoization:
+    def test_of_attaches_one_session_per_program(self, program):
+        session = AnalysisSession.of(program)
+        assert AnalysisSession.of(program) is session
+        other = Program.from_source(SOURCE, "<session-test>")
+        assert AnalysisSession.of(other) is not session
+
+    def test_intra_estimates_computed_once(self, program):
+        session = AnalysisSession.of(program)
+        first = session.intra_estimates("smart")
+        misses = session.stats.misses
+        second = session.intra_estimates("smart")
+        assert second == first
+        assert session.stats.misses == misses
+        assert session.stats.hits >= 1
+
+    def test_intra_estimates_are_defensive_copies(self, program):
+        session = AnalysisSession.of(program)
+        first = session.intra_estimates("smart")
+        first["helper"][0] = -1.0
+        assert session.intra_estimates("smart")["helper"][0] != -1.0
+
+    def test_intra_matches_direct_estimator(self, program):
+        session = AnalysisSession.of(program)
+        via_session = session.intra_estimates("smart")
+        direct = {
+            name: smart_estimator(program, name)
+            for name in program.function_names
+        }
+        assert via_session == direct
+
+    def test_callable_estimators_bypass_memo(self, program):
+        session = AnalysisSession.of(program)
+        calls = []
+
+        def estimator(prog, name):
+            calls.append(name)
+            return {0: 1.0}
+
+        session.intra_estimates(estimator)
+        session.intra_estimates(estimator)
+        assert calls.count("helper") == 2
+
+    def test_invocations_memoized_per_backend(self, program):
+        session = AnalysisSession.of(program)
+        markov = session.invocations("markov", "smart")
+        direct = session.invocations("direct", "smart")
+        misses = session.stats.misses
+        assert session.invocations("markov", "smart") == markov
+        assert session.invocations("direct", "smart") == direct
+        assert session.stats.misses == misses
+
+    def test_unknown_backend_raises(self, program):
+        with pytest.raises(KeyError):
+            AnalysisSession.of(program).invocations("banana")
+
+    def test_transitions_rows_sum_to_one_or_zero(self, program):
+        session = AnalysisSession.of(program)
+        transitions = session.transitions("helper")
+        for row in transitions.values():
+            total = sum(row.values())
+            assert total == pytest.approx(1.0) or total == 0.0
+
+    def test_predictor_memoizes_predictions(self, program):
+        session = AnalysisSession.of(program)
+        predictor = session.predictor()
+        cfg = program.cfg("helper")
+        pairs = list(cfg.conditional_branches())
+        assert pairs
+        block, branch = pairs[0]
+        first = predictor.predict_branch("helper", block, branch)
+        assert predictor.predict_branch("helper", block, branch) is first
+
+
+class TestRegistryDelegation:
+    def test_base_intra_estimates_delegates_to_session(self, program):
+        estimates = intra_estimates(program, "smart")
+        session = AnalysisSession.of(program)
+        assert session.stats.misses >= 1
+        assert estimates == session.intra_estimates("smart")
+
+    def test_markov_invocations_delegates_to_session(self, program):
+        invocations = markov_invocations(program, "smart")
+        session = AnalysisSession.of(program)
+        assert invocations == session.invocations("markov", "smart")
+
+    def test_unknown_estimator_name_still_raises(self, program):
+        with pytest.raises(KeyError):
+            intra_estimates(program, "banana")
+
+
+class TestSessionConstructors:
+    def test_session_for_source_memoizes_parse(self):
+        clear_sessions()
+        first = session_for_source(SOURCE, "<constructor-test>")
+        assert session_for_source(SOURCE, "<constructor-test>") is first
+        clear_sessions()
+        assert (
+            session_for_source(SOURCE, "<constructor-test>") is not first
+        )
+
+    def test_session_for_suite_reuses_registry_program(self):
+        from repro.suite import load_program
+
+        session = session_for_suite("compress")
+        assert session.program is load_program("compress")
+        assert session_for_suite("compress") is session
+
+
+class TestStageAccumulator:
+    def test_record_and_delta(self):
+        before = stage_snapshot()
+        record_stage("test-stage", 0.25)
+        record_stage("test-stage", 0.25)
+        delta = stage_totals_since(before)
+        assert delta["test-stage"] == pytest.approx(0.5)
+
+    def test_sessions_record_stages(self, program):
+        before = stage_snapshot()
+        session = AnalysisSession.of(program)
+        session.intra_estimates("markov")
+        delta = stage_totals_since(before)
+        assert "transitions" in delta
+        assert "intra:markov" in delta
+
+
+class TestDiskLayer:
+    def test_roundtrip_via_cache_dir(self, tmp_path, monkeypatch, program):
+        monkeypatch.setenv("REPRO_ANALYSIS_CACHE_DIR", str(tmp_path))
+        session = AnalysisSession.of(program)
+        estimates = session.intra_estimates("smart")
+        invocations = session.invocations("markov", "smart")
+        assert session.stats.disk_stores == 2
+        assert analysis_cache.analysis_cache_info()["entries"] == 2
+
+        # A brand-new session (fresh process stand-in) loads from disk.
+        fresh = AnalysisSession(
+            Program.from_source(SOURCE, "<session-test>")
+        )
+        assert fresh.intra_estimates("smart") == estimates
+        assert fresh.invocations("markov", "smart") == invocations
+        assert fresh.stats.disk_hits == 2
+        # Block ids must come back as ints, not JSON string keys.
+        assert all(
+            isinstance(block_id, int)
+            for blocks in fresh.intra_estimates("smart").values()
+            for block_id in blocks
+        )
+
+    def test_disabled_by_env(self, tmp_path, monkeypatch, program):
+        monkeypatch.setenv("REPRO_ANALYSIS_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_ANALYSIS_CACHE", "0")
+        session = AnalysisSession.of(program)
+        session.intra_estimates("smart")
+        assert session.stats.disk_stores == 0
+        assert not os.listdir(tmp_path)
+
+    def test_stale_function_set_misses(self, tmp_path, monkeypatch, program):
+        monkeypatch.setenv("REPRO_ANALYSIS_CACHE_DIR", str(tmp_path))
+        key = analysis_cache.analysis_cache_key(
+            program.source, "intra", "smart"
+        )
+        analysis_cache.store_analysis(
+            key, {"functions": {"other": {"0": 1.0}}}
+        )
+        session = AnalysisSession.of(program)
+        estimates = session.intra_estimates("smart")
+        assert session.stats.disk_hits == 0
+        assert set(estimates) == set(program.function_names)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, monkeypatch, program):
+        monkeypatch.setenv("REPRO_ANALYSIS_CACHE_DIR", str(tmp_path))
+        key = analysis_cache.analysis_cache_key(
+            program.source, "intra", "smart"
+        )
+        (tmp_path / f"{key}.json").write_text("{not json")
+        session = AnalysisSession.of(program)
+        assert session.intra_estimates("smart")
+        assert session.stats.disk_hits == 0
+
+    def test_key_varies_by_kind_and_source(self):
+        base = analysis_cache.analysis_cache_key("src", "intra", "smart")
+        assert base != analysis_cache.analysis_cache_key(
+            "src", "inter", "smart"
+        )
+        assert base != analysis_cache.analysis_cache_key(
+            "src2", "intra", "smart"
+        )
+        assert base != analysis_cache.analysis_cache_key(
+            "src", "intra", "markov"
+        )
+
+    def test_clear_analysis_cache(self, tmp_path, monkeypatch, program):
+        monkeypatch.setenv("REPRO_ANALYSIS_CACHE_DIR", str(tmp_path))
+        AnalysisSession.of(program).intra_estimates("smart")
+        assert analysis_cache.clear_analysis_cache() == 1
+        assert analysis_cache.analysis_cache_info()["entries"] == 0
+
+    def test_default_dir_nests_under_profile_cache(self, monkeypatch):
+        from repro.profiles import cache as profile_cache
+
+        monkeypatch.delenv("REPRO_ANALYSIS_CACHE_DIR", raising=False)
+        assert analysis_cache.analysis_cache_dir() == os.path.join(
+            profile_cache.cache_dir(), "analysis"
+        )

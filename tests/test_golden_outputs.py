@@ -1,11 +1,17 @@
-"""Golden-output regression tests for the benchmark suite.
+"""Golden-output regression tests for the suite and the experiments.
 
-Every (program, input) pair's exact stdout, exit status, and block
-count are pinned in ``golden_outputs.json``.  Any change to the
-interpreter's semantics, the CFG builder, or a suite program shows up
-here first — and because block counts are pinned too, so does any
-change to how execution is counted (which would silently shift every
-profile-derived result in the paper's experiments).
+Two layers of pinning, both in ``golden_outputs.json``:
+
+* ``programs`` — every (program, input) pair's exact stdout, exit
+  status, and block count.  Any change to the interpreter's semantics,
+  the CFG builder, or a suite program shows up here first — and because
+  block counts are pinned too, so does any change to how execution is
+  counted (which would silently shift every profile-derived result in
+  the paper's experiments).
+* ``experiments`` — the exact rendered text of every experiment.  Any
+  change to an estimator, the analysis sessions, the sparse solver, or
+  an experiment port must reproduce these bytes, and the parallel
+  ``run_all`` must concatenate exactly these sections.
 
 Regenerate after an *intentional* change with::
 
@@ -28,8 +34,14 @@ def _load_goldens():
         return json.load(handle)
 
 
-def _golden_cases():
-    return sorted(_load_goldens())
+# .get so that --regenerate can run against a stale/absent file; the
+# cover-every-* tests below fail loudly if a section is missing.
+def _program_cases():
+    return sorted(_load_goldens().get("programs", {}))
+
+
+def _experiment_cases():
+    return sorted(_load_goldens().get("experiments", {}))
 
 
 @pytest.fixture(scope="module")
@@ -37,17 +49,36 @@ def goldens():
     return _load_goldens()
 
 
-@pytest.mark.parametrize("case", _golden_cases())
-def test_golden_output(case, goldens):
+@pytest.mark.parametrize("case", _program_cases())
+def test_golden_program_output(case, goldens):
     from repro.suite import program_inputs, run_on_input
 
     name, index = case.rsplit(".", 1)
     stdin = program_inputs(name)[int(index) - 1]
     result = run_on_input(name, stdin, f"input{index}")
-    expected = goldens[case]
+    expected = goldens["programs"][case]
     assert result.status == expected["status"], case
     assert result.stdout == expected["stdout"], case
     assert result.blocks_executed == expected["blocks"], case
+
+
+@pytest.mark.parametrize("name", _experiment_cases())
+def test_golden_experiment_render(name, goldens):
+    from repro.experiments import run_experiment
+
+    assert run_experiment(name) == goldens["experiments"][name], name
+
+
+def test_parallel_run_all_matches_goldens(goldens):
+    """``run_all`` with workers must emit exactly the pinned sections,
+    concatenated in registry order — byte-identical to a serial run."""
+    from repro.experiments import EXPERIMENTS, run_all
+
+    expected = "\n\n\n".join(
+        f"=== {name} ===\n\n{goldens['experiments'][name]}"
+        for name in EXPERIMENTS
+    )
+    assert run_all(jobs=2) == expected
 
 
 def test_goldens_cover_every_program_and_input():
@@ -59,24 +90,37 @@ def test_goldens_cover_every_program_and_input():
         for name in program_names()
         for index in range(1, len(program_inputs(name)) + 1)
     }
-    assert set(goldens) == expected_cases
+    assert set(goldens["programs"]) == expected_cases
+
+
+def test_goldens_cover_every_experiment():
+    from repro.experiments import EXPERIMENTS
+
+    goldens = _load_goldens()
+    assert set(goldens["experiments"]) == set(EXPERIMENTS)
 
 
 def _regenerate():
+    from repro.experiments import EXPERIMENTS, run_experiment
     from repro.suite import program_inputs, program_names, run_on_input
 
-    goldens = {}
+    programs = {}
     for name in program_names():
         for index, stdin in enumerate(program_inputs(name), start=1):
             result = run_on_input(name, stdin, f"input{index}")
-            goldens[f"{name}.{index}"] = {
+            programs[f"{name}.{index}"] = {
                 "status": result.status,
                 "stdout": result.stdout,
                 "blocks": result.blocks_executed,
             }
+    experiments = {name: run_experiment(name) for name in EXPERIMENTS}
+    goldens = {"programs": programs, "experiments": experiments}
     with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
         json.dump(goldens, handle, indent=1, sort_keys=True)
-    print(f"regenerated {len(goldens)} golden outputs")
+    print(
+        f"regenerated {len(programs)} program and "
+        f"{len(experiments)} experiment goldens"
+    )
 
 
 if __name__ == "__main__":

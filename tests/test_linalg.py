@@ -1,4 +1,5 @@
-"""Tests for the dense linear solver, with numpy as oracle."""
+"""Tests for the dense and sparse linear solvers, with numpy as
+oracle and the dense solver as the sparse solver's oracle."""
 
 import numpy as np
 import pytest
@@ -6,10 +7,18 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.linalg import (
+    SPARSE_DENSITY_CUTOFF,
+    SPARSE_MIN_SIZE,
     SingularMatrixError,
+    dense_from_rows,
+    density,
     identity_minus,
     residual_norm,
+    rows_from_dense,
+    solve_flow_rows,
     solve_linear_system,
+    solve_sparse_system,
+    use_sparse_solver,
 )
 
 
@@ -120,3 +129,176 @@ def test_residual_small(system):
     matrix, rhs = system
     solution = solve_linear_system(matrix, rhs)
     assert residual_norm(matrix, solution, rhs) < 1e-6
+
+
+# ----------------------------------------------------------------------
+# Sparse solver.
+
+
+class TestSparseRepresentation:
+    def test_roundtrip(self):
+        matrix = [[2.0, 0.0, 1.0], [0.0, 3.0, 0.0], [0.5, 0.0, 1.0]]
+        rows = rows_from_dense(matrix)
+        assert rows == [{0: 2.0, 2: 1.0}, {1: 3.0}, {0: 0.5, 2: 1.0}]
+        assert dense_from_rows(rows) == matrix
+
+    def test_density(self):
+        assert density([{0: 1.0}, {1: 1.0}]) == pytest.approx(0.5)
+        assert density([]) == 1.0  # Empty systems count as dense.
+
+    def test_identity_minus_on_rows(self):
+        result = identity_minus([{0: 0.5, 1: 0.2}, {1: 0.1}])
+        assert result == [{0: 0.5, 1: -0.2}, {1: 0.9}]
+
+    def test_residual_norm_on_rows(self):
+        rows = [{0: 2.0, 1: 1.0}, {0: 1.0, 1: 3.0}]
+        rhs = [5.0, 10.0]
+        solution = solve_sparse_system(rows, rhs)
+        assert residual_norm(rows, solution, rhs) < 1e-9
+
+    def test_dispatch_thresholds(self):
+        small = [{0: 1.0}] * (SPARSE_MIN_SIZE - 1)
+        assert not use_sparse_solver(small)
+        n = SPARSE_MIN_SIZE
+        diagonal = [{i: 1.0} for i in range(n)]
+        assert use_sparse_solver(diagonal)
+        dense_rows = [
+            {j: 1.0 for j in range(n)} for _ in range(n)
+        ]
+        assert density(dense_rows) > SPARSE_DENSITY_CUTOFF
+        assert not use_sparse_solver(dense_rows)
+
+
+class TestSparseSolve:
+    def test_diagonal(self):
+        assert solve_sparse_system(
+            [{0: 2.0}, {1: 4.0}], [2.0, 8.0]
+        ) == pytest.approx([1.0, 2.0])
+
+    def test_acyclic_chain_back_substitutes(self):
+        # x0 = 1; x1 depends on x0; x2 on x1 — pure elimination, no
+        # dense sub-solve involved.
+        rows = [{0: 1.0}, {0: -0.5, 1: 1.0}, {1: -2.0, 2: 1.0}]
+        solution = solve_sparse_system(rows, [1.0, 0.0, 0.0])
+        assert solution == pytest.approx([1.0, 0.5, 1.0])
+
+    def test_cyclic_component(self):
+        # x0 and x1 depend on each other (one SCC), x2 hangs off them.
+        rows = [
+            {0: 1.0, 1: -0.5},
+            {0: -0.5, 1: 1.0},
+            {1: -1.0, 2: 1.0},
+        ]
+        rhs = [1.0, 0.0, 0.0]
+        sparse = solve_sparse_system(rows, rhs)
+        dense = solve_linear_system(dense_from_rows(rows), rhs)
+        assert sparse == pytest.approx(dense)
+
+    def test_singular_raises(self):
+        with pytest.raises(SingularMatrixError):
+            solve_sparse_system([{0: 1.0}, {}], [1.0, 1.0])
+        with pytest.raises(SingularMatrixError):
+            # Rank-deficient 2x2 cycle.
+            solve_sparse_system(
+                [{0: 1.0, 1: -1.0}, {0: -1.0, 1: 1.0}], [1.0, 0.0]
+            )
+
+    def test_strchr_flow_system(self):
+        rows = rows_from_dense(
+            [
+                [1, 0, 0, 0, 0, 0],
+                [-1, 1, 0, 0, -1, 0],
+                [0, -0.8, 1, 0, 0, 0],
+                [0, 0, -0.2, 1, 0, 0],
+                [0, 0, -0.8, 0, 1, 0],
+                [0, -0.2, 0, 0, 0, 1],
+            ]
+        )
+        solution = solve_sparse_system(rows, [1, 0, 0, 0, 0, 0])
+        assert solution[1] == pytest.approx(2.7777, abs=1e-3)
+        assert solution[2] == pytest.approx(2.2222, abs=1e-3)
+        assert solution[4] == pytest.approx(1.7777, abs=1e-3)
+
+    def test_inputs_not_modified(self):
+        rows = [{0: 2.0, 1: 1.0}, {0: 1.0, 1: 3.0}]
+        rhs = [5.0, 10.0]
+        solve_sparse_system(rows, rhs)
+        assert rows == [{0: 2.0, 1: 1.0}, {0: 1.0, 1: 3.0}]
+        assert rhs == [5.0, 10.0]
+
+    def test_flow_rows_methods_agree(self):
+        rows = [{0: 1.0}, {0: -0.5, 1: 1.0, 2: -0.25}, {1: -1.0, 2: 1.0}]
+        rhs = [1.0, 0.0, 0.0]
+        for method in ("auto", "sparse", "dense"):
+            assert solve_flow_rows(rows, rhs, method=method) == (
+                pytest.approx(solve_flow_rows(rows, rhs, method="dense"))
+            )
+        with pytest.raises(ValueError):
+            solve_flow_rows(rows, rhs, method="banana")
+
+
+@st.composite
+def _sparse_systems(draw):
+    """Random diagonally-dominant sparse systems (guaranteed solvable,
+    so the sparse and dense solvers and numpy must all agree)."""
+    n = draw(st.integers(min_value=1, max_value=14))
+    rows = []
+    for i in range(n):
+        others = [j for j in range(n) if j != i]
+        count = draw(st.integers(0, min(3, len(others))))
+        columns = (
+            draw(
+                st.lists(
+                    st.sampled_from(others),
+                    min_size=count,
+                    max_size=count,
+                    unique=True,
+                )
+            )
+            if others
+            else []
+        )
+        row = {j: draw(_matrix_entries) for j in columns}
+        off = sum(abs(value) for value in row.values())
+        row[i] = off + draw(st.floats(1.0, 5.0))
+        rows.append(row)
+    rhs = [draw(_matrix_entries) for _ in range(n)]
+    return rows, rhs
+
+
+@given(_sparse_systems())
+@settings(max_examples=80)
+def test_sparse_matches_dense_and_numpy(system):
+    rows, rhs = system
+    sparse = solve_sparse_system(rows, rhs)
+    dense_matrix = dense_from_rows(rows)
+    dense = solve_linear_system(dense_matrix, rhs)
+    oracle = np.linalg.solve(np.array(dense_matrix), np.array(rhs))
+    assert np.allclose(sparse, dense, atol=1e-8)
+    assert np.allclose(sparse, oracle, atol=1e-8)
+
+
+def _suite_names():
+    from repro.suite import program_names
+
+    return program_names()
+
+
+@pytest.mark.parametrize("name", _suite_names())
+def test_sparse_solver_matches_dense_on_suite_cfgs(name):
+    """Every suite CFG's Markov flow system: sparse == dense."""
+    from repro.analysis.session import session_for_suite
+    from repro.estimators.intra.markov import solve_flow_system
+
+    session = session_for_suite(name)
+    program = session.program
+    for function_name in program.function_names:
+        cfg = program.cfg(function_name)
+        transitions = session.transitions(function_name)
+        sparse = solve_flow_system(cfg, transitions, method="sparse")
+        dense = solve_flow_system(cfg, transitions, method="dense")
+        assert set(sparse) == set(dense)
+        for block_id in sparse:
+            assert sparse[block_id] == pytest.approx(
+                dense[block_id], abs=1e-8
+            ), (name, function_name, block_id)
