@@ -93,6 +93,24 @@ def _timed(name: str, function, *args, **kwargs):
     return result
 
 
+def _count_cache_traffic(name: str, prefix: str, function, *args):
+    """Run ``function`` and record the ``<prefix>.hits``/``.misses``
+    counter deltas it produced into the report as ``<name>_hits`` and
+    ``<name>_misses``."""
+    from repro.obs import counter_value
+
+    hits_before = counter_value(f"{prefix}.hits")
+    misses_before = counter_value(f"{prefix}.misses")
+    result = function(*args)
+    _REPORT[f"{name}_hits"] = int(
+        counter_value(f"{prefix}.hits") - hits_before
+    )
+    _REPORT[f"{name}_misses"] = int(
+        counter_value(f"{prefix}.misses") - misses_before
+    )
+    return result
+
+
 def _fresh_sessions():
     """Sessions over freshly parsed programs — nothing shared with the
     suite registry's memo, so every analysis starts cold."""
@@ -151,11 +169,17 @@ def test_bench_session_disk_cache(
 
     sessions = _fresh_sessions()  # fresh parses, warm disk
     run_once(
-        benchmark, lambda: _timed("session_disk_warm", _query_all, sessions)
+        benchmark,
+        lambda: _count_cache_traffic(
+            "analysis_cache",
+            "analysis_cache",
+            lambda: _timed("session_disk_warm", _query_all, sessions),
+        ),
     )
     disk_hits = sum(session.stats.disk_hits for session in sessions)
     _REPORT["session_disk_hits"] = disk_hits
     assert disk_hits > 0
+    assert _REPORT["analysis_cache_hits"] > 0
 
 
 def test_bench_solver_dense_vs_sparse(benchmark):
@@ -202,4 +226,7 @@ def test_bench_run_all_serial_vs_parallel(benchmark, warm_suite):
         parallel = _timed("run_all_parallel", run_all, jobs=jobs)
         assert parallel == serial
 
-    run_once(benchmark, both)
+    run_once(
+        benchmark,
+        lambda: _count_cache_traffic("profile_cache", "profile_cache", both),
+    )

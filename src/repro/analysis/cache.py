@@ -39,6 +39,7 @@ import tempfile
 from typing import Optional
 
 import repro
+from repro.obs import incr
 from repro.profiles import cache as profile_cache
 
 #: Bump when analysis semantics change (heuristics, CFG construction,
@@ -98,11 +99,16 @@ def load_cached_analysis(
     """
     try:
         with open(_entry_path(key, directory), encoding="utf-8") as handle:
-            payload = json.load(handle)
+            text = handle.read()
+        payload = json.loads(text)
     except (OSError, ValueError):
+        incr("analysis_cache.misses")
         return None
     if not isinstance(payload, dict):
+        incr("analysis_cache.misses")
         return None
+    incr("analysis_cache.hits")
+    incr("analysis_cache.bytes_read", len(text))
     return payload
 
 
@@ -118,6 +124,8 @@ def store_analysis(
     os.makedirs(directory, exist_ok=True)
     path = _entry_path(key, directory)
     encoded = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    incr("analysis_cache.stores")
+    incr("analysis_cache.bytes_written", len(encoded))
     fd, temp_path = tempfile.mkstemp(
         prefix=f".{key[:16]}-", suffix=".tmp", dir=directory
     )
@@ -135,27 +143,12 @@ def store_analysis(
 
 
 def analysis_cache_info(directory: Optional[str] = None) -> dict[str, object]:
-    """Summary of the analysis cache: directory, entries, total bytes."""
+    """Summary of the analysis cache: directory, entries, total bytes,
+    and the oldest/newest entry mtimes (Unix seconds, None if empty)."""
     directory = directory or analysis_cache_dir()
-    entries = 0
-    total_bytes = 0
-    if os.path.isdir(directory):
-        for name in os.listdir(directory):
-            if not name.endswith(".json"):
-                continue
-            entries += 1
-            try:
-                total_bytes += os.path.getsize(
-                    os.path.join(directory, name)
-                )
-            except OSError:
-                pass
-    return {
-        "directory": directory,
-        "enabled": analysis_cache_enabled(),
-        "entries": entries,
-        "bytes": total_bytes,
-    }
+    summary = profile_cache.scan_cache_entries(directory)
+    summary["enabled"] = analysis_cache_enabled()
+    return summary
 
 
 def clear_analysis_cache(directory: Optional[str] = None) -> int:

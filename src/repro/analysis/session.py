@@ -38,6 +38,7 @@ from typing import Optional
 
 from repro.analysis import cache as analysis_cache
 from repro.cfg.block import BasicBlock, CondBranch, SwitchBranch
+from repro.obs import histogram_sums, incr, observe, span
 from repro.estimators.base import (
     IntraEstimator,
     local_call_site_frequency,
@@ -55,29 +56,30 @@ from repro.prediction.predictor import BranchPredictor, HeuristicPredictor
 from repro.program import Program
 
 # ----------------------------------------------------------------------
-# Stage timing accumulator (process-global; parallel workers return
-# their deltas to the parent, which merges them).
+# Stage timing: each timed run lands in an ``analysis.stage.<stage>``
+# histogram in the process-global metrics registry (:mod:`repro.obs`).
+# Parallel experiment workers ship their metric deltas back to the
+# parent, which merges them, so the ``--timings`` stage table and
+# ``repro stats`` cover every process of a run.
 
-_STAGE_SECONDS: dict[str, float] = {}
-_STAGE_COUNTS: dict[str, int] = {}
+_STAGE_PREFIX = "analysis.stage."
 
 
 def record_stage(stage: str, seconds: float) -> None:
     """Add one timed run of ``stage`` to the process-global totals."""
-    _STAGE_SECONDS[stage] = _STAGE_SECONDS.get(stage, 0.0) + seconds
-    _STAGE_COUNTS[stage] = _STAGE_COUNTS.get(stage, 0) + 1
+    observe(_STAGE_PREFIX + stage, seconds)
 
 
 def stage_snapshot() -> dict[str, float]:
     """Current per-stage totals (seconds), for later deltas."""
-    return dict(_STAGE_SECONDS)
+    return histogram_sums(_STAGE_PREFIX)
 
 
 def stage_totals_since(before: dict[str, float]) -> dict[str, float]:
     """Per-stage seconds accumulated since ``before`` was snapshot."""
     return {
         stage: total - before.get(stage, 0.0)
-        for stage, total in _STAGE_SECONDS.items()
+        for stage, total in histogram_sums(_STAGE_PREFIX).items()
         if total - before.get(stage, 0.0) > 0.0
     }
 
@@ -173,14 +175,21 @@ class AnalysisSession:
         cached = self._transitions.get(function_name)
         if cached is None:
             self.stats.misses += 1
-            clock = time.perf_counter()
-            cached = transition_probabilities(
-                self.program.cfg(function_name), self.predictor()
-            )
-            record_stage("transitions", time.perf_counter() - clock)
+            incr("analysis.memo_misses")
+            with span(
+                "analysis.transitions",
+                program=self.program.name,
+                function=function_name,
+            ):
+                clock = time.perf_counter()
+                cached = transition_probabilities(
+                    self.program.cfg(function_name), self.predictor()
+                )
+                record_stage("transitions", time.perf_counter() - clock)
             self._transitions[function_name] = cached
         else:
             self.stats.hits += 1
+            incr("analysis.memo_hits")
         return {block: dict(row) for block, row in cached.items()}
 
     # ------------------------------------------------------------------
@@ -196,17 +205,24 @@ class AnalysisSession:
         cached = self._intra.get(estimator)
         if cached is None:
             self.stats.misses += 1
+            incr("analysis.memo_misses")
             cached = self._load_intra_from_disk(estimator)
             if cached is None:
-                clock = time.perf_counter()
-                cached = self._compute_intra(estimator)
-                record_stage(
-                    f"intra:{estimator}", time.perf_counter() - clock
-                )
+                with span(
+                    "analysis.intra",
+                    program=self.program.name,
+                    estimator=estimator,
+                ):
+                    clock = time.perf_counter()
+                    cached = self._compute_intra(estimator)
+                    record_stage(
+                        f"intra:{estimator}", time.perf_counter() - clock
+                    )
                 self._store_intra_to_disk(estimator, cached)
             self._intra[estimator] = cached
         else:
             self.stats.hits += 1
+            incr("analysis.memo_hits")
         return {name: dict(blocks) for name, blocks in cached.items()}
 
     def _compute_intra(
@@ -292,36 +308,44 @@ class AnalysisSession:
         cached = self._invocations.get(key)
         if cached is None:
             self.stats.misses += 1
+            incr("analysis.memo_misses")
             cached = self._load_invocations_from_disk(backend, estimator)
             if cached is None:
                 # Intra estimates are a separate (memoized and
                 # separately timed) stage; compute them first so the
                 # inter stage times only its own work.
                 estimates = self.intra_estimates(estimator)
-                clock = time.perf_counter()
-                if backend == "markov":
-                    cached = invocations_from_estimates(
-                        self.program, estimates
+                with span(
+                    "analysis.inter",
+                    program=self.program.name,
+                    backend=backend,
+                    estimator=estimator,
+                ):
+                    clock = time.perf_counter()
+                    if backend == "markov":
+                        cached = invocations_from_estimates(
+                            self.program, estimates
+                        )
+                    elif backend in SIMPLE_INTER_ESTIMATORS:
+                        cached = SIMPLE_INTER_ESTIMATORS[backend](
+                            self.program, estimator
+                        )
+                    else:
+                        raise KeyError(
+                            f"unknown invocation backend {backend!r}; "
+                            f"choices: "
+                            f"{['markov', *sorted(SIMPLE_INTER_ESTIMATORS)]}"
+                        )
+                    record_stage(
+                        f"inter:{backend}", time.perf_counter() - clock
                     )
-                elif backend in SIMPLE_INTER_ESTIMATORS:
-                    cached = SIMPLE_INTER_ESTIMATORS[backend](
-                        self.program, estimator
-                    )
-                else:
-                    raise KeyError(
-                        f"unknown invocation backend {backend!r}; "
-                        f"choices: "
-                        f"{['markov', *sorted(SIMPLE_INTER_ESTIMATORS)]}"
-                    )
-                record_stage(
-                    f"inter:{backend}", time.perf_counter() - clock
-                )
                 self._store_invocations_to_disk(
                     backend, estimator, cached
                 )
             self._invocations[key] = cached
         else:
             self.stats.hits += 1
+            incr("analysis.memo_hits")
         return dict(cached)
 
     def _load_invocations_from_disk(
@@ -381,21 +405,29 @@ class AnalysisSession:
         cached = self._call_sites.get(key)
         if cached is None:
             self.stats.misses += 1
+            incr("analysis.memo_misses")
             estimates = self.intra_estimates(estimator)
             invocations = self.invocations(backend, estimator)
-            clock = time.perf_counter()
-            cached = {}
-            for site in self.program.call_sites():
-                if site.callee is None:
-                    continue
-                local = local_call_site_frequency(site, estimates)
-                cached[site.site_id] = local * invocations.get(
-                    site.caller, 0.0
-                )
-            record_stage("callsites", time.perf_counter() - clock)
+            with span(
+                "analysis.callsites",
+                program=self.program.name,
+                backend=backend,
+                estimator=estimator,
+            ):
+                clock = time.perf_counter()
+                cached = {}
+                for site in self.program.call_sites():
+                    if site.callee is None:
+                        continue
+                    local = local_call_site_frequency(site, estimates)
+                    cached[site.site_id] = local * invocations.get(
+                        site.caller, 0.0
+                    )
+                record_stage("callsites", time.perf_counter() - clock)
             self._call_sites[key] = cached
         else:
             self.stats.hits += 1
+            incr("analysis.memo_hits")
         return dict(cached)
 
 
@@ -413,9 +445,10 @@ def session_for_source(source: str, name: str) -> AnalysisSession:
     key = (name, source)
     session = _SOURCE_SESSIONS.get(key)
     if session is None:
-        clock = time.perf_counter()
-        program = Program.from_source(source, name)
-        record_stage("parse", time.perf_counter() - clock)
+        with span("analysis.parse", program=name):
+            clock = time.perf_counter()
+            program = Program.from_source(source, name)
+            record_stage("parse", time.perf_counter() - clock)
         session = AnalysisSession.of(program)
         _SOURCE_SESSIONS[key] = session
     return session
@@ -427,9 +460,11 @@ def session_for_suite(name: str) -> AnalysisSession:
     from repro.suite import registry
 
     already_loaded = name in registry._PROGRAM_CACHE
-    clock = time.perf_counter()
-    program = registry.load_program(name)
-    if not already_loaded:
+    if already_loaded:
+        return AnalysisSession.of(registry.load_program(name))
+    with span("analysis.parse", program=name):
+        clock = time.perf_counter()
+        program = registry.load_program(name)
         record_stage("parse", time.perf_counter() - clock)
     return AnalysisSession.of(program)
 

@@ -12,17 +12,29 @@ Usage (after installing the package)::
     python -m repro profile-suite --timings # collect/warm all profiles
     python -m repro cache info              # persistent profile cache
     python -m repro cache clear
+    python -m repro run all --trace         # record a span trace
+    python -m repro trace                   # render the recorded trace
+    python -m repro stats --format prom     # metrics from the last run
 
 Profiling is cached persistently (see ``repro.profiles.cache``) and can
 fan out over worker processes; ``--jobs``/``REPRO_JOBS`` control the
 worker count and ``REPRO_CACHE_DIR``/``REPRO_CACHE`` the cache.
+
+Observability (see :mod:`repro.obs`): ``--trace``/``REPRO_TRACE``
+record a span trace and write it as JSONL (``REPRO_TRACE_FILE``,
+default ``repro-trace.jsonl``); metrics are always on and persisted at
+the end of each command for ``repro stats``; ``--quiet``/``REPRO_QUIET``
+silence diagnostic stderr chatter without touching stdout.
 """
 
 from __future__ import annotations
 
 import argparse
+import datetime
+import os
 import sys
 
+from repro import obs
 from repro.analysis import cache as analysis_cache
 from repro.analysis.session import session_for_suite
 from repro.cfg import cfg_to_dot
@@ -43,6 +55,11 @@ from repro.suite import (
     resolve_jobs,
     run_on_input,
 )
+
+
+def _error(message: str) -> None:
+    """Print one error line to stderr (never silenced by --quiet)."""
+    print(message, file=sys.stderr)
 
 
 def _command_list(_: argparse.Namespace) -> int:
@@ -69,19 +86,17 @@ def _command_run(args: argparse.Namespace) -> int:
             )
         )
         if timings is not None:
-            # stderr, so stdout stays byte-identical with and without
-            # the flag (and across serial vs parallel runs).
-            print(timings.render(), file=sys.stderr)
+            # stderr (via diag), so stdout stays byte-identical with and
+            # without the flag (and across serial vs parallel runs).
+            obs.diag(timings.render())
         return 0
     if args.timings:
-        print(
-            "repro: --timings only applies to 'run all'", file=sys.stderr
-        )
+        _error("repro: --timings only applies to 'run all'")
         return 2
     try:
         print(run_experiment(args.experiment))
     except KeyError as error:
-        print(error, file=sys.stderr)
+        _error(str(error))
         return 2
     return 0
 
@@ -102,9 +117,7 @@ def _command_exec(args: argparse.Namespace) -> int:
     inputs = program_inputs(args.program)
     index = args.input
     if not 1 <= index <= len(inputs):
-        print(
-            f"{args.program} has inputs 1..{len(inputs)}", file=sys.stderr
-        )
+        _error(f"{args.program} has inputs 1..{len(inputs)}")
         return 2
     result = run_on_input(args.program, inputs[index - 1], f"input{index}")
     sys.stdout.write(result.stdout)
@@ -114,10 +127,9 @@ def _command_exec(args: argparse.Namespace) -> int:
 def _command_cfg(args: argparse.Namespace) -> int:
     program = load_program(args.program)
     if args.function not in program.cfgs:
-        print(
+        _error(
             f"no function {args.function!r}; choices: "
-            f"{program.function_names}",
-            file=sys.stderr,
+            f"{program.function_names}"
         )
         return 2
     cfg = program.cfg(args.function)
@@ -138,10 +150,9 @@ def _command_layout(args: argparse.Namespace) -> int:
 
     program = load_program(args.program)
     if args.function not in program.cfgs:
-        print(
+        _error(
             f"no function {args.function!r}; choices: "
-            f"{program.function_names}",
-            file=sys.stderr,
+            f"{program.function_names}"
         )
         return 2
     cfg = program.cfg(args.function)
@@ -173,7 +184,7 @@ def _command_profile_suite(args: argparse.Namespace) -> int:
     names = args.programs or program_names()
     unknown = [n for n in names if n not in {e.name for e in SUITE}]
     if unknown:
-        print(f"unknown suite programs: {unknown}", file=sys.stderr)
+        _error(f"unknown suite programs: {unknown}")
         return 2
     timings = SuiteTimings()
     collect_suite_profiles(
@@ -194,6 +205,14 @@ def _command_profile_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_mtime(value: object) -> str:
+    """Unix mtime -> local ``YYYY-MM-DD HH:MM:SS`` (or ``-`` if empty)."""
+    if value is None:
+        return "-"
+    stamp = datetime.datetime.fromtimestamp(float(value))  # type: ignore[arg-type]
+    return stamp.isoformat(sep=" ", timespec="seconds")
+
+
 def _command_cache(args: argparse.Namespace) -> int:
     if args.action == "info":
         for title, info in (
@@ -205,13 +224,55 @@ def _command_cache(args: argparse.Namespace) -> int:
             print(f"  enabled:   {'yes' if info['enabled'] else 'no'}")
             print(f"  entries:   {info['entries']}")
             print(f"  size:      {info['bytes']} bytes")
+            print(f"  oldest:    {_format_mtime(info['oldest_mtime'])}")
+            print(f"  newest:    {_format_mtime(info['newest_mtime'])}")
         return 0
-    removed_profiles = profile_cache.clear_cache()
-    removed_analyses = analysis_cache.clear_analysis_cache()
+    for title, info, clear in (
+        ("profile cache", profile_cache.cache_info(), profile_cache.clear_cache),
+        (
+            "analysis cache",
+            analysis_cache.analysis_cache_info(),
+            analysis_cache.clear_analysis_cache,
+        ),
+    ):
+        removed = clear()
+        print(
+            f"{title}: removed {removed} entries "
+            f"({info['bytes']} bytes) from {info['directory']}"
+        )
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    path = args.file or obs.default_trace_path()
+    try:
+        roots = obs.read_trace_jsonl(path)
+    except OSError as error:
+        _error(f"repro: cannot read trace file: {error}")
+        return 2
+    except ValueError as error:
+        _error(f"repro: malformed trace file {path}: {error}")
+        return 2
     print(
-        f"removed {removed_profiles} cached profiles and "
-        f"{removed_analyses} cached analyses"
+        obs.render_span_tree(
+            roots, full=args.full, min_seconds=args.min_ms / 1000.0
+        )
     )
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    snapshot = obs.read_stats(args.file)
+    if snapshot is None:
+        _error(
+            "repro: no recorded stats "
+            "(run a command first, e.g. 'repro run all')"
+        )
+        return 2
+    if args.format == "prom":
+        sys.stdout.write(obs.render_prometheus(snapshot))
+    else:
+        print(obs.render_metrics(snapshot))
     return 0
 
 
@@ -250,6 +311,19 @@ def build_parser() -> argparse.ArgumentParser:
             "with 'all': print a per-stage timing report to stderr "
             "(profiling, per-experiment wall time, analysis stages)"
         ),
+    )
+    run_parser.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "record a span trace and write it as JSONL "
+            "(REPRO_TRACE_FILE, default repro-trace.jsonl)"
+        ),
+    )
+    run_parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress diagnostic stderr output (stdout is unchanged)",
     )
     run_parser.set_defaults(handler=_command_run)
 
@@ -311,21 +385,102 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="bypass the persistent profile cache",
     )
+    profile_parser.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "record a span trace and write it as JSONL "
+            "(REPRO_TRACE_FILE, default repro-trace.jsonl)"
+        ),
+    )
     profile_parser.set_defaults(handler=_command_profile_suite)
 
     cache_parser = subparsers.add_parser(
-        "cache", help="inspect or clear the persistent profile cache"
+        "cache", help="inspect or clear the persistent caches"
     )
     cache_parser.add_argument("action", choices=("info", "clear"))
     cache_parser.set_defaults(handler=_command_cache)
 
+    trace_parser = subparsers.add_parser(
+        "trace", help="render a recorded span trace as a tree"
+    )
+    trace_parser.add_argument(
+        "file",
+        nargs="?",
+        default=None,
+        help="JSONL trace file (default: REPRO_TRACE_FILE or repro-trace.jsonl)",
+    )
+    trace_parser.add_argument(
+        "--full",
+        action="store_true",
+        help="list every span individually with its attributes",
+    )
+    trace_parser.add_argument(
+        "--min-ms",
+        type=float,
+        default=0.0,
+        help="hide aggregated rows cheaper than this many milliseconds",
+    )
+    trace_parser.set_defaults(handler=_command_trace)
+
+    stats_parser = subparsers.add_parser(
+        "stats", help="show metrics recorded by the last command"
+    )
+    stats_parser.add_argument(
+        "--format",
+        choices=("table", "prom"),
+        default="table",
+        help="output format (default: table)",
+    )
+    stats_parser.add_argument(
+        "--file",
+        default=None,
+        help="stats snapshot file (default: REPRO_STATS_FILE or the "
+        "profile cache directory)",
+    )
+    stats_parser.set_defaults(handler=_command_stats)
+
     return parser
+
+
+def _finish_observability() -> None:
+    """End-of-command export: flush the trace, persist the metrics.
+
+    The trace is written only when tracing is on (``--trace`` or
+    ``REPRO_TRACE``); the metrics snapshot is persisted whenever the
+    command produced any, so a later ``repro stats`` can read it back.
+    """
+    if obs.tracing_enabled() and obs.trace_roots():
+        path, count = obs.write_trace_jsonl()
+        obs.diag(f"repro: wrote {count} spans to {path}")
+    if obs.metrics_snapshot() and (
+        profile_cache.cache_enabled() or os.environ.get("REPRO_STATS_FILE")
+    ):
+        obs.write_stats()
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit status."""
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    was_tracing = obs.tracing_enabled()
+    was_quiet = obs.quiet_enabled()
+    if getattr(args, "quiet", False):
+        obs.set_quiet(True)
+    if getattr(args, "trace", False) is True:
+        obs.enable_tracing()
+    try:
+        status = args.handler(args)
+        _finish_observability()
+    except BrokenPipeError:  # e.g. `repro trace | head`
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    finally:
+        # Restore process-global flags so in-process callers (tests,
+        # embedding) see main() as reentrant.
+        obs.set_quiet(was_quiet)
+        if not was_tracing:
+            obs.disable_tracing()
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -7,18 +7,31 @@ the CLI and the benchmark harness both dispatch through this table.
 pipeline, then runs the experiments themselves — serially with
 ``jobs=1``, or fanned out over a ``ProcessPoolExecutor`` otherwise.
 Workers inherit the warm profile memo (and fall back to the persistent
-caches), return their rendered sections plus per-stage analysis
-timings, and the parent merges the sections in registry order, so
-parallel output is byte-for-byte identical to serial output.
+caches), return their rendered sections plus an observability snapshot
+(spans and metric deltas), and the parent merges the sections in
+registry order, so parallel output is byte-for-byte identical to serial
+output.
+
+Each experiment runs inside an ``experiment:<name>`` span under one
+``run_all`` root; worker spans are re-parented under the same root in
+registry order, so serial and parallel runs produce the same span-name
+set.  The ``--timings`` report (:class:`RunAllTimings`) is a view over
+that span tree plus the merged ``analysis.stage.*`` metrics.
 """
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
+from repro.obs import (
+    WorkerCapture,
+    absorb,
+    forced_tracing,
+    span,
+    tracing_enabled,
+)
 from repro.suite.pipeline import SuiteTimings, resolve_jobs
 
 from repro.experiments.examples import (
@@ -102,14 +115,20 @@ EXPERIMENTS: dict[str, Experiment] = {
 
 
 def run_experiment(name: str) -> str:
-    """Run one experiment by name and return its rendered text."""
+    """Run one experiment by name and return its rendered text.
+
+    The run happens inside an ``experiment:<name>`` span, so every
+    experiment is visible in a trace whether it ran standalone, under
+    ``run all``, or in a worker process.
+    """
     try:
         experiment = EXPERIMENTS[name]
     except KeyError:
         raise KeyError(
             f"unknown experiment {name!r}; choices: {sorted(EXPERIMENTS)}"
         ) from None
-    result = experiment.run()
+    with span(f"experiment:{name}"):
+        result = experiment.run()
     return result.render()  # type: ignore[attr-defined]
 
 
@@ -131,10 +150,11 @@ def prefetch_profiles(
 class RunAllTimings:
     """Instrumentation for one ``run_all`` (``repro run all --timings``).
 
-    Covers all three layers: the profiling pipeline, wall time per
-    experiment, and the analysis-session stage totals (parse, transition
-    probabilities, intra/inter estimation, call sites) merged across
-    every worker.
+    A view over the run's trace: the profiling pipeline report comes
+    from the ``suite.collect`` span tree, per-experiment wall times from
+    the ``experiment:<name>`` spans (measured in whichever process ran
+    them), and the analysis stage totals from the ``analysis.stage.*``
+    metrics merged across every worker.
     """
 
     jobs: int = 1
@@ -144,6 +164,30 @@ class RunAllTimings:
     experiment_seconds: dict[str, float] = field(default_factory=dict)
     #: analysis stage -> seconds, summed over all workers.
     stage_seconds: dict[str, float] = field(default_factory=dict)
+
+    def populate_from_span(
+        self,
+        root,
+        profiling: SuiteTimings,
+        names: Sequence[str],
+        jobs: int,
+        stage_seconds: dict[str, float],
+    ) -> None:
+        """Fill the report from a finished ``run_all`` span."""
+        by_name: dict[str, float] = {}
+        for child in root.children:
+            if child.name.startswith("experiment:"):
+                experiment = child.name[len("experiment:"):]
+                by_name[experiment] = (
+                    by_name.get(experiment, 0.0) + child.seconds
+                )
+        self.jobs = jobs
+        self.profiling = profiling
+        self.experiment_seconds = {
+            name: by_name.get(name, 0.0) for name in names
+        }
+        self.stage_seconds = stage_seconds
+        self.total_seconds = root.seconds
 
     def render(self) -> str:
         lines = ["profiling pipeline:"]
@@ -167,19 +211,18 @@ class RunAllTimings:
         return "\n".join(lines)
 
 
-def _experiment_worker(name: str) -> tuple[str, str, dict[str, float], float]:
+def _experiment_worker(task: tuple[str, bool]) -> tuple[str, str, dict]:
     """Run one experiment in a worker process.
 
-    Returns the rendered section plus the analysis stage seconds it
-    accumulated, so the parent can merge timing reports across workers.
+    Returns the rendered section plus the observability snapshot (the
+    experiment's span tree and metric deltas — cache traffic, analysis
+    stage times) for the parent to merge.
     """
-    from repro.analysis.session import stage_snapshot, stage_totals_since
-
-    before = stage_snapshot()
-    clock = time.perf_counter()
-    rendered = run_experiment(name)
-    seconds = time.perf_counter() - clock
-    return name, rendered, stage_totals_since(before), seconds
+    name, trace = task
+    capture = WorkerCapture(trace)
+    with capture:
+        rendered = run_experiment(name)
+    return name, rendered, capture.snapshot
 
 
 def run_all(
@@ -188,44 +231,43 @@ def run_all(
     """Run every experiment, concatenating the rendered sections.
 
     With ``jobs > 1`` the experiments fan out over worker processes;
-    the merged output is byte-identical to a serial run.
+    the merged output is byte-identical to a serial run, and the merged
+    trace has the same shape (worker spans are adopted by the parent's
+    ``run_all`` span in registry order).
     """
-    start = time.perf_counter()
-    jobs = resolve_jobs(jobs)
-    profiling = SuiteTimings()
-    prefetch_profiles(jobs=jobs, timings=profiling)
+    from repro.analysis.session import stage_snapshot, stage_totals_since
 
+    jobs = resolve_jobs(jobs)
     names = list(EXPERIMENTS)
     rendered: dict[str, str] = {}
-    experiment_seconds: dict[str, float] = {}
-    stage_seconds: dict[str, float] = {}
 
-    def merge_stages(delta: dict[str, float]) -> None:
-        for stage, seconds in delta.items():
-            stage_seconds[stage] = stage_seconds.get(stage, 0.0) + seconds
-
-    if jobs > 1:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            for name, text, stages, seconds in pool.map(
-                _experiment_worker, names
-            ):
-                rendered[name] = text
-                experiment_seconds[name] = seconds
-                merge_stages(stages)
-    else:
-        for name, text, stages, seconds in map(_experiment_worker, names):
-            rendered[name] = text
-            experiment_seconds[name] = seconds
-            merge_stages(stages)
-
-    if timings is not None:
-        timings.jobs = jobs
-        timings.profiling = profiling
-        timings.experiment_seconds = {
-            name: experiment_seconds[name] for name in names
-        }
-        timings.stage_seconds = stage_seconds
-        timings.total_seconds = time.perf_counter() - start
+    with forced_tracing(timings is not None):
+        stages_before = stage_snapshot()
+        with span("run_all", jobs=jobs) as root:
+            profiling = SuiteTimings()
+            prefetch_profiles(
+                jobs=jobs,
+                timings=profiling if timings is not None else None,
+            )
+            if jobs > 1:
+                tasks = [(name, tracing_enabled()) for name in names]
+                with ProcessPoolExecutor(max_workers=jobs) as pool:
+                    for name, text, snapshot in pool.map(
+                        _experiment_worker, tasks
+                    ):
+                        rendered[name] = text
+                        absorb(snapshot)
+            else:
+                for name in names:
+                    rendered[name] = run_experiment(name)
+        if timings is not None:
+            timings.populate_from_span(
+                root,
+                profiling,
+                names,
+                jobs,
+                stage_totals_since(stages_before),
+            )
     return "\n\n\n".join(
         f"=== {name} ===\n\n{rendered[name]}" for name in names
     )

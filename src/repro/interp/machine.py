@@ -34,6 +34,7 @@ from repro.interp.errors import (
 )
 from repro.interp.evaluator import Evaluator
 from repro.interp.memory import Memory
+from repro.obs import incr, span
 from repro.interp.values import AggregateValue, convert
 from repro.profiles.profile import BranchOutcome, Profile
 from repro.program import Program
@@ -180,12 +181,25 @@ class Machine:
         self._function_info: dict[str, _FunctionInfo] = {}
         self._argv = argv or (program.name,)
         self._initialized = False
+        self._libc_calls = 0
 
     # ------------------------------------------------------------------
     # Program startup.
 
     def run(self) -> ExecutionResult:
         """Execute ``main`` and return the result."""
+        with span(
+            "interp.run",
+            program=self.program.name,
+            input=self.profile.input_name,
+        ):
+            result = self._run()
+        incr("interp.runs")
+        incr("interp.blocks_executed", result.blocks_executed)
+        incr("interp.libc_calls", self._libc_calls)
+        return result
+
+    def _run(self) -> ExecutionResult:
         import sys
 
         # Each interpreted C frame costs a dozen-odd Python frames
@@ -375,6 +389,7 @@ class Machine:
         # Builtin (or unknown) function.
         from repro.interp.libc import call_builtin
 
+        self._libc_calls += 1
         self.profile.record_call(call.node_id, name)
         return call_builtin(self, name, arguments, call)
 

@@ -27,6 +27,7 @@ from repro.linalg.solve import (
     SingularMatrixError,
     solve_linear_system,
 )
+from repro.obs import incr, observe
 
 #: One row of a sparse system: column index -> coefficient.
 SparseRow = dict[int, float]
@@ -209,6 +210,9 @@ def solve_flow_rows(
     """
     if method == "auto":
         method = "sparse" if use_sparse_solver(rows) else "dense"
+    incr(f"solver.dispatch.{method}")
+    observe("solver.size", len(rows))
+    observe("solver.density", density(rows))
     if method == "sparse":
         return solve_sparse_system(rows, rhs, tolerance=tolerance)
     if method == "dense":

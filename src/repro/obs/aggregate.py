@@ -1,0 +1,98 @@
+"""Cross-process aggregation: worker capture and parent merge.
+
+The fan-out layers (suite profiling, ``run all`` experiments) execute
+tasks in ``ProcessPoolExecutor`` workers.  Observability data must not
+be lost there, so every worker task runs inside a
+:class:`WorkerCapture`:
+
+1. on entry it detaches from any span context copied across ``fork``,
+   marks the local trace buffer, and snapshots the metrics registry;
+2. the task runs, producing spans and metric increments as usual;
+3. on exit the capture extracts exactly the spans and metric deltas the
+   task produced, as a plain JSON-able ``snapshot`` dict that travels
+   back to the parent with the task result.
+
+The parent calls :func:`absorb` on each snapshot *in deterministic task
+order* (the fan-outs iterate ``pool.map`` results, which preserves
+submission order regardless of scheduling): metric deltas merge into
+the parent registry and worker spans are re-parented under the span
+that ran the fan-out — so a parallel run produces one coherent tree
+whose shape does not depend on which worker ran what.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import (
+    merge_metrics,
+    metrics_delta,
+    metrics_snapshot,
+)
+from repro.obs.trace import (
+    _CURRENT,
+    _ROOTS,
+    Span,
+    attach_span,
+    disable_tracing,
+    enable_tracing,
+    tracing_enabled,
+)
+
+
+class WorkerCapture:
+    """Capture the spans and metric deltas of one worker task.
+
+    ``trace`` is whether the parent wants spans back (its own tracing
+    state at submission time); metrics are always captured.  After the
+    ``with`` block, :attr:`snapshot` holds the JSON-able payload.
+    """
+
+    def __init__(self, trace: bool):
+        self.trace = trace
+        self.snapshot: dict = {}
+        self._was_enabled = False
+        self._token = None
+        self._mark = 0
+        self._metrics_before: dict = {}
+
+    def __enter__(self) -> "WorkerCapture":
+        # Under the fork start method the worker inherits the parent's
+        # open-span context and trace buffer; detach from both so this
+        # task's spans come out as clean roots.
+        self._token = _CURRENT.set(None)
+        self._mark = len(_ROOTS)
+        self._was_enabled = tracing_enabled()
+        if self.trace:
+            enable_tracing()
+        else:
+            disable_tracing()
+        self._metrics_before = metrics_snapshot()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        spans = _ROOTS[self._mark:]
+        del _ROOTS[self._mark:]
+        _CURRENT.reset(self._token)
+        if self._was_enabled:
+            enable_tracing()
+        else:
+            disable_tracing()
+        self.snapshot = {
+            "spans": [span_.to_dict() for span_ in spans],
+            "metrics": metrics_delta(self._metrics_before),
+        }
+
+
+def absorb(snapshot: Optional[dict]) -> None:
+    """Merge one worker snapshot into this process.
+
+    Metric deltas always merge; spans are adopted (under the currently
+    open span) only while tracing is enabled, mirroring local behavior.
+    """
+    if not snapshot:
+        return
+    merge_metrics(snapshot.get("metrics", {}))
+    if tracing_enabled():
+        for payload in snapshot.get("spans", []):
+            attach_span(Span.from_dict(payload))

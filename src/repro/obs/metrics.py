@@ -1,0 +1,269 @@
+"""Process-global metrics registry: counters, gauges, histograms.
+
+Metrics are always on — recording is a dict lookup plus an add, and
+every instrumentation point sits at cache-probe or solver granularity,
+never inside the interpreter's per-block hot loop — so hit rates and
+dispatch decisions are available even when span tracing is disabled.
+
+The registry is process-global.  Worker processes capture a snapshot
+before doing work, compute the *delta* afterwards, and ship it back to
+the parent (see :mod:`repro.obs.aggregate`), which merges deltas in
+deterministic task order; counters and histogram components add, gauges
+take the merged value last-writer-wins.
+
+Rendering: :func:`render_metrics` produces the human table behind
+``repro stats``; :func:`render_prometheus` the ``--format prom``
+text-exposition view.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing count (hits, misses, bytes, calls)."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (worker count, configured jobs)."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """A distribution summary: count, sum, min, max."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+    kind = "histogram"
+
+    def __init__(self) -> None:
+        self.count: int = 0
+        self.total: float = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: Number) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+_REGISTRY: dict[str, Metric] = {}
+
+
+def _metric(name: str, factory) -> Metric:
+    metric = _REGISTRY.get(name)
+    if metric is None:
+        metric = _REGISTRY[name] = factory()
+    return metric
+
+
+def counter(name: str) -> Counter:
+    """The counter registered under ``name`` (created on first use)."""
+    return _metric(name, Counter)  # type: ignore[return-value]
+
+
+def gauge(name: str) -> Gauge:
+    """The gauge registered under ``name`` (created on first use)."""
+    return _metric(name, Gauge)  # type: ignore[return-value]
+
+
+def histogram(name: str) -> Histogram:
+    """The histogram registered under ``name`` (created on first use)."""
+    return _metric(name, Histogram)  # type: ignore[return-value]
+
+
+def incr(name: str, amount: Number = 1) -> None:
+    """Increment the counter ``name`` by ``amount``."""
+    counter(name).inc(amount)
+
+
+def set_gauge(name: str, value: Number) -> None:
+    """Set the gauge ``name`` to ``value``."""
+    gauge(name).set(value)
+
+
+def observe(name: str, value: Number) -> None:
+    """Record one observation into the histogram ``name``."""
+    histogram(name).observe(value)
+
+
+def counter_value(name: str) -> Number:
+    """Current value of the counter ``name`` (0 if never touched)."""
+    metric = _REGISTRY.get(name)
+    return metric.value if isinstance(metric, Counter) else 0
+
+
+def histogram_sums(prefix: str) -> dict[str, float]:
+    """``{name without prefix: sum}`` for histograms under ``prefix``."""
+    return {
+        name[len(prefix):]: metric.total
+        for name, metric in _REGISTRY.items()
+        if isinstance(metric, Histogram) and name.startswith(prefix)
+    }
+
+
+def reset_metrics() -> None:
+    """Drop every registered metric (tests and worker hygiene)."""
+    _REGISTRY.clear()
+
+
+def metrics_snapshot() -> dict[str, dict]:
+    """All metrics as a plain JSON-able ``{name: state}`` mapping."""
+    return {
+        name: _REGISTRY[name].to_dict() for name in sorted(_REGISTRY)
+    }
+
+
+def metrics_delta(before: dict[str, dict]) -> dict[str, dict]:
+    """What changed since ``before`` (a prior :func:`metrics_snapshot`).
+
+    Counters and histograms subtract component-wise; gauges report
+    their current value whenever it differs.  Only changed metrics
+    appear, so worker→parent payloads stay small.
+    """
+    delta: dict[str, dict] = {}
+    for name, state in metrics_snapshot().items():
+        previous = before.get(name)
+        if state["type"] == "counter":
+            base = previous["value"] if previous else 0
+            if state["value"] != base:
+                delta[name] = {
+                    "type": "counter", "value": state["value"] - base
+                }
+        elif state["type"] == "gauge":
+            if previous is None or state["value"] != previous["value"]:
+                delta[name] = state
+        else:  # histogram
+            base_count = previous["count"] if previous else 0
+            if state["count"] != base_count:
+                delta[name] = {
+                    "type": "histogram",
+                    "count": state["count"] - base_count,
+                    "sum": state["sum"] - (
+                        previous["sum"] if previous else 0.0
+                    ),
+                    "min": state["min"],
+                    "max": state["max"],
+                }
+    return delta
+
+
+def merge_metrics(delta: dict[str, dict]) -> None:
+    """Fold one worker's :func:`metrics_delta` into this registry."""
+    for name, state in sorted(delta.items()):
+        kind = state.get("type")
+        if kind == "counter":
+            counter(name).inc(state["value"])
+        elif kind == "gauge":
+            gauge(name).set(state["value"])
+        elif kind == "histogram":
+            target = histogram(name)
+            target.count += state["count"]
+            target.total += state["sum"]
+            for key, worse in (("minimum", min), ("maximum", max)):
+                incoming = state["min" if key == "minimum" else "max"]
+                if incoming is None:
+                    continue
+                current = getattr(target, key)
+                setattr(
+                    target,
+                    key,
+                    incoming if current is None else worse(
+                        current, incoming
+                    ),
+                )
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def render_metrics(snapshot: Optional[dict[str, dict]] = None) -> str:
+    """Human-readable metrics table (the ``repro stats`` view)."""
+    if snapshot is None:
+        snapshot = metrics_snapshot()
+    if not snapshot:
+        return "(no metrics recorded)"
+    width = max(len(name) for name in snapshot)
+    lines = [f"{'metric':{width}} {'type':9} value"]
+    for name in sorted(snapshot):
+        state = snapshot[name]
+        if state["type"] == "histogram":
+            value = (
+                f"count={state['count']} sum={_format_value(state['sum'])}"
+                f" min={_format_value(state['min'])}"
+                f" max={_format_value(state['max'])}"
+            )
+        else:
+            value = _format_value(state["value"])
+        lines.append(f"{name:{width}} {state['type']:9} {value}")
+    return "\n".join(lines)
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + re.sub(r"[^a-zA-Z0-9_]", "_", name)
+
+
+def render_prometheus(snapshot: Optional[dict[str, dict]] = None) -> str:
+    """Prometheus text-exposition rendering of a metrics snapshot."""
+    if snapshot is None:
+        snapshot = metrics_snapshot()
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        state = snapshot[name]
+        prom = _prom_name(name)
+        if state["type"] == "counter":
+            lines.append(f"# TYPE {prom}_total counter")
+            lines.append(f"{prom}_total {_format_value(state['value'])}")
+        elif state["type"] == "gauge":
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {_format_value(state['value'])}")
+        else:
+            lines.append(f"# TYPE {prom} summary")
+            lines.append(f"{prom}_count {state['count']}")
+            lines.append(f"{prom}_sum {_format_value(state['sum'])}")
+    return "\n".join(lines) + ("\n" if lines else "")

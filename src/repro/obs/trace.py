@@ -1,0 +1,206 @@
+"""Hierarchical spans with contextvar parent tracking.
+
+A span is one timed region of work (``interp.run``, ``analysis.intra``,
+``experiment:table2``); spans opened while another span is active
+become its children, so a run produces a tree mirroring the call
+structure across the pipeline's layers.
+
+Tracing is *off* by default.  ``REPRO_TRACE`` (or ``--trace`` on the
+CLI, or :func:`enable_tracing`) turns it on; while off, :func:`span`
+returns a shared no-op singleton, so the cost of an instrumentation
+point is one module-global read and one function call — effectively
+zero next to the work being traced.  ``--timings`` forces tracing on
+for the duration of a command (:func:`forced_tracing`) because the
+timing reports are *views over the trace*, not a parallel mechanism.
+
+Clocks: spans measure duration with :func:`time.perf_counter` and
+record their start as an offset from the process's trace epoch, so
+sibling ordering is meaningful within a process but wall-clock dates
+never enter the trace (keeping exports diffable).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Optional
+
+_TRUTHY = {"1", "yes", "on", "true"}
+
+#: Process trace epoch: span starts are offsets from this instant.
+_EPOCH = time.perf_counter()
+
+_ENABLED: bool = (
+    os.environ.get("REPRO_TRACE", "").strip().lower() in _TRUTHY
+)
+
+#: The innermost open span of the current (thread/task) context.
+_CURRENT: ContextVar[Optional["Span"]] = ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+#: Finished top-level spans, in completion order.
+_ROOTS: list["Span"] = []
+
+
+def tracing_enabled() -> bool:
+    """Whether spans are being recorded."""
+    return _ENABLED
+
+
+def enable_tracing() -> None:
+    """Turn span recording on for this process."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable_tracing() -> None:
+    """Turn span recording off (open spans still close normally)."""
+    global _ENABLED
+    _ENABLED = False
+
+
+def reset_trace() -> None:
+    """Drop every recorded span (tests and worker task hygiene)."""
+    _ROOTS.clear()
+    _CURRENT.set(None)
+
+
+@contextmanager
+def forced_tracing(active: bool = True):
+    """Temporarily force tracing on (used by ``--timings`` views)."""
+    if not active or _ENABLED:
+        yield
+        return
+    enable_tracing()
+    try:
+        yield
+    finally:
+        disable_tracing()
+
+
+class Span:
+    """One timed region; children are spans opened while it is open."""
+
+    __slots__ = ("name", "attrs", "start", "seconds", "children", "_token")
+
+    def __init__(self, name: str, attrs: dict):
+        self.name = name
+        self.attrs = attrs
+        self.start = 0.0
+        self.seconds = 0.0
+        self.children: list["Span"] = []
+        self._token = None
+
+    def set(self, **attrs: object) -> None:
+        """Attach attributes to the span (cache hits, sizes, ...)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        self._token = _CURRENT.set(self)
+        self.start = time.perf_counter() - _EPOCH
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.seconds = (time.perf_counter() - _EPOCH) - self.start
+        _CURRENT.reset(self._token)
+        self._token = None
+        parent = _CURRENT.get()
+        if parent is not None:
+            parent.children.append(self)
+        else:
+            _ROOTS.append(self)
+
+    # ------------------------------------------------------------------
+    # Serialization (worker→parent payloads and JSONL export).
+
+    def to_dict(self) -> dict:
+        payload: dict = {
+            "name": self.name,
+            "start": self.start,
+            "seconds": self.seconds,
+        }
+        if self.attrs:
+            payload["attrs"] = self.attrs
+        if self.children:
+            payload["children"] = [
+                child.to_dict() for child in self.children
+            ]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        span_ = cls(str(payload["name"]), dict(payload.get("attrs", {})))
+        span_.start = float(payload.get("start", 0.0))
+        span_.seconds = float(payload.get("seconds", 0.0))
+        span_.children = [
+            cls.from_dict(child) for child in payload.get("children", [])
+        ]
+        return span_
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def set(self, **_attrs: object) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        pass
+
+
+_NOOP = _NoopSpan()
+
+
+def span(name: str, **attrs: object):
+    """Open a span named ``name`` (no-op when tracing is disabled)."""
+    if not _ENABLED:
+        return _NOOP
+    return Span(name, attrs)
+
+
+def current_span():
+    """The innermost open span (a no-op stand-in when none/disabled)."""
+    if not _ENABLED:
+        return _NOOP
+    return _CURRENT.get() or _NOOP
+
+
+def attach_span(span_: Span) -> None:
+    """Adopt an already-finished span (e.g. one deserialized from a
+    worker) as a child of the current span, or as a root."""
+    parent = _CURRENT.get()
+    if parent is not None:
+        parent.children.append(span_)
+    else:
+        _ROOTS.append(span_)
+
+
+def trace_roots() -> list[Span]:
+    """Finished top-level spans, in completion order."""
+    return list(_ROOTS)
+
+
+def walk_spans(roots: Optional[list[Span]] = None):
+    """Yield ``(span, depth)`` over the trees in pre-order."""
+    stack = [
+        (root, 0)
+        for root in reversed(roots if roots is not None else _ROOTS)
+    ]
+    while stack:
+        node, depth = stack.pop()
+        yield node, depth
+        for child in reversed(node.children):
+            stack.append((child, depth + 1))
+
+
+def span_names(roots: Optional[list[Span]] = None) -> set[str]:
+    """The set of distinct span names in the trace."""
+    return {node.name for node, _ in walk_spans(roots)}

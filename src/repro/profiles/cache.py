@@ -42,6 +42,7 @@ from typing import Callable, Optional
 
 import repro
 from repro.interp import INTERP_VERSION
+from repro.obs import incr
 from repro.profiles.profile import Profile
 from repro.profiles.serialize import (
     PROFILE_FORMAT_VERSION,
@@ -99,10 +100,14 @@ def load_cached_profile(
     path = _entry_path(key, directory)
     try:
         with open(path, encoding="utf-8") as handle:
-            data = json.load(handle)
-        return profile_from_dict(data)
+            text = handle.read()
+        profile = profile_from_dict(json.loads(text))
     except (OSError, ValueError, KeyError, TypeError):
+        incr("profile_cache.misses")
         return None
+    incr("profile_cache.hits")
+    incr("profile_cache.bytes_read", len(text))
+    return profile
 
 
 def store_profile(
@@ -115,6 +120,8 @@ def store_profile(
     payload = json.dumps(
         profile_to_dict(profile), separators=(",", ":")
     )
+    incr("profile_cache.stores")
+    incr("profile_cache.bytes_written", len(payload))
     fd, temp_path = tempfile.mkstemp(
         prefix=f".{key[:16]}-", suffix=".tmp", dir=directory
     )
@@ -158,24 +165,41 @@ def cached_profile_for_source(
 
 
 def cache_info(directory: Optional[str] = None) -> dict[str, object]:
-    """Summary of the cache: directory, entry count, total bytes."""
+    """Summary of the cache: directory, entry count, total bytes, and
+    the oldest/newest entry mtimes (Unix seconds, None when empty)."""
     directory = directory or cache_dir()
+    summary = scan_cache_entries(directory)
+    summary["enabled"] = cache_enabled()
+    return summary
+
+
+def scan_cache_entries(directory: str) -> dict[str, object]:
+    """One pass over a cache directory's ``*.json`` entries, shared by
+    the profile and analysis caches: counts, bytes, mtime range."""
     entries = 0
     total_bytes = 0
+    oldest: Optional[float] = None
+    newest: Optional[float] = None
     if os.path.isdir(directory):
         for name in os.listdir(directory):
             if not name.endswith(".json"):
                 continue
             entries += 1
             try:
-                total_bytes += os.path.getsize(os.path.join(directory, name))
+                status = os.stat(os.path.join(directory, name))
             except OSError:
-                pass
+                continue
+            total_bytes += status.st_size
+            if oldest is None or status.st_mtime < oldest:
+                oldest = status.st_mtime
+            if newest is None or status.st_mtime > newest:
+                newest = status.st_mtime
     return {
         "directory": directory,
-        "enabled": cache_enabled(),
         "entries": entries,
         "bytes": total_bytes,
+        "oldest_mtime": oldest,
+        "newest_mtime": newest,
     }
 
 

@@ -16,16 +16,31 @@ Workers return *serialized* profiles (plain JSON-compatible data — the
 live ``Profile`` holds lambda-defaulted defaultdicts, which do not
 pickle) and also write them straight into the shared cache, so a
 crashed run still keeps its finished work.
+
+Observability: the whole collection runs inside a ``suite.collect``
+span, with one ``suite.program`` child per program (cache probing,
+hit/miss counts as attributes) and one ``suite.profile_pair`` child per
+interpreted pair — worker pairs are captured in the worker process and
+re-parented under ``suite.collect`` in deterministic task order (see
+:mod:`repro.obs.aggregate`).  The :class:`SuiteTimings` report is a
+*view over that span tree*: ``--timings`` forces an in-memory trace for
+the duration of the call and reads the report off the finished spans.
 """
 
 from __future__ import annotations
 
 import os
-import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
+from repro.obs import (
+    WorkerCapture,
+    absorb,
+    forced_tracing,
+    span,
+    tracing_enabled,
+)
 from repro.profiles import cache as profile_cache
 from repro.profiles.profile import Profile
 from repro.profiles.serialize import profile_from_dict, profile_to_dict
@@ -60,7 +75,13 @@ class ProgramTiming:
 
 @dataclass
 class SuiteTimings:
-    """Timing report for one pipeline run (``--timings``)."""
+    """Timing report for one pipeline run (``--timings``).
+
+    Populated from the pipeline's span tree after the run finishes —
+    per-program seconds are the program's cache-probe span plus its
+    interpreted pairs' actual durations (measured inside the worker
+    that ran them), and the total is the ``suite.collect`` wall time.
+    """
 
     jobs: int = 1
     cache_used: bool = True
@@ -94,23 +115,60 @@ class SuiteTimings:
         )
         return "\n".join(lines)
 
+    def populate_from_span(
+        self,
+        collect_span,
+        ordered: Sequence[str],
+        jobs: int,
+        use_cache: bool,
+    ) -> None:
+        """Fill the report from a finished ``suite.collect`` span."""
+        per_program = {
+            name: ProgramTiming(name) for name in ordered
+        }
+        for child in collect_span.children:
+            timing = per_program.get(str(child.attrs.get("program")))
+            if timing is None:
+                continue
+            if child.name == "suite.program":
+                timing.seconds += child.seconds
+                timing.cache_hits += int(child.attrs.get("hits", 0))
+                timing.cache_misses += int(child.attrs.get("misses", 0))
+            elif child.name == "suite.profile_pair":
+                timing.seconds += child.seconds
+        self.jobs = jobs
+        self.cache_used = use_cache
+        self.programs = [per_program[name] for name in ordered]
+        self.total_seconds = collect_span.seconds
+
+
+def _profile_pair(name: str, index: int, use_cache: bool) -> Profile:
+    """Interpret one (program, input index) pair; with caching on, the
+    profile is also stored in the shared on-disk cache."""
+    stdin = registry.program_inputs(name)[index - 1]
+    with span("suite.profile_pair", program=name, input=index):
+        result = registry.run_on_input(name, stdin, f"input{index}")
+    if use_cache:
+        profile_cache.store_profile(
+            registry.profile_key(name, stdin), result.profile
+        )
+    return result.profile
+
 
 def _profile_pair_worker(
-    task: tuple[str, int, bool]
-) -> tuple[str, int, dict]:
+    task: tuple[str, int, bool, bool]
+) -> tuple[str, int, dict, dict]:
     """Run one (program, input index) pair in a worker process.
 
-    Loads (memoized per worker) the program, interprets the input, and
-    returns the serialized profile; with caching on, the profile is
-    also stored in the shared on-disk cache before returning.
+    Returns the serialized profile plus the observability snapshot
+    (spans and metric deltas) the pair produced, for the parent to
+    merge.
     """
-    name, index, use_cache = task
-    stdin = registry.program_inputs(name)[index - 1]
-    result = registry.run_on_input(name, stdin, f"input{index}")
-    if use_cache:
-        key = registry.profile_key(name, stdin)
-        profile_cache.store_profile(key, result.profile)
-    return name, index, profile_to_dict(result.profile)
+    name, index, use_cache, trace = task
+    capture = WorkerCapture(trace)
+    with capture:
+        profile = _profile_pair(name, index, use_cache)
+    return name, index, profile_to_dict(profile), capture.snapshot
 
 
 def collect_suite_profiles(
@@ -126,7 +184,6 @@ def collect_suite_profiles(
     registry's in-process memo so later ``collect_profiles`` calls are
     free.
     """
-    start = time.perf_counter()
     ordered = list(names) if names is not None else registry.program_names()
     for name in ordered:
         if name not in registry.SUITE_BY_NAME:
@@ -135,55 +192,60 @@ def collect_suite_profiles(
     if use_cache is None:
         use_cache = profile_cache.cache_enabled()
 
-    per_program: dict[str, ProgramTiming] = {
-        name: ProgramTiming(name) for name in ordered
-    }
     inputs: dict[str, list[str]] = {
         name: registry.program_inputs(name) for name in ordered
     }
-    # Resolve cache hits up front; what remains is the fan-out work.
     collected: dict[tuple[str, int], Profile] = {}
-    pending: list[tuple[str, int, bool]] = []
-    for name in ordered:
-        clock = time.perf_counter()
-        for index, stdin in enumerate(inputs[name], start=1):
-            cached = None
-            if use_cache:
-                cached = profile_cache.load_cached_profile(
-                    registry.profile_key(name, stdin)
-                )
-            if cached is not None:
-                collected[(name, index)] = cached
-                per_program[name].cache_hits += 1
-            else:
-                pending.append((name, index, use_cache))
-                per_program[name].cache_misses += 1
-        per_program[name].seconds += time.perf_counter() - clock
+    pending: list[tuple[str, int]] = []
 
-    if pending:
-        if jobs > 1 and len(pending) > 1:
-            task_clock = time.perf_counter()
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                results = list(
-                    pool.map(_profile_pair_worker, pending)
-                )
-            elapsed = time.perf_counter() - task_clock
-            for name, index, payload in results:
-                collected[(name, index)] = profile_from_dict(payload)
-            # Wall time is shared across workers; attribute it evenly
-            # to the programs that had misses.
-            miss_total = sum(
-                1 for _ in pending
+    # ``--timings`` is a view over the trace: force span recording for
+    # the duration of the call when a report was requested.
+    with forced_tracing(timings is not None):
+        with span(
+            "suite.collect", jobs=jobs, cache=use_cache
+        ) as collect_span:
+            # Resolve cache hits up front; what remains fans out.
+            for name in ordered:
+                with span("suite.program", program=name) as program_span:
+                    hits = misses = 0
+                    for index, stdin in enumerate(inputs[name], start=1):
+                        cached = None
+                        if use_cache:
+                            cached = profile_cache.load_cached_profile(
+                                registry.profile_key(name, stdin)
+                            )
+                        if cached is not None:
+                            collected[(name, index)] = cached
+                            hits += 1
+                        else:
+                            pending.append((name, index))
+                            misses += 1
+                    program_span.set(hits=hits, misses=misses)
+
+            if pending:
+                if jobs > 1 and len(pending) > 1:
+                    tasks = [
+                        (name, index, use_cache, tracing_enabled())
+                        for name, index in pending
+                    ]
+                    with ProcessPoolExecutor(max_workers=jobs) as pool:
+                        for name, index, payload, snapshot in pool.map(
+                            _profile_pair_worker, tasks
+                        ):
+                            collected[(name, index)] = profile_from_dict(
+                                payload
+                            )
+                            absorb(snapshot)
+                else:
+                    for name, index in pending:
+                        collected[(name, index)] = _profile_pair(
+                            name, index, use_cache
+                        )
+
+        if timings is not None:
+            timings.populate_from_span(
+                collect_span, ordered, jobs, use_cache
             )
-            for name, index, _ in pending:
-                per_program[name].seconds += elapsed / miss_total
-        else:
-            for name, index, _ in pending:
-                clock = time.perf_counter()
-                collected[(name, index)] = registry.profile_for_input(
-                    name, index, inputs[name][index - 1], use_cache
-                )
-                per_program[name].seconds += time.perf_counter() - clock
 
     # Deterministic merge: suite order, then input index.
     merged: dict[str, list[Profile]] = {}
@@ -193,12 +255,6 @@ def collect_suite_profiles(
             for index in range(1, len(inputs[name]) + 1)
         ]
         registry.seed_profile_memo(name, merged[name])
-
-    if timings is not None:
-        timings.jobs = jobs
-        timings.cache_used = use_cache
-        timings.programs = [per_program[name] for name in ordered]
-        timings.total_seconds = time.perf_counter() - start
     return merged
 
 

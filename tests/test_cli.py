@@ -1,5 +1,8 @@
 """Tests for the command-line interface."""
 
+import json
+import os
+
 import pytest
 
 from repro.cli import main
@@ -57,3 +60,99 @@ class TestCli:
 
     def test_layout_unknown_function(self, capsys):
         assert main(["layout", "compress", "nope"]) == 2
+
+
+class TestObservabilityCli:
+    @pytest.fixture
+    def trace_file(self, tmp_path, monkeypatch):
+        path = tmp_path / "trace.jsonl"
+        monkeypatch.setenv("REPRO_TRACE_FILE", str(path))
+        return path
+
+    def test_run_without_trace_writes_no_file(self, trace_file, capsys):
+        assert main(["run", "table2"]) == 0
+        capsys.readouterr()
+        assert not trace_file.exists()
+
+    def test_run_trace_writes_jsonl(self, trace_file, capsys):
+        assert main(["run", "table2", "--trace"]) == 0
+        captured = capsys.readouterr()
+        assert "wrote" in captured.err
+        records = [
+            json.loads(line)
+            for line in trace_file.read_text().splitlines()
+            if line
+        ]
+        assert records, "trace file should contain spans"
+        assert {"id", "parent", "name", "start", "seconds"} <= set(
+            records[0]
+        )
+
+    def test_trace_command_renders_tree(self, trace_file, capsys):
+        assert main(["run", "table2", "--trace", "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["trace"]) == 0
+        assert "ms" in capsys.readouterr().out
+        assert main(["trace", str(trace_file), "--full"]) == 0
+        assert "ms" in capsys.readouterr().out
+
+    def test_trace_command_missing_file(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "absent.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_quiet_suppresses_diag_not_stdout(self, trace_file, capsys):
+        assert main(["run", "table2", "--trace", "--quiet"]) == 0
+        captured = capsys.readouterr()
+        assert captured.err == ""
+        assert "strchr" in captured.out
+        assert trace_file.exists()  # quiet silences chatter, not output
+
+    def test_stats_round_trip(self, tmp_path, monkeypatch, capsys):
+        stats_file = tmp_path / "stats.json"
+        monkeypatch.setenv("REPRO_STATS_FILE", str(stats_file))
+        assert main(["run", "table2"]) == 0
+        capsys.readouterr()
+        assert stats_file.exists()
+        assert main(["stats"]) == 0
+        table = capsys.readouterr().out
+        assert "metric" in table
+        assert "counter" in table
+        assert main(["stats", "--format", "prom"]) == 0
+        assert "repro_" in capsys.readouterr().out
+
+    def test_stats_missing_file(self, tmp_path, capsys):
+        missing = str(tmp_path / "absent.json")
+        assert main(["stats", "--file", missing]) == 2
+        assert "no recorded stats" in capsys.readouterr().err
+
+    def test_cache_info_reports_mtimes(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        cache_dir = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        monkeypatch.delenv("REPRO_ANALYSIS_CACHE_DIR", raising=False)
+        os.makedirs(cache_dir)
+        (cache_dir / "entry.json").write_text("{}")
+        assert main(["cache", "info"]) == 0
+        output = capsys.readouterr().out
+        assert "profile cache:" in output
+        assert "analysis cache:" in output
+        assert "oldest:" in output and "newest:" in output
+        # The profile cache has one entry; the analysis cache is empty.
+        assert output.count("oldest:    -") == 1
+
+    def test_cache_clear_reports_per_cache(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        cache_dir = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        monkeypatch.delenv("REPRO_ANALYSIS_CACHE_DIR", raising=False)
+        os.makedirs(cache_dir / "analysis")
+        (cache_dir / "entry.json").write_text("{}")
+        (cache_dir / "analysis" / "entry.json").write_text("{}")
+        assert main(["cache", "clear"]) == 0
+        output = capsys.readouterr().out
+        assert "profile cache: removed 1 entries" in output
+        assert "analysis cache: removed 1 entries" in output
+        assert str(cache_dir) in output
+        assert not (cache_dir / "entry.json").exists()

@@ -1,0 +1,332 @@
+"""Tests for the observability layer: spans, metrics, aggregation,
+exporters, and the cross-process determinism guarantees."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    """Every test starts and ends with tracing off and empty state."""
+    obs.disable_tracing()
+    obs.reset_trace()
+    obs.reset_metrics()
+    yield
+    obs.disable_tracing()
+    obs.reset_trace()
+    obs.reset_metrics()
+
+
+class TestMetrics:
+    def test_counter_incr(self):
+        obs.incr("c")
+        obs.incr("c", 4)
+        assert obs.counter_value("c") == 5
+        assert obs.counter_value("never-touched") == 0
+
+    def test_gauge_and_histogram(self):
+        obs.set_gauge("g", 3)
+        obs.set_gauge("g", 7)
+        for value in (2.0, 5.0, 1.0):
+            obs.observe("h", value)
+        snapshot = obs.metrics_snapshot()
+        assert snapshot["g"] == {"type": "gauge", "value": 7}
+        assert snapshot["h"] == {
+            "type": "histogram",
+            "count": 3,
+            "sum": 8.0,
+            "min": 1.0,
+            "max": 5.0,
+        }
+
+    def test_histogram_sums_by_prefix(self):
+        obs.observe("stage.parse", 1.0)
+        obs.observe("stage.parse", 2.0)
+        obs.observe("stage.lower", 4.0)
+        obs.incr("stage.unrelated_counter")
+        assert obs.histogram_sums("stage.") == {
+            "parse": 3.0,
+            "lower": 4.0,
+        }
+
+    def test_delta_reports_only_changes(self):
+        obs.incr("before", 2)
+        obs.observe("h", 1.0)
+        base = obs.metrics_snapshot()
+        obs.incr("before", 3)
+        obs.incr("fresh")
+        delta = obs.metrics_delta(base)
+        assert delta == {
+            "before": {"type": "counter", "value": 3},
+            "fresh": {"type": "counter", "value": 1},
+        }
+
+    def test_merge_adds_counters_and_histograms(self):
+        obs.incr("c", 1)
+        obs.observe("h", 10.0)
+        obs.merge_metrics(
+            {
+                "c": {"type": "counter", "value": 4},
+                "h": {
+                    "type": "histogram",
+                    "count": 2,
+                    "sum": 3.0,
+                    "min": 1.0,
+                    "max": 2.0,
+                },
+                "g": {"type": "gauge", "value": 9},
+            }
+        )
+        snapshot = obs.metrics_snapshot()
+        assert snapshot["c"]["value"] == 5
+        assert snapshot["h"]["count"] == 3
+        assert snapshot["h"]["sum"] == 13.0
+        assert snapshot["h"]["min"] == 1.0
+        assert snapshot["h"]["max"] == 10.0
+        assert snapshot["g"]["value"] == 9
+
+    def test_render_table(self):
+        obs.incr("cache.hits", 3)
+        rendered = obs.render_metrics()
+        assert "cache.hits" in rendered
+        assert "counter" in rendered
+        assert obs.render_metrics({}) == "(no metrics recorded)"
+
+    def test_render_prometheus(self):
+        obs.incr("cache.hits", 3)
+        obs.set_gauge("jobs", 2)
+        obs.observe("solve.seconds", 0.5)
+        text = obs.render_prometheus()
+        assert "# TYPE repro_cache_hits_total counter" in text
+        assert "repro_cache_hits_total 3" in text
+        assert "repro_jobs 2" in text
+        assert "repro_solve_seconds_count 1" in text
+        assert text.endswith("\n")
+
+
+class TestSpans:
+    def test_disabled_is_noop(self):
+        first = obs.span("a", key="value")
+        second = obs.span("b")
+        assert first is second  # the shared no-op singleton
+        with first as active:
+            active.set(more="attrs")
+        assert obs.trace_roots() == []
+
+    def test_nested_parentage(self):
+        obs.enable_tracing()
+        with obs.span("outer", level=0) as outer:
+            with obs.span("middle") as middle:
+                with obs.span("inner"):
+                    pass
+            with obs.span("sibling"):
+                pass
+        roots = obs.trace_roots()
+        assert [root.name for root in roots] == ["outer"]
+        assert outer.attrs == {"level": 0}
+        assert [child.name for child in outer.children] == [
+            "middle",
+            "sibling",
+        ]
+        assert [child.name for child in middle.children] == ["inner"]
+        assert outer.seconds >= middle.seconds >= 0.0
+
+    def test_forced_tracing_restores_disabled(self):
+        assert not obs.tracing_enabled()
+        with obs.forced_tracing(True):
+            assert obs.tracing_enabled()
+            with obs.span("timed"):
+                pass
+        assert not obs.tracing_enabled()
+        assert obs.span_names() == {"timed"}
+
+    def test_forced_tracing_inactive_is_noop(self):
+        with obs.forced_tracing(False):
+            assert not obs.tracing_enabled()
+
+    def test_walk_spans_preorder(self):
+        obs.enable_tracing()
+        with obs.span("root"):
+            with obs.span("a"):
+                with obs.span("a1"):
+                    pass
+            with obs.span("b"):
+                pass
+        names = [
+            (node.name, depth) for node, depth in obs.walk_spans()
+        ]
+        assert names == [
+            ("root", 0),
+            ("a", 1),
+            ("a1", 2),
+            ("b", 1),
+        ]
+
+
+class TestExport:
+    def _sample_trace(self):
+        obs.enable_tracing()
+        with obs.span("root", jobs=2):
+            with obs.span("child", program="cc"):
+                pass
+            with obs.span("child", program="ear"):
+                pass
+        obs.disable_tracing()
+        return obs.trace_roots()
+
+    @staticmethod
+    def _shape(spans):
+        """Structure (names/attrs/tree), ignoring the rounded times."""
+        return [
+            (
+                span.name,
+                span.attrs,
+                TestExport._shape(span.children),
+            )
+            for span in spans
+        ]
+
+    def test_jsonl_round_trip(self, tmp_path):
+        roots = self._sample_trace()
+        path, count = obs.write_trace_jsonl(
+            str(tmp_path / "trace.jsonl"), roots
+        )
+        assert count == 3
+        lines = [
+            json.loads(line)
+            for line in open(path, encoding="utf-8")
+            if line.strip()
+        ]
+        assert [record["id"] for record in lines] == [0, 1, 2]
+        assert lines[1]["parent"] == 0 and lines[2]["parent"] == 0
+        back = obs.read_trace_jsonl(path)
+        assert self._shape(back) == self._shape(roots)
+
+    def test_render_grouped_and_full(self):
+        roots = self._sample_trace()
+        grouped = obs.render_span_tree(roots)
+        assert "child x2" in grouped
+        full = obs.render_span_tree(roots, full=True)
+        assert full.count("child") == 2
+        assert "program=cc" in full
+        assert obs.render_span_tree([]) == "(empty trace)"
+
+    def test_stats_round_trip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_STATS_FILE", str(tmp_path / "stats.json")
+        )
+        assert obs.write_stats() is None  # nothing recorded yet
+        obs.incr("cache.hits", 8)
+        path = obs.write_stats()
+        assert path == str(tmp_path / "stats.json")
+        assert obs.read_stats() == {
+            "cache.hits": {"type": "counter", "value": 8}
+        }
+
+    def test_read_stats_missing(self, tmp_path):
+        assert obs.read_stats(str(tmp_path / "absent.json")) is None
+
+
+class TestWorkerCapture:
+    def test_captures_spans_and_metric_deltas(self):
+        obs.incr("pre", 10)
+        capture = obs.WorkerCapture(trace=True)
+        with capture:
+            with obs.span("task"):
+                obs.incr("pre", 2)
+                obs.incr("task.done")
+        assert not obs.tracing_enabled()  # restored
+        assert obs.trace_roots() == []  # nothing leaked locally
+        assert [s["name"] for s in capture.snapshot["spans"]] == ["task"]
+        assert capture.snapshot["metrics"] == {
+            "pre": {"type": "counter", "value": 2},
+            "task.done": {"type": "counter", "value": 1},
+        }
+
+    def test_no_spans_when_parent_not_tracing(self):
+        capture = obs.WorkerCapture(trace=False)
+        with capture:
+            with obs.span("task"):
+                obs.incr("task.done")
+        assert capture.snapshot["spans"] == []
+        assert capture.snapshot["metrics"] == {
+            "task.done": {"type": "counter", "value": 1}
+        }
+
+    def test_absorb_reparents_under_open_span(self):
+        capture = obs.WorkerCapture(trace=True)
+        with capture:
+            with obs.span("task"):
+                obs.incr("task.done")
+        # The capture normally happens in a worker process; clear the
+        # local registry to simulate the process boundary.
+        obs.reset_metrics()
+        obs.enable_tracing()
+        with obs.span("parent") as parent:
+            obs.absorb(capture.snapshot)
+        assert [child.name for child in parent.children] == ["task"]
+        assert obs.counter_value("task.done") == 1
+
+    def test_absorb_drops_spans_when_disabled(self):
+        capture = obs.WorkerCapture(trace=True)
+        with capture:
+            with obs.span("task"):
+                obs.incr("task.done")
+        obs.reset_metrics()
+        obs.absorb(capture.snapshot)  # tracing off in the parent
+        assert obs.trace_roots() == []
+        assert obs.counter_value("task.done") == 1  # metrics still merge
+
+
+class TestDiag:
+    def test_quiet_suppresses_diag(self, capsys):
+        obs.set_quiet(False)
+        obs.diag("chatter")
+        obs.set_quiet(True)
+        try:
+            obs.diag("silenced")
+        finally:
+            obs.set_quiet(False)
+        captured = capsys.readouterr()
+        assert captured.err == "chatter\n"
+        assert captured.out == ""
+
+
+class TestCrossProcessDeterminism:
+    """``run all --jobs 2`` merges one coherent trace whose span-name
+    set matches a serial run, and is stable across repeated runs."""
+
+    def _traced_run_all(self, jobs: int):
+        from repro.experiments import run_all
+
+        obs.reset_trace()
+        obs.enable_tracing()
+        try:
+            output = run_all(jobs=jobs)
+        finally:
+            obs.disable_tracing()
+        return output, obs.span_names(obs.trace_roots())
+
+    def test_jobs2_matches_jobs1(self):
+        from repro.experiments import run_all
+        from repro.experiments.runner import EXPERIMENTS
+
+        # Warm every cache and memo untraced first, so none of the
+        # traced runs below sees cold-path-only spans.
+        run_all(jobs=1)
+
+        serial_out, serial_names = self._traced_run_all(1)
+        parallel_out, parallel_names = self._traced_run_all(2)
+        repeat_out, repeat_names = self._traced_run_all(2)
+
+        assert serial_out == parallel_out == repeat_out
+        assert serial_names == parallel_names == repeat_names
+        for name in EXPERIMENTS:
+            assert f"experiment:{name}" in serial_names
+        assert "run_all" in serial_names
+        assert "suite.collect" in serial_names
