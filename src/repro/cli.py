@@ -10,8 +10,11 @@ Usage (after installing the package)::
     python -m repro cfg compress table_lookup --dot  # dump a CFG
     python -m repro predict compress        # per-branch predictions
     python -m repro profile-suite --timings # collect/warm all profiles
-    python -m repro cache info              # persistent profile cache
+    python -m repro cache info              # caches + fuzz corpus
     python -m repro cache clear
+    python -m repro fuzz run --seed 0 --count 100 --jobs 4
+    python -m repro fuzz replay <case>      # re-check one saved case
+    python -m repro fuzz shrink <case>      # delta-debug a failing case
     python -m repro run all --trace         # record a span trace
     python -m repro trace                   # render the recorded trace
     python -m repro stats --format prom     # metrics from the last run
@@ -38,6 +41,8 @@ from repro import obs
 from repro.analysis import cache as analysis_cache
 from repro.analysis.session import session_for_suite
 from repro.cfg import cfg_to_dot
+from repro.frontend.errors import FrontendError
+from repro.fuzz import corpus as fuzz_corpus
 from repro.experiments import (
     EXPERIMENTS,
     RunAllTimings,
@@ -218,6 +223,7 @@ def _command_cache(args: argparse.Namespace) -> int:
         for title, info in (
             ("profile cache", profile_cache.cache_info()),
             ("analysis cache", analysis_cache.analysis_cache_info()),
+            ("fuzz corpus", fuzz_corpus.corpus_info()),
         ):
             print(f"{title}:")
             print(f"  directory: {info['directory']}")
@@ -234,6 +240,7 @@ def _command_cache(args: argparse.Namespace) -> int:
             analysis_cache.analysis_cache_info(),
             analysis_cache.clear_analysis_cache,
         ),
+        ("fuzz corpus", fuzz_corpus.corpus_info(), fuzz_corpus.clear_corpus),
     ):
         removed = clear()
         print(
@@ -273,6 +280,86 @@ def _command_stats(args: argparse.Namespace) -> int:
         sys.stdout.write(obs.render_prometheus(snapshot))
     else:
         print(obs.render_metrics(snapshot))
+    return 0
+
+
+def _command_fuzz_run(args: argparse.Namespace) -> int:
+    from repro.fuzz import fuzz_run
+
+    if args.count < 1:
+        _error("repro: --count must be at least 1")
+        return 2
+    report = fuzz_run(
+        seed=args.seed,
+        count=args.count,
+        jobs=_resolve_jobs_or_fail(args.jobs),
+    )
+    # Summary on stdout is identical whatever the worker count; the
+    # environment-dependent bits (jobs, corpus location) go to stderr.
+    print(report.render())
+    obs.diag(
+        f"repro: fuzz used {report.jobs} jobs; "
+        f"corpus at {fuzz_corpus.corpus_dir()}"
+    )
+    return 0 if report.ok else 1
+
+
+def _resolve_case_or_fail(reference: str) -> tuple[str, str]:
+    try:
+        return fuzz_corpus.resolve_case(reference)
+    except KeyError as error:
+        raise SystemExit(f"repro: {error.args[0]}") from None
+    except OSError as error:
+        raise SystemExit(f"repro: cannot read case: {error}") from None
+
+
+def _command_fuzz_replay(args: argparse.Namespace) -> int:
+    from repro.fuzz import check_program
+
+    key, source = _resolve_case_or_fail(args.case)
+    name = args.case if args.case.endswith(".c") else f"{key[:16]}.c"
+    # raise_frontend: a corpus case that no longer compiles surfaces as
+    # the standard one-line file:line:col diagnostic from main().
+    report = check_program(source, name, raise_frontend=True)
+    for oracle in report.oracles_run:
+        verdict = "FAIL" if oracle in report.failing_oracles else "ok"
+        print(f"{oracle:28} {verdict}")
+    for failure in report.failures:
+        print(f"FAIL {failure.oracle}: {failure.message}")
+    print(
+        f"replay {key[:16]}: "
+        f"{len(report.failing_oracles)} failing oracles"
+    )
+    return 0 if report.ok else 1
+
+
+def _command_fuzz_shrink(args: argparse.Namespace) -> int:
+    from repro.fuzz import check_program, shrink_case
+    from repro.fuzz.shrink import DEFAULT_MAX_CHECKS
+
+    key, source = _resolve_case_or_fail(args.case)
+    name = args.case if args.case.endswith(".c") else f"{key[:16]}.c"
+    report = check_program(source, name, raise_frontend=True)
+    if report.ok:
+        _error(f"repro: case {key[:16]} passes all oracles; nothing to shrink")
+        return 2
+    obs.diag(
+        f"repro: shrinking {key[:16]} anchored to "
+        f"{', '.join(report.failing_oracles)}"
+    )
+    max_checks = (
+        args.max_checks if args.max_checks is not None else DEFAULT_MAX_CHECKS
+    )
+    result = shrink_case(
+        source, report.failing_oracles, max_checks=max_checks
+    )
+    path = fuzz_corpus.save_reduction(key, result.source)
+    obs.diag(f"repro: reduction saved to {path}")
+    print(
+        f"shrunk {key[:16]}: {result.original_lines} -> "
+        f"{result.reduced_lines} lines ({result.checks} checks)"
+    )
+    sys.stdout.write(result.source)
     return 0
 
 
@@ -395,6 +482,80 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile_parser.set_defaults(handler=_command_profile_suite)
 
+    fuzz_parser = subparsers.add_parser(
+        "fuzz",
+        help="differential fuzzing of the estimator pipeline",
+    )
+    fuzz_sub = fuzz_parser.add_subparsers(dest="fuzz_command", required=True)
+
+    fuzz_run_parser = fuzz_sub.add_parser(
+        "run",
+        help="generate seeded programs and check every oracle",
+    )
+    fuzz_run_parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="base seed; per-case seeds derive from (seed, index)",
+    )
+    fuzz_run_parser.add_argument(
+        "--count",
+        type=int,
+        default=100,
+        help="number of cases to generate and check (default: 100)",
+    )
+    fuzz_run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: REPRO_JOBS or CPU count)",
+    )
+    fuzz_run_parser.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "record a span trace and write it as JSONL "
+            "(REPRO_TRACE_FILE, default repro-trace.jsonl)"
+        ),
+    )
+    fuzz_run_parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress diagnostic stderr output (stdout is unchanged)",
+    )
+    fuzz_run_parser.set_defaults(handler=_command_fuzz_run)
+
+    fuzz_replay_parser = fuzz_sub.add_parser(
+        "replay",
+        help="re-run every oracle on one saved (or external) case",
+    )
+    fuzz_replay_parser.add_argument(
+        "case",
+        help="corpus key, unique key prefix, or path to a .c file",
+    )
+    fuzz_replay_parser.set_defaults(handler=_command_fuzz_replay)
+
+    fuzz_shrink_parser = fuzz_sub.add_parser(
+        "shrink",
+        help="delta-debug a failing case to a minimal reproducer",
+    )
+    fuzz_shrink_parser.add_argument(
+        "case",
+        help="corpus key, unique key prefix, or path to a .c file",
+    )
+    fuzz_shrink_parser.add_argument(
+        "--max-checks",
+        type=int,
+        default=None,
+        help="cap on oracle re-runs during reduction",
+    )
+    fuzz_shrink_parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress diagnostic stderr output (stdout is unchanged)",
+    )
+    fuzz_shrink_parser.set_defaults(handler=_command_fuzz_shrink)
+
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or clear the persistent caches"
     )
@@ -471,6 +632,11 @@ def main(argv: list[str] | None = None) -> int:
     try:
         status = args.handler(args)
         _finish_observability()
+    except FrontendError as error:
+        # Rejected source is a user-facing diagnostic, not a crash:
+        # one `file:line:col: message` line on stderr, nonzero exit.
+        _error(error.diagnostic())
+        return 1
     except BrokenPipeError:  # e.g. `repro trace | head`
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0

@@ -39,6 +39,15 @@ class FrontendError(Exception):
         self.location = location or UNKNOWN_LOCATION
         super().__init__(f"{self.location}: {message}")
 
+    def diagnostic(self) -> str:
+        """The one-line ``file:line:col: message`` form of this error.
+
+        This is what CLI commands print (to stderr, with a nonzero
+        exit) instead of a traceback when user-supplied source is
+        rejected.
+        """
+        return f"{self.location}: {self.message}"
+
 
 class PreprocessorError(FrontendError):
     """Raised for malformed directives, unbalanced conditionals, etc."""

@@ -1,0 +1,419 @@
+"""Seeded grammar-based random C-subset program generator.
+
+Every generated program is a deterministic function of one integer
+seed: all choices are drawn from a single ``random.Random(seed)`` and
+rendering is a pure function of those choices, so the same seed always
+yields **byte-identical** source.  That property is what makes fuzz
+failures replayable from a seed alone and lets the runner assert that
+``--jobs 1`` and ``--jobs 4`` runs saw the same programs.
+
+The grammar covers the constructs the differential oracles care about:
+
+* straight-line arithmetic over ints (globals, locals, a global array);
+* ``if``/``else`` chains, ``for`` and ``while`` loops, ``switch`` with
+  fall-through, ``break``/``continue``;
+* direct calls, (mutual) recursion, and indirect calls through a
+  function-pointer dispatch table;
+* the libc calls the interpreter supports (``printf``, ``putchar``,
+  ``abs``, ``isdigit``, ``toupper``).
+
+Termination is guaranteed structurally, not hoped for:
+
+* a *program-level fuel* global (``__fz_fuel``) is decremented in every
+  function prologue and once per loop iteration, and bounds the total
+  dynamic work regardless of how calls and loops compose;
+* every function takes a ``depth`` parameter, decremented at each call
+  site and checked at entry, bounding the call stack;
+* loop trip counts are small constants, and loop counters are never
+  assigned inside their own body (``continue`` is only emitted where
+  the increment still runs, i.e. inside ``for`` loops).
+
+Division and modulo only ever use positive constant divisors, and
+array/table indices are wrapped with ``(e % N + N) % N``, so generated
+programs never trip interpreter runtime errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+#: Bump when the grammar changes in a way that alters the source a
+#: given seed produces (corpus metadata records it).
+GENERATOR_VERSION = 1
+
+#: Interpreter fuel ample for any generated program: program-level fuel
+#: bounds loop iterations + calls to a few thousand, each costing a
+#: bounded handful of blocks.
+DEFAULT_MACHINE_FUEL = 5_000_000
+
+#: Libc one-argument int->int functions safe for any int argument.
+_INT_FUNCTIONS = ("abs", "isdigit", "toupper")
+
+_BINARY_OPS = ("+", "-", "*", "&", "|", "^")
+_RELATIONS = ("<", ">", "<=", ">=", "==", "!=")
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """One generated fuzz case: the seed and the source it determines."""
+
+    seed: int
+    name: str
+    source: str
+
+
+def derive_case_seed(base_seed: int, index: int) -> int:
+    """The per-case seed of case ``index`` in a run seeded ``base_seed``.
+
+    Hash-derived rather than ``base_seed + index`` so neighbouring runs
+    (seed 0, seed 1) do not share most of their cases.
+    """
+    digest = hashlib.sha256(
+        f"repro-fuzz:{base_seed}:{index}".encode("ascii")
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def generate_source(seed: int) -> str:
+    """Generate C source text from ``seed`` (same seed, same bytes)."""
+    return _Generator(random.Random(seed), seed).generate()
+
+
+def generate_program(seed: int) -> GeneratedProgram:
+    """Generate one :class:`GeneratedProgram` from ``seed``."""
+    return GeneratedProgram(
+        seed=seed, name=f"fuzz_{seed}", source=generate_source(seed)
+    )
+
+
+class _FunctionContext:
+    """Names visible while generating one function body."""
+
+    def __init__(
+        self,
+        name: str,
+        params: tuple[str, ...],
+        locals_: list[str],
+        counters: list[str],
+        depth_expr: str,
+        allow_return: bool = True,
+    ):
+        self.name = name
+        self.params = params
+        self.locals = locals_
+        self.counters = counters
+        self.free_counters = list(counters)
+        self.depth_expr = depth_expr
+        self.allow_return = allow_return
+
+    @property
+    def readables(self) -> list[str]:
+        """Names an expression may read."""
+        return list(self.params) + self.locals + self.counters
+
+    @property
+    def writables(self) -> list[str]:
+        """Names a statement may assign (loop counters excluded: their
+        updates are structural, which is what keeps loops bounded)."""
+        return self.locals
+
+
+class _Generator:
+    """One generation run; all randomness comes from ``self.rng``."""
+
+    def __init__(self, rng: random.Random, seed: int):
+        self.rng = rng
+        self.seed = seed
+        self.function_count = rng.randint(2, 5)
+        self.functions = [f"fn{i}" for i in range(self.function_count)]
+        self.global_count = rng.randint(2, 4)
+        self.globals = [f"g{i}" for i in range(self.global_count)]
+        self.mem_size = rng.choice((8, 16))
+        self.table_size = rng.randint(2, 4)
+        self.program_fuel = rng.randint(1500, 5000)
+        self.lines: list[str] = []
+        self.indent = 0
+
+    # ------------------------------------------------------------------
+    # Rendering helpers.
+
+    def emit(self, text: str = "") -> None:
+        self.lines.append(("    " * self.indent + text) if text else "")
+
+    def generate(self) -> str:
+        self.emit(
+            f"/* generated by repro fuzz "
+            f"(seed={self.seed}, grammar v{GENERATOR_VERSION}) */"
+        )
+        self.emit(f"int __fz_fuel = {self.program_fuel};")
+        for name in self.globals:
+            self.emit(f"int {name} = {self.rng.randint(-9, 99)};")
+        self.emit(f"int mem[{self.mem_size}];")
+        self.emit(f"int (*table[{self.table_size}])(int x, int depth);")
+        for name in self.functions:
+            self.emit(f"int {name}(int x, int depth);")
+        self.emit()
+        for name in self.functions:
+            self._gen_function(name)
+        self._gen_main()
+        return "\n".join(self.lines) + "\n"
+
+    # ------------------------------------------------------------------
+    # Expressions.
+
+    def _const(self) -> str:
+        return str(self.rng.randint(-9, 99))
+
+    def _gen_expr(self, ctx: _FunctionContext, depth: int) -> str:
+        """A side-effect-free int expression of bounded depth."""
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.30:
+            if rng.random() < 0.35:
+                return self._const()
+            pool = ctx.readables + self.globals
+            name = rng.choice(pool)
+            if rng.random() < 0.15:
+                index = self._gen_expr(ctx, 0)
+                size = self.mem_size
+                return f"mem[(({index}) % {size} + {size}) % {size}]"
+            return name
+        roll = rng.random()
+        if roll < 0.10:
+            return f"-({self._gen_expr(ctx, depth - 1)})"
+        if roll < 0.16:
+            return f"!({self._gen_expr(ctx, depth - 1)})"
+        if roll < 0.26:
+            divisor = rng.choice((3, 5, 7, 13))
+            op = rng.choice(("/", "%"))
+            return f"(({self._gen_expr(ctx, depth - 1)}) {op} {divisor})"
+        if roll < 0.32:
+            shift = rng.randint(1, 4)
+            op = rng.choice(("<<", ">>"))
+            return f"(({self._gen_expr(ctx, depth - 1)}) {op} {shift})"
+        if roll < 0.40:
+            name = rng.choice(_INT_FUNCTIONS)
+            return f"{name}({self._gen_expr(ctx, depth - 1)})"
+        left = self._gen_expr(ctx, depth - 1)
+        right = self._gen_expr(ctx, depth - 1)
+        return f"({left} {rng.choice(_BINARY_OPS)} {right})"
+
+    def _gen_condition(self, ctx: _FunctionContext) -> str:
+        rng = self.rng
+        left = self._gen_expr(ctx, 1)
+        right = self._gen_expr(ctx, 1)
+        clause = f"{left} {rng.choice(_RELATIONS)} {right}"
+        if rng.random() < 0.25:
+            extra = (
+                f"{self._gen_expr(ctx, 1)} "
+                f"{rng.choice(_RELATIONS)} {self._gen_expr(ctx, 1)}"
+            )
+            joiner = rng.choice(("&&", "||"))
+            return f"{clause} {joiner} {extra}"
+        return clause
+
+    def _lvalue(self, ctx: _FunctionContext) -> str:
+        rng = self.rng
+        pool = ctx.writables + self.globals
+        if rng.random() < 0.15:
+            index = self._gen_expr(ctx, 0)
+            size = self.mem_size
+            return f"mem[(({index}) % {size} + {size}) % {size}]"
+        return rng.choice(pool)
+
+    def _call_expr(self, ctx: _FunctionContext) -> str:
+        """A call to a generated function, direct or through the table."""
+        rng = self.rng
+        argument = self._gen_expr(ctx, 1)
+        if rng.random() < 0.35:
+            size = self.table_size
+            index = self._gen_expr(ctx, 0)
+            selector = f"(({index}) % {size} + {size}) % {size}"
+            return f"table[{selector}]({argument}, {ctx.depth_expr})"
+        return f"{rng.choice(self.functions)}({argument}, {ctx.depth_expr})"
+
+    # ------------------------------------------------------------------
+    # Statements.
+
+    def _gen_statement(
+        self,
+        ctx: _FunctionContext,
+        nesting: int,
+        loop_kinds: list[str],
+        in_switch: bool,
+    ) -> None:
+        rng = self.rng
+        roll = rng.random()
+        can_nest = nesting < 3
+        if roll < 0.34:
+            self.emit(f"{self._lvalue(ctx)} = {self._gen_expr(ctx, 2)};")
+        elif roll < 0.44:
+            self.emit(f"{self._lvalue(ctx)} = {self._call_expr(ctx)};")
+        elif roll < 0.58 and can_nest:
+            self._gen_if(ctx, nesting, loop_kinds, in_switch)
+        elif roll < 0.70 and can_nest and ctx.free_counters:
+            self._gen_loop(ctx, nesting, loop_kinds)
+        elif roll < 0.78 and can_nest:
+            self._gen_switch(ctx, nesting, loop_kinds)
+        elif roll < 0.84:
+            statement = rng.choice(
+                (
+                    f'printf("%d\\n", {self._gen_expr(ctx, 1)});',
+                    f"putchar(48 + (({self._gen_expr(ctx, 1)})"
+                    f" % 10 + 10) % 10);",
+                )
+            )
+            self.emit(statement)
+        elif roll < 0.90 and loop_kinds and not in_switch:
+            # `continue` only where the loop increment still runs: the
+            # nearest loop must be a `for` (a `while` body reaching its
+            # increment is what bounds the trip count).
+            if loop_kinds[-1] == "for" and rng.random() < 0.5:
+                self.emit("continue;")
+            else:
+                self.emit("break;")
+        elif roll < 0.94 and ctx.allow_return:
+            self.emit(f"return {self._gen_expr(ctx, 2)};")
+        else:
+            self.emit(f"{self._lvalue(ctx)} = {self._gen_expr(ctx, 2)};")
+
+    def _gen_block(
+        self,
+        ctx: _FunctionContext,
+        nesting: int,
+        loop_kinds: list[str],
+        in_switch: bool = False,
+        min_statements: int = 1,
+    ) -> None:
+        for _ in range(self.rng.randint(min_statements, 4)):
+            self._gen_statement(ctx, nesting, loop_kinds, in_switch)
+
+    def _gen_if(
+        self,
+        ctx: _FunctionContext,
+        nesting: int,
+        loop_kinds: list[str],
+        in_switch: bool,
+    ) -> None:
+        self.emit(f"if ({self._gen_condition(ctx)}) {{")
+        self.indent += 1
+        self._gen_block(ctx, nesting + 1, loop_kinds, in_switch)
+        self.indent -= 1
+        if self.rng.random() < 0.5:
+            self.emit("} else {")
+            self.indent += 1
+            self._gen_block(ctx, nesting + 1, loop_kinds, in_switch)
+            self.indent -= 1
+        self.emit("}")
+
+    def _gen_loop(
+        self, ctx: _FunctionContext, nesting: int, loop_kinds: list[str]
+    ) -> None:
+        rng = self.rng
+        counter = ctx.free_counters.pop()
+        trips = rng.randint(2, 8)
+        kind = rng.choice(("for", "while"))
+        if kind == "for":
+            self.emit(
+                f"for ({counter} = 0; {counter} < {trips}; "
+                f"{counter} = {counter} + 1) {{"
+            )
+        else:
+            self.emit(f"{counter} = 0;")
+            self.emit(f"while ({counter} < {trips}) {{")
+        self.indent += 1
+        # Program-level fuel: one tick per iteration bounds total loop
+        # work across the whole run, whatever the nesting.
+        self.emit("__fz_fuel = __fz_fuel - 1;")
+        self.emit("if (__fz_fuel <= 0) { break; }")
+        self._gen_block(ctx, nesting + 1, loop_kinds + [kind])
+        if kind == "while":
+            self.emit(f"{counter} = {counter} + 1;")
+        self.indent -= 1
+        self.emit("}")
+        ctx.free_counters.append(counter)
+
+    def _gen_switch(
+        self, ctx: _FunctionContext, nesting: int, loop_kinds: list[str]
+    ) -> None:
+        rng = self.rng
+        arms = rng.randint(2, 4)
+        subject = self._gen_expr(ctx, 1)
+        self.emit(f"switch ((({subject}) % {arms} + {arms}) % {arms}) {{")
+        for value in range(arms):
+            if value == arms - 1 and rng.random() < 0.5:
+                self.emit("default:")
+            else:
+                self.emit(f"case {value}:")
+            self.indent += 1
+            self._gen_block(ctx, nesting + 1, loop_kinds, in_switch=True)
+            # Occasional fall-through (never off the end of the switch).
+            if value == arms - 1 or rng.random() < 0.8:
+                self.emit("break;")
+            self.indent -= 1
+        self.emit("}")
+
+    # ------------------------------------------------------------------
+    # Functions.
+
+    def _gen_function(self, name: str) -> None:
+        rng = self.rng
+        locals_ = [f"a{i}" for i in range(rng.randint(1, 3))]
+        counters = [f"i{i}" for i in range(rng.randint(1, 3))]
+        ctx = _FunctionContext(
+            name, ("x", "depth"), locals_, counters, "depth - 1"
+        )
+        self.emit(f"int {name}(int x, int depth)")
+        self.emit("{")
+        self.indent += 1
+        for local in locals_:
+            self.emit(f"int {local} = {self._const()};")
+        for counter in counters:
+            self.emit(f"int {counter} = 0;")
+        # Fuel and recursion guards: checked before any other work so
+        # termination never depends on the generated body.
+        self.emit("if (__fz_fuel <= 0) { return x; }")
+        self.emit("__fz_fuel = __fz_fuel - 1;")
+        self.emit(f"if (depth <= 0) {{ return x + {self._const()}; }}")
+        self._gen_block(ctx, 0, [], min_statements=2)
+        self.emit(f"return {self._gen_expr(ctx, 2)};")
+        self.indent -= 1
+        self.emit("}")
+        self.emit()
+
+    def _gen_main(self) -> None:
+        rng = self.rng
+        locals_ = [f"a{i}" for i in range(rng.randint(2, 3))]
+        counters = [f"i{i}" for i in range(rng.randint(1, 3))]
+        ctx = _FunctionContext(
+            "main",
+            (),
+            locals_,
+            counters,
+            str(rng.randint(2, 5)),
+            # No early return from main: every case must reach its
+            # forced calls and the final checksum, or most seeds would
+            # produce near-empty executions.
+            allow_return=False,
+        )
+        self.emit("int main(void)")
+        self.emit("{")
+        self.indent += 1
+        for local in locals_:
+            self.emit(f"int {local} = {self._const()};")
+        for counter in counters:
+            self.emit(f"int {counter} = 0;")
+        # The dispatch table is filled before any generated statement
+        # runs, so indirect calls are always well-defined.
+        for slot in range(self.table_size):
+            self.emit(f"table[{slot}] = {rng.choice(self.functions)};")
+        # Every case exercises the call machinery at least twice.
+        for _ in range(rng.randint(2, 4)):
+            self.emit(f"{rng.choice(locals_)} = {self._call_expr(ctx)};")
+        self._gen_block(ctx, 0, [], min_statements=3)
+        checksum = " + ".join(self.globals + [locals_[0], "mem[0]"])
+        self.emit(f'printf("%d\\n", {checksum});')
+        self.emit("return 0;")
+        self.indent -= 1
+        self.emit("}")

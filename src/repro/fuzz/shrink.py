@@ -1,0 +1,217 @@
+"""Delta-debugging reduction of failing fuzz cases.
+
+Classic ddmin, applied twice at different granularities:
+
+1. **function granularity** — top-level units (function definitions,
+   global declarations) are identified by brace matching and removed
+   in chunks;
+2. **statement granularity** — the surviving source is reduced line by
+   line (generated programs put one statement per line, so lines are
+   statements).
+
+A candidate reduction is accepted only when the *predicate* holds on
+it, and every predicate evaluation compiles the candidate into a fresh
+:class:`~repro.program.Program` — hence a fresh
+:class:`~repro.analysis.session.AnalysisSession` — so no memoized
+artifact of a larger variant can vouch for a smaller one.  Candidates
+that no longer compile simply fail the predicate and are skipped; ddmin
+routes around them.
+
+The default predicate, :func:`oracles_still_fail`, re-runs the oracle
+suite and requires at least one of the *originally failing* oracles to
+fail again, which keeps the reducer anchored to the bug being chased
+rather than sliding onto an unrelated failure it introduced itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.fuzz.oracles import check_program
+from repro.obs import incr, span
+
+#: A shrinking predicate: True when the candidate still "fails".
+Predicate = Callable[[str], bool]
+
+#: Upper bound on predicate evaluations per shrink run; delta debugging
+#: is quadratic in the worst case and fuzz programs are small, so this
+#: is a safety net, not a tuning knob.
+DEFAULT_MAX_CHECKS = 2_500
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one reduction."""
+
+    source: str
+    original_lines: int
+    reduced_lines: int
+    checks: int
+
+    @property
+    def reduced(self) -> bool:
+        return self.reduced_lines < self.original_lines
+
+
+def oracles_still_fail(
+    original_oracles: Sequence[str],
+) -> Predicate:
+    """Predicate: one of ``original_oracles`` still fails on the
+    candidate (compile errors count as *not* failing — a reduction
+    must stay a valid program)."""
+    anchored = set(original_oracles)
+
+    def predicate(candidate: str) -> bool:
+        report = check_program(candidate, "<shrink>")
+        if any(f.oracle == "frontend" for f in report.failures):
+            return False
+        return bool(anchored & set(report.failing_oracles))
+
+    return predicate
+
+
+# ----------------------------------------------------------------------
+# Source chunking.
+
+
+def top_level_chunks(source: str) -> list[list[str]]:
+    """Split source lines into top-level units by brace depth.
+
+    Every maximal run of lines that starts at depth zero and returns
+    to depth zero (a function definition, or a run of global
+    declarations) becomes one chunk.
+    """
+    chunks: list[list[str]] = []
+    current: list[str] = []
+    depth = 0
+    for line in source.splitlines():
+        current.append(line)
+        depth += line.count("{") - line.count("}")
+        if depth == 0 and current and not line.strip() == "":
+            chunks.append(current)
+            current = []
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+def _join(chunks: Iterable[Sequence[str]]) -> str:
+    lines = [line for chunk in chunks for line in chunk]
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# ddmin.
+
+
+class _Budget:
+    """Caps predicate evaluations across both granularities."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.used = 0
+
+    def spend(self) -> bool:
+        if self.used >= self.limit:
+            return False
+        self.used += 1
+        return True
+
+
+def _ddmin(
+    pieces: list,
+    render: Callable[[list], str],
+    predicate: Predicate,
+    budget: _Budget,
+) -> list:
+    """Minimize ``pieces`` (any list) under ``predicate(render(...))``.
+
+    Standard delta debugging: try dropping chunks at increasing
+    granularity until 1-minimal (no single piece can be removed).
+    """
+    granularity = 2
+    while len(pieces) >= 2:
+        chunk_size = max(1, len(pieces) // granularity)
+        reduced = False
+        start = 0
+        while start < len(pieces):
+            candidate = pieces[:start] + pieces[start + chunk_size:]
+            if not candidate:
+                start += chunk_size
+                continue
+            if not budget.spend():
+                return pieces
+            incr("fuzz.shrink.checks")
+            if predicate(render(candidate)):
+                pieces = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                # Re-test from the same offset: the next chunk slid in.
+            else:
+                start += chunk_size
+        if not reduced:
+            if granularity >= len(pieces):
+                break
+            granularity = min(len(pieces), granularity * 2)
+    return pieces
+
+
+def shrink_source(
+    source: str,
+    predicate: Predicate,
+    max_checks: int = DEFAULT_MAX_CHECKS,
+) -> ShrinkResult:
+    """Reduce ``source`` while ``predicate`` keeps holding.
+
+    The input itself must satisfy the predicate; otherwise the result
+    is the input unchanged with zero checks spent.
+    """
+    original_lines = source.count("\n")
+    budget = _Budget(max_checks)
+    with span("fuzz.shrink", lines=original_lines):
+        if not budget.spend() or not predicate(source):
+            return ShrinkResult(source, original_lines, original_lines, budget.used)
+        # Alternate granularities to a fixpoint: a function whose body
+        # the line pass hollowed out becomes removable as a whole unit
+        # only on the next chunk pass.
+        reduced = source
+        while budget.used < budget.limit:
+            before = reduced.count("\n")
+            # Pass 1: whole top-level units (functions, globals).
+            chunks = top_level_chunks(reduced)
+            chunks = _ddmin(chunks, _join, predicate, budget)
+            # Pass 2: individual lines (statements).
+            lines = [line for chunk in chunks for line in chunk]
+            lines = _ddmin(
+                lines, lambda ls: "\n".join(ls) + "\n", predicate, budget
+            )
+            reduced = "\n".join(lines) + "\n"
+            if reduced.count("\n") >= before:
+                break
+    return ShrinkResult(
+        source=reduced,
+        original_lines=original_lines,
+        reduced_lines=reduced.count("\n"),
+        checks=budget.used,
+    )
+
+
+def shrink_case(
+    source: str,
+    failing_oracles: Optional[Sequence[str]] = None,
+    max_checks: int = DEFAULT_MAX_CHECKS,
+) -> ShrinkResult:
+    """Reduce a failing case, anchored to its failing oracles.
+
+    When ``failing_oracles`` is None the case is checked first and its
+    current failures become the anchor.
+    """
+    if failing_oracles is None:
+        failing_oracles = check_program(source, "<shrink>").failing_oracles
+    if not failing_oracles:
+        lines = source.count("\n")
+        return ShrinkResult(source, lines, lines, checks=1)
+    return shrink_source(
+        source, oracles_still_fail(failing_oracles), max_checks
+    )

@@ -1,0 +1,107 @@
+"""Tests for Graphviz DOT rendering of CFGs (repro.cfg.dot)."""
+
+from __future__ import annotations
+
+from repro.cfg import cfg_to_dot
+from repro.fuzz import generate_source
+from repro.program import Program
+
+BRANCHY = """
+int classify(int x) {
+    int kind = 0;
+    if (x > 0) {
+        kind = 1;
+    } else {
+        kind = 2;
+    }
+    switch (kind) {
+    case 1:
+        return 10;
+    case 2:
+        return 20;
+    default:
+        return 0;
+    }
+}
+int main(void) {
+    int i;
+    for (i = 0; i < 3; i = i + 1) {
+        classify(i - 1);
+    }
+    return 0;
+}
+"""
+
+
+def _cfg(source: str, function: str):
+    return Program.from_source(source, "<dot>").cfg(function)
+
+
+class TestCfgToDot:
+    def test_renders_digraph_with_all_blocks_and_edges(self):
+        cfg = _cfg(BRANCHY, "classify")
+        dot = cfg_to_dot(cfg)
+        assert dot.startswith('digraph "classify" {')
+        assert dot.endswith("}")
+        for block_id in cfg.blocks:
+            assert f"n{block_id} [label=" in dot
+        # Conditional edges carry T/F labels, switch arms their values.
+        assert '[label="T"]' in dot
+        assert '[label="F"]' in dot
+        assert '[label="default"]' in dot
+
+    def test_entry_block_is_emphasized(self):
+        cfg = _cfg(BRANCHY, "classify")
+        dot = cfg_to_dot(cfg)
+        assert f'n{cfg.entry_id} [label=' in dot
+        assert "penwidth=2" in dot
+
+    def test_output_is_deterministic(self):
+        first = cfg_to_dot(_cfg(BRANCHY, "main"))
+        second = cfg_to_dot(_cfg(BRANCHY, "main"))
+        assert first == second
+
+    def test_block_annotations_add_label_lines(self):
+        cfg = _cfg(BRANCHY, "classify")
+        annotations = {cfg.entry_id: "freq=12.5"}
+        dot = cfg_to_dot(cfg, block_annotations=annotations)
+        assert "\\nfreq=12.5" in dot
+
+    def test_edge_annotations_replace_fallback_labels(self):
+        cfg = _cfg(BRANCHY, "classify")
+        edges = [
+            (block.block_id, successor)
+            for block in cfg
+            for successor in block.successor_ids()
+        ]
+        annotated = {edge: "p=0.75" for edge in edges}
+        dot = cfg_to_dot(cfg, edge_annotations=annotated)
+        assert '[label="p=0.75"]' in dot
+        assert '[label="T"]' not in dot
+
+    def test_every_edge_targets_an_emitted_node(self):
+        cfg = _cfg(BRANCHY, "main")
+        dot = cfg_to_dot(cfg)
+        nodes = {
+            line.split()[0]
+            for line in dot.splitlines()
+            if "[label=" in line and "->" not in line
+        }
+        for line in dot.splitlines():
+            if "->" not in line:
+                continue
+            source, _, rest = line.strip().partition(" -> ")
+            target = rest.split(";")[0].split(" ")[0]
+            assert source in nodes
+            assert target in nodes
+
+    def test_fuzz_generated_programs_render(self):
+        for seed in (0, 7, 74):
+            program = Program.from_source(
+                generate_source(seed), f"fuzz_{seed}"
+            )
+            for name in program.function_names:
+                dot = cfg_to_dot(program.cfg(name))
+                assert dot.startswith(f'digraph "{name}"')
+                assert dot.endswith("}")
+                assert cfg_to_dot(program.cfg(name)) == dot

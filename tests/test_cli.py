@@ -131,15 +131,18 @@ class TestObservabilityCli:
         cache_dir = tmp_path / "cache"
         monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
         monkeypatch.delenv("REPRO_ANALYSIS_CACHE_DIR", raising=False)
+        monkeypatch.delenv("REPRO_FUZZ_DIR", raising=False)
         os.makedirs(cache_dir)
         (cache_dir / "entry.json").write_text("{}")
         assert main(["cache", "info"]) == 0
         output = capsys.readouterr().out
         assert "profile cache:" in output
         assert "analysis cache:" in output
+        assert "fuzz corpus:" in output
         assert "oldest:" in output and "newest:" in output
-        # The profile cache has one entry; the analysis cache is empty.
-        assert output.count("oldest:    -") == 1
+        # The profile cache has one entry; the analysis cache and the
+        # fuzz corpus are empty.
+        assert output.count("oldest:    -") == 2
 
     def test_cache_clear_reports_per_cache(
         self, tmp_path, monkeypatch, capsys
@@ -147,12 +150,104 @@ class TestObservabilityCli:
         cache_dir = tmp_path / "cache"
         monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
         monkeypatch.delenv("REPRO_ANALYSIS_CACHE_DIR", raising=False)
+        monkeypatch.delenv("REPRO_FUZZ_DIR", raising=False)
         os.makedirs(cache_dir / "analysis")
+        os.makedirs(cache_dir / "fuzz")
         (cache_dir / "entry.json").write_text("{}")
         (cache_dir / "analysis" / "entry.json").write_text("{}")
+        (cache_dir / "fuzz" / ("a" * 64 + ".c")).write_text("int x;\n")
         assert main(["cache", "clear"]) == 0
         output = capsys.readouterr().out
         assert "profile cache: removed 1 entries" in output
         assert "analysis cache: removed 1 entries" in output
+        assert "fuzz corpus: removed 1 entries" in output
         assert str(cache_dir) in output
         assert not (cache_dir / "entry.json").exists()
+        assert not (cache_dir / "fuzz" / ("a" * 64 + ".c")).exists()
+
+
+class TestFuzzCli:
+    @pytest.fixture
+    def fuzz_dir(self, tmp_path, monkeypatch):
+        corpus = tmp_path / "fuzz-corpus"
+        monkeypatch.setenv("REPRO_FUZZ_DIR", str(corpus))
+        return corpus
+
+    def test_fuzz_run_is_deterministic_across_jobs(self, fuzz_dir, capsys):
+        assert main(["fuzz", "run", "--seed", "0", "--count", "4",
+                     "--jobs", "1", "--quiet"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["fuzz", "run", "--seed", "0", "--count", "4",
+                     "--jobs", "2", "--quiet"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+        assert "0 failing" in serial
+        assert "digest=" in serial
+
+    def test_fuzz_run_diag_goes_to_stderr(self, fuzz_dir, capsys):
+        assert main(["fuzz", "run", "--count", "1", "--jobs", "1"]) == 0
+        captured = capsys.readouterr()
+        assert "jobs" not in captured.out
+        assert "corpus" in captured.err
+
+    def test_fuzz_run_rejects_bad_count(self, fuzz_dir, capsys):
+        assert main(["fuzz", "run", "--count", "0"]) == 2
+        assert "--count" in capsys.readouterr().err
+
+    def test_fuzz_replay_passing_case(self, fuzz_dir, capsys):
+        from repro.fuzz import generate_source, save_case
+
+        key = save_case(generate_source(74), {"seed": 74})
+        assert main(["fuzz", "replay", key[:12]]) == 0
+        output = capsys.readouterr().out
+        assert "flow_conservation" in output
+        assert "0 failing oracles" in output
+
+    def test_fuzz_replay_unknown_case(self, fuzz_dir, capsys):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "replay", "feedface"])
+
+    def test_fuzz_replay_invalid_source_prints_diagnostic(
+        self, fuzz_dir, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad.c"
+        bad.write_text("int main(void) {\n    return 0 +;\n}\n")
+        assert main(["fuzz", "replay", str(bad)]) == 1
+        captured = capsys.readouterr()
+        # Satellite: one file:line:col diagnostic line, no traceback.
+        assert captured.err.strip() == (
+            f"{bad}:2:15: unexpected token ';' in expression"
+        )
+
+    def test_fuzz_shrink_passing_case_refuses(self, fuzz_dir, capsys):
+        from repro.fuzz import generate_source, save_case
+
+        key = save_case(generate_source(74), {"seed": 74})
+        assert main(["fuzz", "shrink", key]) == 2
+        assert "nothing to shrink" in capsys.readouterr().err
+
+    def test_fuzz_shrink_reduces_failing_case(
+        self, fuzz_dir, tmp_path, monkeypatch, capsys
+    ):
+        import repro.analysis.session as session_mod
+        from repro.fuzz import generate_source, save_case
+
+        monkeypatch.setenv(
+            "REPRO_ANALYSIS_CACHE_DIR", str(tmp_path / "analysis")
+        )
+        real_solve = session_mod.solve_flow_system
+
+        def bad_solve(cfg, transitions, method="auto"):
+            flows = real_solve(cfg, transitions, method)
+            return {k: v * 1.35 + 2.0 for k, v in flows.items()}
+
+        monkeypatch.setattr(
+            session_mod, "solve_flow_system", bad_solve
+        )
+        key = save_case(generate_source(74), {"seed": 74})
+        assert main(
+            ["fuzz", "shrink", key, "--max-checks", "600", "--quiet"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert f"shrunk {key[:16]}" in output
+        assert (fuzz_dir / f"{key}.min.c").exists()
