@@ -49,3 +49,31 @@ def run_once(benchmark, function, *args, **kwargs):
     return benchmark.pedantic(
         function, args=args, kwargs=kwargs, rounds=1, iterations=1
     )
+
+
+def record_bench_report(name: str, payload: dict) -> None:
+    """Append one benchmark module's JSON report to the run ledger.
+
+    The payload's ``seconds`` map becomes the run's stage rows and
+    every other numeric field its score rows, so benchmark
+    trajectories live in the same store — and the same ``repro
+    history``/``repro report`` surfaces — as experiment accuracy.
+    """
+    from repro.obs import ledger
+
+    if not ledger.ledger_enabled():
+        return
+    seconds = payload.get("seconds") or {}
+    rest = {
+        key: value for key, value in payload.items() if key != "seconds"
+    }
+    ledger.record_run(
+        "bench",
+        label=name,
+        jobs=int(payload.get("jobs_available") or 1),
+        scores={name: ledger.flatten_scalars(rest)},
+        stages={
+            str(stage): float(value)
+            for stage, value in seconds.items()
+        },
+    )

@@ -61,29 +61,30 @@ def _emit_report():
     yield
     if not _REPORT:
         return
-    payload = json.dumps(
-        {
-            "jobs_available": os.cpu_count() or 1,
-            "smoke": _SMOKE,
-            "programs": len(_program_names()),
-            "seconds": {
-                key: round(value, 3)
-                for key, value in sorted(_REPORT.items())
-                if isinstance(value, float)
-            },
-            "counts": {
-                key: value
-                for key, value in sorted(_REPORT.items())
-                if isinstance(value, int)
-            },
+    report = {
+        "jobs_available": os.cpu_count() or 1,
+        "smoke": _SMOKE,
+        "programs": len(_program_names()),
+        "seconds": {
+            key: round(value, 3)
+            for key, value in sorted(_REPORT.items())
+            if isinstance(value, float)
         },
-        indent=2,
-    )
+        "counts": {
+            key: value
+            for key, value in sorted(_REPORT.items())
+            if isinstance(value, int)
+        },
+    }
+    payload = json.dumps(report, indent=2)
     print(f"\nanalysis benchmark report:\n{payload}")
     target = os.environ.get("REPRO_BENCH_ANALYSIS_JSON")
     if target:
         with open(target, "w", encoding="utf-8") as handle:
             handle.write(payload + "\n")
+    from conftest import record_bench_report
+
+    record_bench_report("bench-analysis", report)
 
 
 def _timed(name: str, function, *args, **kwargs):

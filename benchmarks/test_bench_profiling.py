@@ -32,18 +32,19 @@ def _emit_report():
     yield
     if not _REPORT:
         return
-    payload = json.dumps(
-        {
-            "jobs_available": os.cpu_count() or 1,
-            "seconds": {k: round(v, 3) for k, v in sorted(_REPORT.items())},
-        },
-        indent=2,
-    )
+    report = {
+        "jobs_available": os.cpu_count() or 1,
+        "seconds": {k: round(v, 3) for k, v in sorted(_REPORT.items())},
+    }
+    payload = json.dumps(report, indent=2)
     print(f"\nprofiling benchmark report:\n{payload}")
     target = os.environ.get("REPRO_BENCH_JSON")
     if target:
         with open(target, "w", encoding="utf-8") as handle:
             handle.write(payload + "\n")
+    from conftest import record_bench_report
+
+    record_bench_report("bench-profiling", report)
 
 
 def _timed(name: str, function, *args, **kwargs):

@@ -18,6 +18,12 @@ Usage (after installing the package)::
     python -m repro run all --trace         # record a span trace
     python -m repro trace                   # render the recorded trace
     python -m repro stats --format prom     # metrics from the last run
+    python -m repro history --limit 10      # past runs from the ledger
+    python -m repro history show latest     # one run in full detail
+    python -m repro compare latest~1 latest # score/stage drift check
+    python -m repro compare latest --baseline baselines/scores.json \\
+        --fail-on-regression                # the CI regression gate
+    python -m repro report --html out.html  # self-contained dashboard
 
 Profiling is cached persistently (see ``repro.profiles.cache``) and can
 fan out over worker processes; ``--jobs``/``REPRO_JOBS`` control the
@@ -28,12 +34,19 @@ record a span trace and write it as JSONL (``REPRO_TRACE_FILE``,
 default ``repro-trace.jsonl``); metrics are always on and persisted at
 the end of each command for ``repro stats``; ``--quiet``/``REPRO_QUIET``
 silence diagnostic stderr chatter without touching stdout.
+
+Every ``run``/``run all``/``fuzz run`` invocation (and the benchmark
+harness) appends one run to the persistent ledger
+(:mod:`repro.obs.ledger`; ``REPRO_LEDGER=0`` disables,
+``REPRO_LEDGER_DIR`` relocates); ``repro history``, ``repro compare``,
+and ``repro report`` read it back.
 """
 
 from __future__ import annotations
 
 import argparse
 import datetime
+import json
 import os
 import sys
 
@@ -47,8 +60,9 @@ from repro.experiments import (
     EXPERIMENTS,
     RunAllTimings,
     run_all,
-    run_experiment,
+    run_one,
 )
+from repro.obs import ledger
 from repro.profiles import cache as profile_cache
 from repro.suite import (
     SUITE,
@@ -83,11 +97,15 @@ def _resolve_jobs_or_fail(jobs: int | None) -> int:
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    started_at = ledger.now_iso()
     if args.experiment == "all":
         timings = RunAllTimings() if args.timings else None
         print(
             run_all(
-                jobs=_resolve_jobs_or_fail(args.jobs), timings=timings
+                jobs=_resolve_jobs_or_fail(args.jobs),
+                timings=timings,
+                record=True,
+                started_at=started_at,
             )
         )
         if timings is not None:
@@ -99,7 +117,9 @@ def _command_run(args: argparse.Namespace) -> int:
         _error("repro: --timings only applies to 'run all'")
         return 2
     try:
-        print(run_experiment(args.experiment))
+        print(
+            run_one(args.experiment, record=True, started_at=started_at)
+        )
     except KeyError as error:
         _error(str(error))
         return 2
@@ -232,6 +252,15 @@ def _command_cache(args: argparse.Namespace) -> int:
             print(f"  size:      {info['bytes']} bytes")
             print(f"  oldest:    {_format_mtime(info['oldest_mtime'])}")
             print(f"  newest:    {_format_mtime(info['newest_mtime'])}")
+        info = ledger.ledger_info()
+        print("run ledger:")
+        print(f"  directory: {info['directory']}")
+        print(f"  enabled:   {'yes' if info['enabled'] else 'no'}")
+        print(f"  runs:      {info['runs']}")
+        print(f"  rows:      {info['score_rows']} score rows")
+        print(f"  size:      {info['bytes']} bytes")
+        print(f"  oldest:    {info['oldest_run'] or '-'}")
+        print(f"  newest:    {info['newest_run'] or '-'}")
         return 0
     for title, info, clear in (
         ("profile cache", profile_cache.cache_info(), profile_cache.clear_cache),
@@ -247,6 +276,12 @@ def _command_cache(args: argparse.Namespace) -> int:
             f"{title}: removed {removed} entries "
             f"({info['bytes']} bytes) from {info['directory']}"
         )
+    info = ledger.ledger_info()
+    removed = ledger.clear_ledger()
+    print(
+        f"run ledger: removed {removed} runs "
+        f"({info['bytes']} bytes) from {info['directory']}"
+    )
     return 0
 
 
@@ -268,6 +303,22 @@ def _command_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _ledger_stat_gauges() -> dict[str, dict]:
+    """Ledger-derived counters for ``repro stats`` (size and row
+    totals of the longitudinal store, not of one run)."""
+    info = ledger.ledger_info()
+    if not info["runs"] and not info["enabled"]:
+        return {}
+    return {
+        "ledger.runs": {"type": "gauge", "value": info["runs"]},
+        "ledger.score_rows": {
+            "type": "gauge",
+            "value": info["score_rows"],
+        },
+        "ledger.bytes": {"type": "gauge", "value": info["bytes"]},
+    }
+
+
 def _command_stats(args: argparse.Namespace) -> int:
     snapshot = obs.read_stats(args.file)
     if snapshot is None:
@@ -276,10 +327,164 @@ def _command_stats(args: argparse.Namespace) -> int:
             "(run a command first, e.g. 'repro run all')"
         )
         return 2
+    snapshot = dict(snapshot)
+    snapshot.update(_ledger_stat_gauges())
     if args.format == "prom":
         sys.stdout.write(obs.render_prometheus(snapshot))
     else:
         print(obs.render_metrics(snapshot))
+    return 0
+
+
+#: The committed regression baseline (``repro compare --baseline``
+#: default when present; also picked up by ``repro report``).
+DEFAULT_BASELINE = os.path.join("baselines", "scores.json")
+
+
+def _command_history(args: argparse.Namespace) -> int:
+    if getattr(args, "history_command", None) == "show":
+        return _history_show(args)
+    runs = ledger.list_runs(limit=args.limit, experiment=args.experiment)
+    if not runs:
+        print("(no runs recorded)")
+        return 0
+    print(
+        f"{'run':>4}  {'started':25}  {'kind':8} {'label':16} "
+        f"{'jobs':>4}  {'git':10} {'exps':>4}"
+    )
+    for run in runs:
+        print(
+            f"{run.id:>4}  {run.started_at:25}  {run.kind:8} "
+            f"{run.label:16} {run.jobs:>4}  {run.git_sha:10} "
+            f"{run.experiments:>4}"
+        )
+    return 0
+
+
+def _resolve_run_or_fail(reference: str) -> ledger.RunRow | None:
+    """Resolve a run reference, or print the error and return None."""
+    try:
+        return ledger.resolve_run(reference)
+    except KeyError as error:
+        _error(f"repro: {error.args[0]}")
+        return None
+
+
+def _history_show(args: argparse.Namespace) -> int:
+    run = _resolve_run_or_fail(args.run)
+    if run is None:
+        return 2
+    detail = ledger.run_detail(run)
+    if args.json:
+        print(json.dumps(detail.to_dict(), indent=2, sort_keys=True))
+        return 0
+    row = detail.row
+    print(f"run {row.id}: {row.kind} {row.label}".rstrip())
+    print(f"  started:  {row.started_at}")
+    print(f"  git:      {row.git_sha or '-'}")
+    print(f"  python:   {row.python} on {row.platform}")
+    print(
+        f"  jobs:     {row.jobs}  "
+        f"(cache {'on' if row.cache_enabled else 'off'})"
+    )
+    for experiment in sorted(detail.scores):
+        print(f"  scores [{experiment}]:")
+        for metric, value in sorted(detail.scores[experiment].items()):
+            print(f"    {metric:40} {value:.6g}")
+    if detail.stages:
+        print("  stages:")
+        for stage, seconds in sorted(detail.stages.items()):
+            print(f"    {stage:40} {seconds:8.3f}s")
+    if detail.counters:
+        print("  counters:")
+        for name, value in sorted(detail.counters.items()):
+            print(f"    {name:40} {value:.6g}")
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    run_a = _resolve_run_or_fail(args.run_a)
+    if run_a is None:
+        return 2
+    candidate = ledger.run_detail(run_a)
+    if args.baseline is not None:
+        if args.run_b is not None:
+            _error(
+                "repro: compare takes either a second run or "
+                "--baseline, not both"
+            )
+            return 2
+        try:
+            base_scores = ledger.load_baseline(args.baseline)
+        except (OSError, ValueError) as error:
+            _error(f"repro: cannot read baseline: {error}")
+            return 2
+        base_label = args.baseline
+        base_stages: dict[str, float] = {}
+    else:
+        if args.run_b is None:
+            _error(
+                "repro: compare needs two run references or "
+                "--baseline FILE"
+            )
+            return 2
+        # The candidate is the *second* reference; the first is the
+        # base being compared against (usually the older run).
+        base_detail = candidate
+        run_b = _resolve_run_or_fail(args.run_b)
+        if run_b is None:
+            return 2
+        candidate = ledger.run_detail(run_b)
+        base_scores = base_detail.scores
+        base_label = f"run {base_detail.row.id}"
+        base_stages = base_detail.stages
+    comparison = ledger.compare_scores(
+        base_scores,
+        candidate.scores,
+        score_tol=args.score_tol,
+        time_tol=args.time_tol,
+        base_stages=base_stages or None,
+        candidate_stages=candidate.stages or None,
+        base_label=base_label,
+        candidate_label=f"run {candidate.row.id}",
+    )
+    print(comparison.render())
+    if args.fail_on_regression and not comparison.ok:
+        return 1
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    from repro.obs import report as obs_report
+
+    runs = ledger.list_runs(limit=args.limit)
+    if not runs:
+        _error(
+            "repro: no runs recorded "
+            "(run 'repro run all' first to populate the ledger)"
+        )
+        return 2
+    details = [ledger.run_detail(run) for run in reversed(runs)]
+    baseline = None
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists(DEFAULT_BASELINE):
+        baseline_path = DEFAULT_BASELINE
+    if baseline_path is not None:
+        try:
+            baseline = ledger.load_baseline(baseline_path)
+        except (OSError, ValueError) as error:
+            _error(f"repro: cannot read baseline: {error}")
+            return 2
+    html = obs_report.build_report(
+        details, baseline=baseline, baseline_label=baseline_path or ""
+    )
+    with open(args.html, "w", encoding="utf-8") as handle:
+        handle.write(html)
+    print(
+        f"wrote report over {len(details)} runs "
+        f"({len({e for d in details for e in d.scores})} experiments) "
+        f"to {args.html}"
+    )
     return 0
 
 
@@ -293,6 +498,8 @@ def _command_fuzz_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         count=args.count,
         jobs=_resolve_jobs_or_fail(args.jobs),
+        record=True,
+        started_at=ledger.now_iso(),
     )
     # Summary on stdout is identical whatever the worker count; the
     # environment-dependent bits (jobs, corpus location) go to stderr.
@@ -583,6 +790,117 @@ def build_parser() -> argparse.ArgumentParser:
         help="hide aggregated rows cheaper than this many milliseconds",
     )
     trace_parser.set_defaults(handler=_command_trace)
+
+    history_parser = subparsers.add_parser(
+        "history", help="list past runs from the persistent ledger"
+    )
+    history_parser.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        help="how many runs to list, newest first (default: 20)",
+    )
+    history_parser.add_argument(
+        "--experiment",
+        default=None,
+        help="only runs holding scores for this experiment",
+    )
+    history_sub = history_parser.add_subparsers(
+        dest="history_command", required=False
+    )
+    history_show_parser = history_sub.add_parser(
+        "show", help="print one run in full detail"
+    )
+    history_show_parser.add_argument(
+        "run",
+        help="run id, 'latest', or 'latest~N'",
+    )
+    history_show_parser.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "emit the run as JSON (usable as a "
+            "'repro compare --baseline' file)"
+        ),
+    )
+    history_parser.set_defaults(handler=_command_history)
+
+    compare_parser = subparsers.add_parser(
+        "compare",
+        help="diff two ledger runs (or a run against a baseline file)",
+    )
+    compare_parser.add_argument(
+        "run_a",
+        help=(
+            "base run reference (or, with --baseline, the candidate "
+            "run to check against the baseline)"
+        ),
+    )
+    compare_parser.add_argument(
+        "run_b",
+        nargs="?",
+        default=None,
+        help="candidate run reference",
+    )
+    compare_parser.add_argument(
+        "--baseline",
+        default=None,
+        help=(
+            "compare run_a against a committed scores file "
+            f"(e.g. {DEFAULT_BASELINE})"
+        ),
+    )
+    compare_parser.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit 1 when any score drifts or any stage slows beyond "
+        "tolerance",
+    )
+    compare_parser.add_argument(
+        "--score-tol",
+        type=float,
+        default=1e-6,
+        help=(
+            "absolute score drift tolerance, either direction "
+            "(default: 1e-6)"
+        ),
+    )
+    compare_parser.add_argument(
+        "--time-tol",
+        type=float,
+        default=0.25,
+        help=(
+            "relative stage slowdown tolerance, e.g. 0.25 = 25%% "
+            "(default: 0.25)"
+        ),
+    )
+    compare_parser.set_defaults(handler=_command_compare)
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help="write a self-contained HTML dashboard over the ledger",
+    )
+    report_parser.add_argument(
+        "--html",
+        default="repro-report.html",
+        metavar="OUT",
+        help="output path (default: repro-report.html)",
+    )
+    report_parser.add_argument(
+        "--limit",
+        type=int,
+        default=50,
+        help="how many runs of history to chart (default: 50)",
+    )
+    report_parser.add_argument(
+        "--baseline",
+        default=None,
+        help=(
+            "scores file for the delta column (default: "
+            f"{DEFAULT_BASELINE} when present)"
+        ),
+    )
+    report_parser.set_defaults(handler=_command_report)
 
     stats_parser = subparsers.add_parser(
         "stats", help="show metrics recorded by the last command"

@@ -5,6 +5,13 @@ from repro.experiments.runner import (
     RunAllTimings,
     run_all,
     run_experiment,
+    run_one,
 )
 
-__all__ = ["EXPERIMENTS", "RunAllTimings", "run_all", "run_experiment"]
+__all__ = [
+    "EXPERIMENTS",
+    "RunAllTimings",
+    "run_all",
+    "run_experiment",
+    "run_one",
+]

@@ -17,10 +17,21 @@ Each experiment runs inside an ``experiment:<name>`` span under one
 registry order, so serial and parallel runs produce the same span-name
 set.  The ``--timings`` report (:class:`RunAllTimings`) is a view over
 that span tree plus the merged ``analysis.stage.*`` metrics.
+
+With ``record=True`` (the CLI default), a finished run is appended to
+the persistent run ledger (:mod:`repro.obs.ledger`): every experiment's
+flattened accuracy numbers become score rows, the span-derived stage
+times become stage rows, and the run's metric deltas (cache traffic,
+solver dispatches, interpreter totals) become counter rows — whatever
+the worker count, since workers ship their metrics home through the
+same :class:`~repro.obs.aggregate.WorkerCapture` path that keeps the
+trace coherent.
 """
 
 from __future__ import annotations
 
+import time
+import zlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
@@ -114,13 +125,11 @@ EXPERIMENTS: dict[str, Experiment] = {
 }
 
 
-def run_experiment(name: str) -> str:
-    """Run one experiment by name and return its rendered text.
+def _run_scored(name: str) -> tuple[str, dict[str, float]]:
+    """Run one experiment; return its rendered text and its flattened
+    numeric results (the ledger's score rows for this experiment)."""
+    from repro.obs.ledger import flatten_scalars
 
-    The run happens inside an ``experiment:<name>`` span, so every
-    experiment is visible in a trace whether it ran standalone, under
-    ``run all``, or in a worker process.
-    """
     try:
         experiment = EXPERIMENTS[name]
     except KeyError:
@@ -129,7 +138,59 @@ def run_experiment(name: str) -> str:
         ) from None
     with span(f"experiment:{name}"):
         result = experiment.run()
-    return result.render()  # type: ignore[attr-defined]
+    rendered = result.render()  # type: ignore[attr-defined]
+    scores = flatten_scalars(result)
+    if not scores:
+        # Text-only results (e.g. an annotated AST) carry no scalar
+        # fields; a digest of the rendered output still lets the
+        # ledger flag any change in what the experiment produced.
+        scores = {
+            "render/chars": float(len(rendered)),
+            "render/crc32": float(zlib.crc32(rendered.encode("utf-8"))),
+        }
+    return rendered, scores
+
+
+def run_experiment(name: str) -> str:
+    """Run one experiment by name and return its rendered text.
+
+    The run happens inside an ``experiment:<name>`` span, so every
+    experiment is visible in a trace whether it ran standalone, under
+    ``run all``, or in a worker process.
+    """
+    return _run_scored(name)[0]
+
+
+def run_one(
+    name: str,
+    record: bool = False,
+    started_at: Optional[str] = None,
+) -> str:
+    """Run one experiment, optionally appending it to the run ledger.
+
+    The ledger row carries the experiment's accuracy numbers, its wall
+    time as an ``experiment:<name>`` stage, and the metric deltas the
+    run produced.
+    """
+    from repro.obs import ledger
+    from repro.obs.metrics import metrics_delta, metrics_snapshot
+
+    if not (record and ledger.ledger_enabled()):
+        return run_experiment(name)
+    metrics_before = metrics_snapshot()
+    clock = time.perf_counter()
+    rendered, metrics = _run_scored(name)
+    seconds = time.perf_counter() - clock
+    ledger.record_run(
+        "run",
+        label=name,
+        started_at=started_at,
+        jobs=1,
+        scores={name: metrics},
+        stages={f"experiment:{name}": seconds},
+        counters=ledger.counter_values(metrics_delta(metrics_before)),
+    )
+    return rendered
 
 
 def prefetch_profiles(
@@ -211,22 +272,41 @@ class RunAllTimings:
         return "\n".join(lines)
 
 
-def _experiment_worker(task: tuple[str, bool]) -> tuple[str, str, dict]:
+def _experiment_worker(
+    task: tuple[str, bool]
+) -> tuple[str, str, dict, dict]:
     """Run one experiment in a worker process.
 
-    Returns the rendered section plus the observability snapshot (the
+    Returns the rendered section, the experiment's flattened scores
+    (for the run ledger), and the observability snapshot (the
     experiment's span tree and metric deltas — cache traffic, analysis
     stage times) for the parent to merge.
     """
     name, trace = task
     capture = WorkerCapture(trace)
     with capture:
-        rendered = run_experiment(name)
-    return name, rendered, capture.snapshot
+        rendered, metrics = _run_scored(name)
+    return name, rendered, metrics, capture.snapshot
+
+
+def _ledger_stages(report: RunAllTimings) -> dict[str, float]:
+    """Flatten a :class:`RunAllTimings` into the ledger's stage rows."""
+    stages = {
+        "total": report.total_seconds,
+        "profiling": report.profiling.total_seconds,
+    }
+    for name, seconds in report.experiment_seconds.items():
+        stages[f"experiment:{name}"] = seconds
+    for stage, seconds in report.stage_seconds.items():
+        stages[f"analysis:{stage}"] = seconds
+    return stages
 
 
 def run_all(
-    jobs: int | None = None, timings: Optional[RunAllTimings] = None
+    jobs: int | None = None,
+    timings: Optional[RunAllTimings] = None,
+    record: bool = False,
+    started_at: Optional[str] = None,
 ) -> str:
     """Run every experiment, concatenating the rendered sections.
 
@@ -234,40 +314,68 @@ def run_all(
     the merged output is byte-identical to a serial run, and the merged
     trace has the same shape (worker spans are adopted by the parent's
     ``run_all`` span in registry order).
+
+    With ``record=True`` (and the ledger enabled), the run is appended
+    to the persistent ledger: per-experiment accuracy numbers, stage
+    wall-times derived from the span tree, and the run's metric deltas.
+    Workers return their flattened scores with their rendered sections,
+    so jobs=1 and jobs=N produce the same score rows.
     """
     from repro.analysis.session import stage_snapshot, stage_totals_since
+    from repro.obs import ledger
+    from repro.obs.metrics import metrics_delta, metrics_snapshot
 
     jobs = resolve_jobs(jobs)
     names = list(EXPERIMENTS)
     rendered: dict[str, str] = {}
+    scores: dict[str, dict[str, float]] = {}
+    recording = record and ledger.ledger_enabled()
+    # Stage times are a view over the span tree, so recording (like
+    # --timings) forces tracing on for the duration of the run.
+    report = timings
+    if report is None and recording:
+        report = RunAllTimings()
+    metrics_before = metrics_snapshot() if recording else {}
 
-    with forced_tracing(timings is not None):
+    with forced_tracing(report is not None):
         stages_before = stage_snapshot()
         with span("run_all", jobs=jobs) as root:
             profiling = SuiteTimings()
             prefetch_profiles(
                 jobs=jobs,
-                timings=profiling if timings is not None else None,
+                timings=profiling if report is not None else None,
             )
             if jobs > 1:
                 tasks = [(name, tracing_enabled()) for name in names]
                 with ProcessPoolExecutor(max_workers=jobs) as pool:
-                    for name, text, snapshot in pool.map(
+                    for name, text, metrics, snapshot in pool.map(
                         _experiment_worker, tasks
                     ):
                         rendered[name] = text
+                        scores[name] = metrics
                         absorb(snapshot)
             else:
                 for name in names:
-                    rendered[name] = run_experiment(name)
-        if timings is not None:
-            timings.populate_from_span(
+                    rendered[name], scores[name] = _run_scored(name)
+        if report is not None:
+            report.populate_from_span(
                 root,
                 profiling,
                 names,
                 jobs,
                 stage_totals_since(stages_before),
             )
+    if recording:
+        ledger.record_run(
+            "run-all",
+            started_at=started_at,
+            jobs=jobs,
+            scores=scores,
+            stages=_ledger_stages(report),
+            counters=ledger.counter_values(
+                metrics_delta(metrics_before)
+            ),
+        )
     return "\n\n\n".join(
         f"=== {name} ===\n\n{rendered[name]}" for name in names
     )

@@ -181,16 +181,31 @@ def fuzz_run(
     jobs: Optional[int] = None,
     fuel: int = DEFAULT_MACHINE_FUEL,
     corpus_dir: Optional[str] = None,
+    record: bool = False,
+    started_at: Optional[str] = None,
 ) -> FuzzRunReport:
     """Run ``count`` fuzz cases derived from ``seed``.
 
     ``jobs`` resolves like everywhere else (explicit > ``REPRO_JOBS`` >
     CPU count); results merge in case-index order so the report is
     identical whatever the worker count.
+
+    With ``record=True`` (and the ledger enabled) the run is appended
+    to the persistent run ledger: case/failure totals as score rows,
+    the run's wall time as a ``fuzz.run`` stage, and the metric deltas
+    it produced (oracle violations, corpus saves, interpreter totals).
     """
+    import time
+
+    from repro.obs import ledger
+    from repro.obs.metrics import metrics_delta, metrics_snapshot
+
     if count < 1:
         raise ValueError("count must be at least 1")
     jobs = resolve_jobs(jobs)
+    recording = record and ledger.ledger_enabled()
+    metrics_before = metrics_snapshot() if recording else {}
+    clock = time.perf_counter()
     report = FuzzRunReport(base_seed=seed, count=count, jobs=jobs)
     with span("fuzz.run", seed=seed, count=count, jobs=jobs):
         if jobs > 1 and count > 1:
@@ -217,4 +232,21 @@ def fuzz_run(
                 report.outcomes.append(
                     _check_case(seed, index, fuel, corpus_dir)
                 )
+    if recording:
+        ledger.record_run(
+            "fuzz",
+            label=f"seed={seed}",
+            started_at=started_at,
+            jobs=jobs,
+            scores={
+                "fuzz": {
+                    "cases": float(len(report.outcomes)),
+                    "failures": float(len(report.failures)),
+                }
+            },
+            stages={"fuzz.run": time.perf_counter() - clock},
+            counters=ledger.counter_values(
+                metrics_delta(metrics_before)
+            ),
+        )
     return report

@@ -1,0 +1,418 @@
+"""The ``repro report`` HTML dashboard over the run ledger.
+
+Self-contained and zero-dependency: one HTML file with inline CSS and
+inline SVG sparklines, no scripts, no external assets — it renders from
+a CI artifact or an email attachment exactly as it does locally.
+
+Content, from the ledger's run history (oldest → newest):
+
+* a stat-tile row (runs recorded, experiments tracked, latest run);
+* per-experiment **score history** — every tracked accuracy metric with
+  its latest value, its delta against the previous run and against the
+  committed baseline, and a sparkline across runs;
+* **stage wall-times** — the same treatment for span-derived stage
+  seconds (profiling, per-experiment, analysis stages);
+* the latest run's **counters** (cache traffic, solver dispatches,
+  interpreter totals).
+
+Every sparkline is a single blue series (no legend needed — the row
+names it); deltas carry a ▲/▼ glyph so drift never reads by color
+alone; tables double as the accessible/table view of every chart.
+Light and dark render from the same palette roles via
+``prefers-color-scheme``.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Mapping, Optional, Sequence
+
+from repro.obs.ledger import RunDetail
+
+#: Metrics-per-experiment cap so figure4's 60 per-program rows do not
+#: drown the dashboard; rows whose metric path contains AVERAGE always
+#: survive the cut.
+MAX_METRIC_ROWS = 24
+MAX_STAGE_ROWS = 48
+MAX_COUNTER_ROWS = 80
+
+#: Baseline drift below this is rendered as unchanged.
+DISPLAY_TOLERANCE = 1e-9
+
+_STYLE = """
+:root {
+  color-scheme: light dark;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --ink-1: #0b0b0b;
+  --ink-2: #52514e;
+  --muted: #898781;
+  --grid: #e1e0d9;
+  --baseline: #c3c2b7;
+  --series-1: #2a78d6;
+  --drift: #d03b3b;
+  --border: rgba(11, 11, 11, 0.10);
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --ink-1: #ffffff;
+    --ink-2: #c3c2b7;
+    --muted: #898781;
+    --grid: #2c2c2a;
+    --baseline: #383835;
+    --series-1: #3987e5;
+    --drift: #e66767;
+    --border: rgba(255, 255, 255, 0.10);
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0;
+  padding: 24px;
+  background: var(--page);
+  color: var(--ink-1);
+  font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+main { max-width: 980px; margin: 0 auto; }
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 16px; margin: 32px 0 8px; }
+h3 { font-size: 14px; margin: 20px 0 6px; color: var(--ink-1); }
+.sub { color: var(--ink-2); margin: 0 0 20px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; margin: 16px 0; }
+.tile {
+  background: var(--surface-1);
+  border: 1px solid var(--border);
+  border-radius: 8px;
+  padding: 12px 16px;
+  min-width: 150px;
+}
+.tile .label {
+  color: var(--ink-2);
+  font-size: 12px;
+  text-transform: uppercase;
+  letter-spacing: 0.04em;
+}
+.tile .value { font-size: 24px; margin-top: 2px; }
+.tile .note { color: var(--muted); font-size: 12px; }
+table {
+  border-collapse: collapse;
+  width: 100%;
+  background: var(--surface-1);
+  border: 1px solid var(--border);
+  border-radius: 8px;
+}
+th, td {
+  text-align: left;
+  padding: 5px 10px;
+  border-top: 1px solid var(--grid);
+  vertical-align: middle;
+}
+thead th {
+  border-top: none;
+  color: var(--ink-2);
+  font-weight: 600;
+  font-size: 12px;
+}
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+td.spark { width: 150px; }
+.delta { font-variant-numeric: tabular-nums; white-space: nowrap; }
+.delta.changed { color: var(--drift); font-weight: 600; }
+.delta.flat { color: var(--muted); }
+.more { color: var(--muted); font-size: 12px; margin: 4px 0 0; }
+svg.spark { display: block; }
+svg.spark polyline {
+  fill: none;
+  stroke: var(--series-1);
+  stroke-width: 2;
+  stroke-linecap: round;
+  stroke-linejoin: round;
+}
+svg.spark line.floor { stroke: var(--grid); stroke-width: 1; }
+svg.spark circle { fill: var(--series-1); }
+footer { color: var(--muted); font-size: 12px; margin-top: 32px; }
+"""
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _format_number(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def sparkline_svg(
+    values: Sequence[float], title: str, width: int = 140, height: int = 30
+) -> str:
+    """Inline SVG sparkline over ``values`` (oldest → newest).
+
+    A 2px single-hue line with a dot on the latest value and a hairline
+    floor; a ``<title>`` carries the min/max/latest reading so the
+    series is hoverable and readable without color.
+    """
+    if not values:
+        return ""
+    pad = 3.0
+    low, high = min(values), max(values)
+    spread = high - low
+    inner_w = width - 2 * pad
+    inner_h = height - 2 * pad
+
+    def x_at(index: int) -> float:
+        if len(values) == 1:
+            return pad + inner_w / 2
+        return pad + inner_w * index / (len(values) - 1)
+
+    def y_at(value: float) -> float:
+        if spread == 0.0:
+            return height / 2
+        return pad + inner_h * (1.0 - (value - low) / spread)
+
+    points = " ".join(
+        f"{x_at(index):.1f},{y_at(value):.1f}"
+        for index, value in enumerate(values)
+    )
+    last_x, last_y = x_at(len(values) - 1), y_at(values[-1])
+    label = (
+        f"{title}: {len(values)} runs, "
+        f"min {_format_number(low)}, max {_format_number(high)}, "
+        f"latest {_format_number(values[-1])}"
+    )
+    return (
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="{_esc(label)}">'
+        f"<title>{_esc(label)}</title>"
+        f'<line class="floor" x1="{pad}" y1="{height - 1}" '
+        f'x2="{width - pad}" y2="{height - 1}"/>'
+        f'<polyline points="{points}"/>'
+        f'<circle cx="{last_x:.1f}" cy="{last_y:.1f}" r="2.5"/>'
+        f"</svg>"
+    )
+
+
+def _delta_cell(
+    current: Optional[float], reference: Optional[float]
+) -> str:
+    """A signed delta against a reference value; drift is marked with a
+    ▲/▼ glyph (never color alone) and the drift color."""
+    if current is None or reference is None:
+        return '<td class="num"><span class="delta flat">–</span></td>'
+    delta = current - reference
+    if abs(delta) <= DISPLAY_TOLERANCE:
+        return '<td class="num"><span class="delta flat">·</span></td>'
+    arrow = "▲" if delta > 0 else "▼"
+    return (
+        f'<td class="num"><span class="delta changed">{arrow} '
+        f"{delta:+.6g}</span></td>"
+    )
+
+
+def _select_metrics(metrics: Sequence[str]) -> tuple[list[str], int]:
+    """Keep the dashboard readable: prefer AVERAGE rows, cap the rest."""
+    averages = [name for name in metrics if "AVERAGE" in name]
+    if averages:
+        return averages, len(metrics) - len(averages)
+    if len(metrics) > MAX_METRIC_ROWS:
+        return list(metrics[:MAX_METRIC_ROWS]), len(metrics) - MAX_METRIC_ROWS
+    return list(metrics), 0
+
+
+def _history_rows(
+    details: Sequence[RunDetail],
+    values_of,
+) -> dict[str, list[tuple[int, float]]]:
+    """``{name: [(run id, value), ...]}`` oldest → newest."""
+    history: dict[str, list[tuple[int, float]]] = {}
+    for detail in details:
+        for name, value in values_of(detail).items():
+            history.setdefault(name, []).append((detail.row.id, value))
+    return history
+
+
+def _metric_table(
+    history: Mapping[str, list[tuple[int, float]]],
+    names: Sequence[str],
+    baseline: Optional[Mapping[str, float]],
+    value_formatter=_format_number,
+) -> str:
+    header_baseline = (
+        '<th class="num">Δ baseline</th>' if baseline is not None else ""
+    )
+    rows = [
+        "<table>",
+        "<thead><tr><th>metric</th>"
+        '<th class="num">latest</th><th class="num">Δ prev</th>'
+        f"{header_baseline}<th>history</th></tr></thead><tbody>",
+    ]
+    for name in names:
+        series = history.get(name, [])
+        if not series:
+            continue
+        values = [value for _, value in series]
+        latest = values[-1]
+        previous = values[-2] if len(values) > 1 else None
+        cells = [
+            f"<td>{_esc(name)}</td>",
+            f'<td class="num">{value_formatter(latest)}</td>',
+            _delta_cell(latest, previous),
+        ]
+        if baseline is not None:
+            cells.append(_delta_cell(latest, baseline.get(name)))
+        cells.append(
+            f'<td class="spark">{sparkline_svg(values, name)}</td>'
+        )
+        rows.append("<tr>" + "".join(cells) + "</tr>")
+    rows.append("</tbody></table>")
+    return "\n".join(rows)
+
+
+def _seconds(value: float) -> str:
+    return f"{value:.3f}s"
+
+
+def build_report(
+    details: Sequence[RunDetail],
+    baseline: Optional[Mapping[str, Mapping[str, float]]] = None,
+    baseline_label: str = "",
+) -> str:
+    """Render the ledger dashboard as one self-contained HTML page.
+
+    ``details`` must be ordered oldest → newest; ``baseline`` is the
+    committed score map (experiment → metric → value) when available.
+    """
+    details = list(details)
+    latest = details[-1] if details else None
+    experiments = sorted(
+        {name for detail in details for name in detail.scores}
+    )
+
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        '<meta name="viewport" content="width=device-width, '
+        'initial-scale=1">',
+        "<title>repro run ledger</title>",
+        f"<style>{_STYLE}</style>",
+        "</head><body><main>",
+        "<h1>repro — run ledger</h1>",
+        '<p class="sub">Longitudinal accuracy &amp; performance history '
+        "of the static-estimator reproduction. Deltas compare the "
+        "newest run against the previous one"
+        + (" and the committed baseline" if baseline is not None else "")
+        + "; any movement is drift worth reading.</p>",
+    ]
+
+    # Stat tiles.
+    tiles = [
+        ("runs recorded", str(len(details)), ""),
+        ("experiments tracked", str(len(experiments)), ""),
+    ]
+    if latest is not None:
+        tiles.append(
+            (
+                "latest run",
+                f"#{latest.row.id}",
+                f"{latest.row.kind} · {_esc(latest.row.started_at)}"
+                + (
+                    f" · {_esc(latest.row.git_sha)}"
+                    if latest.row.git_sha
+                    else ""
+                ),
+            )
+        )
+    parts.append('<div class="tiles">')
+    for label, value, note in tiles:
+        parts.append(
+            f'<div class="tile"><div class="label">{label}</div>'
+            f'<div class="value">{value}</div>'
+            + (f'<div class="note">{note}</div>' if note else "")
+            + "</div>"
+        )
+    parts.append("</div>")
+
+    # Score history, one block per experiment.
+    parts.append("<h2>Estimator accuracy history</h2>")
+    if not experiments:
+        parts.append('<p class="sub">(no score rows recorded yet)</p>')
+    for experiment in experiments:
+        history = _history_rows(
+            details, lambda detail, e=experiment: detail.scores.get(e, {})
+        )
+        names, hidden = _select_metrics(sorted(history))
+        experiment_baseline = (
+            baseline.get(experiment) if baseline is not None else None
+        )
+        parts.append(f"<h3>{_esc(experiment)}</h3>")
+        parts.append(
+            _metric_table(
+                history,
+                names,
+                experiment_baseline
+                if baseline is not None
+                else None,
+            )
+        )
+        if hidden > 0:
+            parts.append(
+                f'<p class="more">… {hidden} more metrics in the '
+                f"ledger (repro history show)</p>"
+            )
+
+    # Stage wall-times.
+    stage_history = _history_rows(details, lambda detail: detail.stages)
+    if stage_history:
+        parts.append("<h2>Stage wall-times</h2>")
+        stage_names = sorted(stage_history)
+        hidden = max(0, len(stage_names) - MAX_STAGE_ROWS)
+        parts.append(
+            _metric_table(
+                stage_history,
+                stage_names[:MAX_STAGE_ROWS],
+                None,
+                value_formatter=_seconds,
+            )
+        )
+        if hidden:
+            parts.append(
+                f'<p class="more">… {hidden} more stages in the '
+                f"ledger</p>"
+            )
+
+    # Latest counters.
+    counters = latest.counters if latest is not None else {}
+    if not counters:
+        for detail in reversed(details):
+            if detail.counters:
+                counters = detail.counters
+                break
+    if counters:
+        parts.append("<h2>Counters (latest recorded run)</h2>")
+        names = sorted(counters)[:MAX_COUNTER_ROWS]
+        rows = [
+            "<table>",
+            '<thead><tr><th>counter</th><th class="num">value</th>'
+            "</tr></thead><tbody>",
+        ]
+        for name in names:
+            rows.append(
+                f"<tr><td>{_esc(name)}</td>"
+                f'<td class="num">{_format_number(counters[name])}'
+                f"</td></tr>"
+            )
+        rows.append("</tbody></table>")
+        parts.append("\n".join(rows))
+
+    footer_bits = ["generated by <code>repro report</code>"]
+    if baseline is not None and baseline_label:
+        footer_bits.append(f"baseline: {_esc(baseline_label)}")
+    parts.append(f"<footer>{' · '.join(footer_bits)}</footer>")
+    parts.append("</main></body></html>")
+    return "\n".join(parts)
+
+
+__all__ = ["build_report", "sparkline_svg"]

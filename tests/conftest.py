@@ -30,13 +30,21 @@ def _hermetic_profile_cache(tmp_path_factory):
     never read from or write to the developer's real cache.
     """
     cache_dir = tmp_path_factory.mktemp("profile-cache")
-    previous = os.environ.get("REPRO_CACHE_DIR")
+    previous = {
+        name: os.environ.get(name)
+        for name in ("REPRO_CACHE_DIR", "REPRO_LEDGER", "REPRO_LEDGER_DIR")
+    }
     os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    # The run ledger defaults under the cache dir, so it is already
+    # hermetic; drop any ambient overrides so tests see the default.
+    os.environ.pop("REPRO_LEDGER", None)
+    os.environ.pop("REPRO_LEDGER_DIR", None)
     yield str(cache_dir)
-    if previous is None:
-        os.environ.pop("REPRO_CACHE_DIR", None)
-    else:
-        os.environ["REPRO_CACHE_DIR"] = previous
+    for name, value in previous.items():
+        if value is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = value
 
 
 @pytest.fixture

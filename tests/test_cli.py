@@ -139,10 +139,11 @@ class TestObservabilityCli:
         assert "profile cache:" in output
         assert "analysis cache:" in output
         assert "fuzz corpus:" in output
+        assert "run ledger:" in output
         assert "oldest:" in output and "newest:" in output
-        # The profile cache has one entry; the analysis cache and the
-        # fuzz corpus are empty.
-        assert output.count("oldest:    -") == 2
+        # The profile cache has one entry; the analysis cache, the
+        # fuzz corpus, and the run ledger are empty.
+        assert output.count("oldest:    -") == 3
 
     def test_cache_clear_reports_per_cache(
         self, tmp_path, monkeypatch, capsys
