@@ -10,6 +10,8 @@ Usage (after installing the package)::
     python -m repro cfg compress table_lookup --dot  # dump a CFG
     python -m repro predict compress        # per-branch predictions
     python -m repro profile-suite --timings # collect/warm all profiles
+    python -m repro profile-suite --tier xl --record  # suite XL, ledgered
+    python -m repro run all --backend interp   # reference interpreter
     python -m repro cache info              # caches + fuzz corpus
     python -m repro cache clear
     python -m repro fuzz run --seed 0 --count 100 --jobs 4
@@ -28,6 +30,13 @@ Usage (after installing the package)::
 Profiling is cached persistently (see ``repro.profiles.cache``) and can
 fan out over worker processes; ``--jobs``/``REPRO_JOBS`` control the
 worker count and ``REPRO_CACHE_DIR``/``REPRO_CACHE`` the cache.
+
+Execution defaults to the compiled backend (:mod:`repro.compile`);
+``--backend interp`` / ``REPRO_BACKEND=interp`` select the reference
+interpreter, and the two produce byte-identical profiles (enforced by
+the ``compiled_vs_interpreter`` fuzz oracle).  Generated code persists
+in the codegen cache (``REPRO_CODEGEN_CACHE_DIR``/
+``REPRO_CODEGEN_CACHE``), covered by ``repro cache info|clear``.
 
 Observability (see :mod:`repro.obs`): ``--trace``/``REPRO_TRACE``
 record a span trace and write it as JSONL (``REPRO_TRACE_FILE``,
@@ -54,6 +63,8 @@ from repro import obs
 from repro.analysis import cache as analysis_cache
 from repro.analysis.session import session_for_suite
 from repro.cfg import cfg_to_dot
+from repro.compile import BACKENDS
+from repro.compile import cache as codegen_cache
 from repro.frontend.errors import FrontendError
 from repro.fuzz import corpus as fuzz_corpus
 from repro.experiments import (
@@ -66,8 +77,11 @@ from repro.obs import ledger
 from repro.profiles import cache as profile_cache
 from repro.suite import (
     SUITE,
+    SUITE_BY_NAME,
     SuiteTimings,
     collect_suite_profiles,
+    is_known_program,
+    known_program_names,
     load_program,
     program_inputs,
     program_names,
@@ -96,7 +110,25 @@ def _resolve_jobs_or_fail(jobs: int | None) -> int:
         raise SystemExit(f"repro: {error}") from None
 
 
+def _apply_backend(args: argparse.Namespace) -> None:
+    """Publish ``--backend`` through ``REPRO_BACKEND`` so every
+    execution in this command — including pipeline worker processes,
+    which inherit the environment — uses the selected backend.  A bad
+    ambient ``REPRO_BACKEND`` becomes a clean CLI error here, before
+    any work starts, instead of a traceback mid-run."""
+    from repro.compile import resolve_backend
+
+    choice = getattr(args, "backend", None)
+    try:
+        resolved = resolve_backend(choice)
+    except ValueError as error:
+        raise SystemExit(f"repro: {error}") from None
+    if choice or "REPRO_BACKEND" in os.environ:
+        os.environ["REPRO_BACKEND"] = resolved
+
+
 def _command_run(args: argparse.Namespace) -> int:
+    _apply_backend(args)
     started_at = ledger.now_iso()
     if args.experiment == "all":
         timings = RunAllTimings() if args.timings else None
@@ -126,7 +158,8 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_suite(_: argparse.Namespace) -> int:
+def _command_suite(args: argparse.Namespace) -> int:
+    _apply_backend(args)
     for entry in SUITE:
         for index, stdin in enumerate(program_inputs(entry.name), start=1):
             result = run_on_input(entry.name, stdin, f"input{index}")
@@ -139,6 +172,10 @@ def _command_suite(_: argparse.Namespace) -> int:
 
 
 def _command_exec(args: argparse.Namespace) -> int:
+    _apply_backend(args)
+    if not is_known_program(args.program):
+        _error(f"repro: unknown suite program {args.program!r}")
+        return 2
     inputs = program_inputs(args.program)
     index = args.input
     if not 1 <= index <= len(inputs):
@@ -206,18 +243,55 @@ def _command_predict(args: argparse.Namespace) -> int:
 
 
 def _command_profile_suite(args: argparse.Namespace) -> int:
-    names = args.programs or program_names()
-    unknown = [n for n in names if n not in {e.name for e in SUITE}]
+    _apply_backend(args)
+    started_at = ledger.now_iso()
+    if args.programs:
+        names = args.programs
+    else:
+        try:
+            names = known_program_names(args.tier)
+        except ValueError as error:
+            _error(f"repro: {error}")
+            return 2
+    unknown = [n for n in names if not is_known_program(n)]
     if unknown:
         _error(f"unknown suite programs: {unknown}")
         return 2
     timings = SuiteTimings()
-    collect_suite_profiles(
+    profiles = collect_suite_profiles(
         names,
         jobs=_resolve_jobs_or_fail(args.jobs),
         use_cache=False if args.no_cache else None,
         timings=timings,
     )
+    if args.record:
+        # One metric per program — total block executions across its
+        # inputs.  The totals are deterministic (and identical across
+        # backends and worker counts), so a committed baseline plus
+        # ``repro compare --fail-on-regression`` pins both tiers.
+        scores: dict[str, dict[str, float]] = {}
+        for name, program_profiles in profiles.items():
+            experiment = (
+                "suite" if name in SUITE_BY_NAME else "suite_xl"
+            )
+            scores.setdefault(experiment, {})[f"{name}.blocks"] = float(
+                sum(
+                    p.total_block_executions for p in program_profiles
+                )
+            )
+        label = (
+            f"programs={len(names)}"
+            if args.programs
+            else f"tier={args.tier}"
+        )
+        ledger.record_run(
+            "suite",
+            label=label,
+            started_at=started_at,
+            jobs=timings.jobs,
+            scores=scores,
+            stages={"suite.collect": timings.total_seconds},
+        )
     if args.timings:
         print(timings.render())
     else:
@@ -243,6 +317,7 @@ def _command_cache(args: argparse.Namespace) -> int:
         for title, info in (
             ("profile cache", profile_cache.cache_info()),
             ("analysis cache", analysis_cache.analysis_cache_info()),
+            ("codegen cache", codegen_cache.codegen_cache_info()),
             ("fuzz corpus", fuzz_corpus.corpus_info()),
         ):
             print(f"{title}:")
@@ -268,6 +343,11 @@ def _command_cache(args: argparse.Namespace) -> int:
             "analysis cache",
             analysis_cache.analysis_cache_info(),
             analysis_cache.clear_analysis_cache,
+        ),
+        (
+            "codegen cache",
+            codegen_cache.codegen_cache_info(),
+            codegen_cache.clear_codegen_cache,
         ),
         ("fuzz corpus", fuzz_corpus.corpus_info(), fuzz_corpus.clear_corpus),
     ):
@@ -494,12 +574,14 @@ def _command_fuzz_run(args: argparse.Namespace) -> int:
     if args.count < 1:
         _error("repro: --count must be at least 1")
         return 2
+    _apply_backend(args)
     report = fuzz_run(
         seed=args.seed,
         count=args.count,
         jobs=_resolve_jobs_or_fail(args.jobs),
         record=True,
         started_at=ledger.now_iso(),
+        backend=args.backend,
     )
     # Summary on stdout is identical whatever the worker count; the
     # environment-dependent bits (jobs, corpus location) go to stderr.
@@ -570,6 +652,18 @@ def _command_fuzz_shrink(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help=(
+            "execution backend (default: REPRO_BACKEND or 'compiled'; "
+            "'interp' is the reference interpreter)"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse CLI parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -619,17 +713,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress diagnostic stderr output (stdout is unchanged)",
     )
+    _add_backend_argument(run_parser)
     run_parser.set_defaults(handler=_command_run)
 
-    subparsers.add_parser(
+    suite_parser = subparsers.add_parser(
         "suite", help="run every suite program on every input"
-    ).set_defaults(handler=_command_suite)
+    )
+    _add_backend_argument(suite_parser)
+    suite_parser.set_defaults(handler=_command_suite)
 
     exec_parser = subparsers.add_parser(
         "exec", help="run one suite program and print its stdout"
     )
     exec_parser.add_argument("program")
     exec_parser.add_argument("--input", type=int, default=1)
+    _add_backend_argument(exec_parser)
     exec_parser.set_defaults(handler=_command_exec)
 
     cfg_parser = subparsers.add_parser(
@@ -661,7 +759,24 @@ def build_parser() -> argparse.ArgumentParser:
     profile_parser.add_argument(
         "programs",
         nargs="*",
-        help="suite programs (default: all 14)",
+        help="suite programs (default: the selected --tier)",
+    )
+    profile_parser.add_argument(
+        "--tier",
+        choices=("base", "xl", "all"),
+        default="base",
+        help=(
+            "program set when none are named: the 14 paper programs "
+            "(base), the generated suite-XL tier (xl), or both (all)"
+        ),
+    )
+    profile_parser.add_argument(
+        "--record",
+        action="store_true",
+        help=(
+            "append per-program block totals to the run ledger "
+            "(for 'repro compare --fail-on-regression' gating)"
+        ),
     )
     profile_parser.add_argument(
         "--jobs",
@@ -687,6 +802,7 @@ def build_parser() -> argparse.ArgumentParser:
             "(REPRO_TRACE_FILE, default repro-trace.jsonl)"
         ),
     )
+    _add_backend_argument(profile_parser)
     profile_parser.set_defaults(handler=_command_profile_suite)
 
     fuzz_parser = subparsers.add_parser(
@@ -730,6 +846,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress diagnostic stderr output (stdout is unchanged)",
     )
+    _add_backend_argument(fuzz_run_parser)
     fuzz_run_parser.set_defaults(handler=_command_fuzz_run)
 
     fuzz_replay_parser = fuzz_sub.add_parser(
@@ -943,6 +1060,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     was_tracing = obs.tracing_enabled()
     was_quiet = obs.quiet_enabled()
+    was_backend = os.environ.get("REPRO_BACKEND")
     if getattr(args, "quiet", False):
         obs.set_quiet(True)
     if getattr(args, "trace", False) is True:
@@ -960,10 +1078,16 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     finally:
         # Restore process-global flags so in-process callers (tests,
-        # embedding) see main() as reentrant.
+        # embedding) see main() as reentrant.  --backend publishes
+        # through the environment (worker processes inherit it), so it
+        # is restored the same way.
         obs.set_quiet(was_quiet)
         if not was_tracing:
             obs.disable_tracing()
+        if was_backend is None:
+            os.environ.pop("REPRO_BACKEND", None)
+        else:
+            os.environ["REPRO_BACKEND"] = was_backend
     return status
 
 

@@ -24,11 +24,18 @@ Each oracle checks one invariant the estimator pipeline must satisfy on
   including iteration order.
 * ``weight_matching_bounds`` — Wall's weight-matching score stays in
   ``[0, 1]`` for estimate-vs-actual and is exactly 1 for self-match.
+* ``compiled_vs_interpreter`` — the case re-runs under the *other*
+  execution backend (interpreter if the primary run was compiled, and
+  vice versa) and must reproduce the exit status, the stdout bytes,
+  and the profile **byte-for-byte** (JSON serialization, iteration
+  order included).  This is the differential oracle pinning the
+  compiled backend to interpreter semantics.
 
 :func:`check_program` compiles, runs, and applies every oracle to one
 source text, always through a **fresh** :class:`Program` (and therefore
 a fresh analysis session), so memoized state from previous cases can
-never mask a failure.
+never mask a failure.  The primary run's backend resolves like every
+other execution (explicit argument > ``REPRO_BACKEND`` > compiled).
 """
 
 from __future__ import annotations
@@ -43,11 +50,12 @@ from typing import Callable, Optional
 from repro.analysis import cache as analysis_cache
 from repro.analysis.session import AnalysisSession
 from repro.cfg.block import ReturnTerm
+from repro.compile import resolve_backend, run_program_backend
 from repro.estimators.intra.markov import DAMPING_FACTORS, solve_flow_system
 from repro.frontend.errors import FrontendError
 from repro.fuzz.generator import DEFAULT_MACHINE_FUEL
 from repro.interp.errors import InterpreterError
-from repro.interp.machine import run_program
+from repro.interp.machine import ExecutionResult
 from repro.metrics.weight_matching import weight_matching_score
 from repro.obs import incr, span
 from repro.profiles import cache as profile_cache
@@ -120,6 +128,13 @@ class OracleContext:
     program: Program
     profile: Profile
     session: AnalysisSession
+    #: The primary run's full result, execution budget, and backend —
+    #: what ``compiled_vs_interpreter`` mirrors on the other backend.
+    #: ``result`` may be None for callers (the shrinker's oracle
+    #: subsets) that only replay analysis-side oracles.
+    result: Optional[ExecutionResult] = None
+    fuel: int = DEFAULT_MACHINE_FUEL
+    backend: str = "interp"
 
 
 #: One oracle: context -> violation messages (empty = invariant holds).
@@ -388,6 +403,48 @@ def check_weight_matching_bounds(ctx: OracleContext) -> list[str]:
     return violations
 
 
+def check_compiled_vs_interpreter(ctx: OracleContext) -> list[str]:
+    """The other execution backend reproduces the run byte-for-byte.
+
+    If the primary run used the compiled backend, the case re-runs
+    under the interpreter (and vice versa); exit status, stdout, and
+    the profile's JSON serialization — counts, keys, *and* insertion
+    order — must match exactly.
+    """
+    if ctx.result is None:
+        return []
+    mirror_backend = "interp" if ctx.backend == "compiled" else "compiled"
+    try:
+        mirror = run_program_backend(
+            ctx.program,
+            fuel=ctx.fuel,
+            input_name="<fuzz>",
+            backend=mirror_backend,
+        )
+    except InterpreterError as error:
+        return [
+            f"{mirror_backend} backend faulted where {ctx.backend} "
+            f"succeeded: {error}"
+        ]
+    violations: list[str] = []
+    if mirror.status != ctx.result.status:
+        violations.append(
+            f"exit status diverged: {ctx.backend}={ctx.result.status} "
+            f"{mirror_backend}={mirror.status}"
+        )
+    if mirror.stdout != ctx.result.stdout:
+        violations.append(
+            f"stdout diverged between {ctx.backend} and "
+            f"{mirror_backend} backends"
+        )
+    if dumps_profile(mirror.profile) != dumps_profile(ctx.profile):
+        violations.append(
+            f"profile serialization diverged between {ctx.backend} "
+            f"and {mirror_backend} backends"
+        )
+    return violations
+
+
 #: The oracle registry, in the order they run and report.
 ORACLES: list[tuple[str, Oracle]] = [
     ("flow_conservation", check_flow_conservation),
@@ -396,6 +453,7 @@ ORACLES: list[tuple[str, Oracle]] = [
     ("cache_round_trip", check_cache_round_trip),
     ("profile_round_trip", check_profile_round_trip),
     ("weight_matching_bounds", check_weight_matching_bounds),
+    ("compiled_vs_interpreter", check_compiled_vs_interpreter),
 ]
 
 
@@ -412,6 +470,7 @@ def check_program(
     name: str = "<fuzz>",
     fuel: int = DEFAULT_MACHINE_FUEL,
     raise_frontend: bool = False,
+    backend: Optional[str] = None,
 ) -> CaseReport:
     """Compile, run, and apply every oracle to one source text.
 
@@ -420,8 +479,13 @@ def check_program(
     always compile and terminate), unless ``raise_frontend`` is set —
     the CLI replay path propagates :class:`FrontendError` so the user
     gets a one-line ``file:line:col`` diagnostic.
+
+    ``backend`` picks the primary run's execution backend (default:
+    ``REPRO_BACKEND``, else compiled); ``compiled_vs_interpreter``
+    always mirrors the run on the other backend regardless.
     """
     report = CaseReport(name=name, source=source)
+    resolved_backend = resolve_backend(backend)
     with span("fuzz.check", case=name):
         try:
             program = Program.from_source(source, name)
@@ -434,7 +498,12 @@ def check_program(
             incr("fuzz.oracle.frontend.violations")
             return report
         try:
-            result = run_program(program, fuel=fuel, input_name="<fuzz>")
+            result = run_program_backend(
+                program,
+                fuel=fuel,
+                input_name="<fuzz>",
+                backend=resolved_backend,
+            )
         except (InterpreterError, KeyError) as error:
             # KeyError: a unit with no ``main`` (possible for shrink
             # candidates) fails before interpretation even starts.
@@ -448,6 +517,9 @@ def check_program(
             program=program,
             profile=result.profile,
             session=AnalysisSession.of(program),
+            result=result,
+            fuel=fuel,
+            backend=resolved_backend,
         )
         for oracle_name, oracle in ORACLES:
             report.oracles_run.append(oracle_name)

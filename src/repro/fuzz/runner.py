@@ -118,13 +118,16 @@ def _check_case(
     index: int,
     fuel: int,
     corpus_dir: Optional[str],
+    backend: Optional[str] = None,
 ) -> CaseOutcome:
     """Generate and check case ``index``; save failures to the corpus."""
     seed = derive_case_seed(base_seed, index)
     generated = generate_program(seed)
     key = corpus.case_key(generated.source)
     with span("fuzz.case", index=index, seed=seed):
-        report = check_program(generated.source, generated.name, fuel)
+        report = check_program(
+            generated.source, generated.name, fuel, backend=backend
+        )
     incr("fuzz.cases")
     outcome = CaseOutcome(
         index=index,
@@ -157,13 +160,13 @@ def _check_case(
 
 
 def _case_worker(
-    task: tuple[int, int, int, Optional[str], bool]
+    task: tuple[int, int, int, Optional[str], bool, Optional[str]]
 ) -> tuple[dict, dict]:
     """One case in a worker process, observability captured."""
-    base_seed, index, fuel, corpus_dir, trace = task
+    base_seed, index, fuel, corpus_dir, trace, backend = task
     capture = WorkerCapture(trace)
     with capture:
-        outcome = _check_case(base_seed, index, fuel, corpus_dir)
+        outcome = _check_case(base_seed, index, fuel, corpus_dir, backend)
     return (
         {
             "index": outcome.index,
@@ -183,12 +186,17 @@ def fuzz_run(
     corpus_dir: Optional[str] = None,
     record: bool = False,
     started_at: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> FuzzRunReport:
     """Run ``count`` fuzz cases derived from ``seed``.
 
     ``jobs`` resolves like everywhere else (explicit > ``REPRO_JOBS`` >
     CPU count); results merge in case-index order so the report is
-    identical whatever the worker count.
+    identical whatever the worker count.  ``backend`` resolves once
+    here (explicit > ``REPRO_BACKEND`` > compiled) and pins every
+    case's primary run — the ``compiled_vs_interpreter`` oracle always
+    cross-checks the other backend, so the report is backend-invariant
+    for any program both backends agree on.
 
     With ``record=True`` (and the ledger enabled) the run is appended
     to the persistent run ledger: case/failure totals as score rows,
@@ -200,17 +208,22 @@ def fuzz_run(
     from repro.obs import ledger
     from repro.obs.metrics import metrics_delta, metrics_snapshot
 
+    from repro.compile import resolve_backend
+
     if count < 1:
         raise ValueError("count must be at least 1")
     jobs = resolve_jobs(jobs)
+    backend = resolve_backend(backend)
     recording = record and ledger.ledger_enabled()
     metrics_before = metrics_snapshot() if recording else {}
     clock = time.perf_counter()
     report = FuzzRunReport(base_seed=seed, count=count, jobs=jobs)
-    with span("fuzz.run", seed=seed, count=count, jobs=jobs):
+    with span(
+        "fuzz.run", seed=seed, count=count, jobs=jobs, backend=backend
+    ):
         if jobs > 1 and count > 1:
             tasks = [
-                (seed, index, fuel, corpus_dir, tracing_enabled())
+                (seed, index, fuel, corpus_dir, tracing_enabled(), backend)
                 for index in range(count)
             ]
             with ProcessPoolExecutor(max_workers=jobs) as pool:
@@ -230,7 +243,7 @@ def fuzz_run(
         else:
             for index in range(count):
                 report.outcomes.append(
-                    _check_case(seed, index, fuel, corpus_dir)
+                    _check_case(seed, index, fuel, corpus_dir, backend)
                 )
     if recording:
         ledger.record_run(

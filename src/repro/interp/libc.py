@@ -595,3 +595,69 @@ def _fmod(machine, arguments, call):
 
 #: All builtin names the runtime implements (should match the frontend).
 IMPLEMENTED_BUILTINS: frozenset[str] = frozenset(_HANDLERS)
+
+
+#: Static result type of each builtin, mirroring the ctype every handler
+#: above actually returns.  The compiled backend types builtin-call
+#: results at codegen time from this table (the interpreter gets the
+#: same type dynamically from the handler's return value); a builtin
+#: missing here makes the calling function fall back to the
+#: interpreter, and ``tests/test_compile.py`` asserts the table covers
+#: every registered handler.  ``exit``/``abort``/``__assert_fail``
+#: never return, so their entry is only a placeholder.
+RESULT_TYPES: dict[str, ct.CType] = {
+    "printf": ct.INT,
+    "sprintf": ct.INT,
+    "putchar": ct.INT,
+    "puts": ct.INT,
+    "getchar": ct.INT,
+    "gets": ct.CHAR_PTR,
+    "malloc": ct.VOID_PTR,
+    "calloc": ct.VOID_PTR,
+    "realloc": ct.VOID_PTR,
+    "free": ct.VOID,
+    "exit": ct.VOID,
+    "abort": ct.VOID,
+    "__assert_fail": ct.VOID,
+    "atoi": ct.INT,
+    "atol": ct.LONG,
+    "atof": ct.DOUBLE,
+    "abs": ct.INT,
+    "labs": ct.LONG,
+    "rand": ct.INT,
+    "srand": ct.VOID,
+    "qsort": ct.VOID,
+    "strlen": ct.ULONG,
+    "strcmp": ct.INT,
+    "strncmp": ct.INT,
+    "strcpy": ct.CHAR_PTR,
+    "strncpy": ct.CHAR_PTR,
+    "strcat": ct.CHAR_PTR,
+    "strchr": ct.CHAR_PTR,
+    "strstr": ct.CHAR_PTR,
+    "memset": ct.VOID_PTR,
+    "memcpy": ct.VOID_PTR,
+    "memcmp": ct.INT,
+    "isdigit": ct.INT,
+    "isalpha": ct.INT,
+    "isalnum": ct.INT,
+    "isspace": ct.INT,
+    "isupper": ct.INT,
+    "islower": ct.INT,
+    "ispunct": ct.INT,
+    "toupper": ct.INT,
+    "tolower": ct.INT,
+    "sqrt": ct.DOUBLE,
+    "fabs": ct.DOUBLE,
+    "sin": ct.DOUBLE,
+    "cos": ct.DOUBLE,
+    "tan": ct.DOUBLE,
+    "atan": ct.DOUBLE,
+    "exp": ct.DOUBLE,
+    "log": ct.DOUBLE,
+    "floor": ct.DOUBLE,
+    "ceil": ct.DOUBLE,
+    "atan2": ct.DOUBLE,
+    "pow": ct.DOUBLE,
+    "fmod": ct.DOUBLE,
+}

@@ -147,6 +147,25 @@ def _build_block_plan(cfg) -> tuple[dict[int, tuple], int]:
     return blocks, cfg.entry_id
 
 
+def block_plan(program: Program, name: str) -> tuple[dict[int, tuple], int]:
+    """The flattened execution plan of one function, cached per Program.
+
+    Public accessor shared by every running :class:`Machine` *and* by
+    the compiled backend (:mod:`repro.compile`), which lowers exactly
+    these plans — so both backends execute the same statement lists and
+    terminators by construction.
+    """
+    plans = _PLAN_CACHE.get(program)
+    if plans is None:
+        plans = {}
+        _PLAN_CACHE[program] = plans
+    plan = plans.get(name)
+    if plan is None:
+        plan = _build_block_plan(program.cfg(name))
+        plans[name] = plan
+    return plan
+
+
 class Machine:
     """Interprets one :class:`~repro.program.Program`."""
 
@@ -172,6 +191,11 @@ class Machine:
         self._fuel = fuel
         self._initial_fuel = fuel
         self._max_call_depth = max_call_depth
+        #: Live user-call depth.  Tracked separately from ``_frames``
+        #: because the compiled backend runs calls without pushing
+        #: interpreter frames; mixed compiled/interpreted stacks share
+        #: this one counter so the depth limit stays exact.
+        self._depth = 0
         self._frames: list[_Frame] = []
         self._globals: dict[str, tuple[int, ct.CType]] = {}
         self._statics: dict[tuple[str, str], tuple[int, ct.CType]] = {}
@@ -401,7 +425,7 @@ class Machine:
     ) -> tuple[object, ct.CType]:
         """Call a defined function with already-evaluated arguments."""
         self._initialize()
-        if len(self._frames) >= self._max_call_depth:
+        if self._depth >= self._max_call_depth:
             raise InterpreterError(
                 f"call depth limit exceeded calling {name!r}", location
             )
@@ -474,10 +498,12 @@ class Machine:
             variables[local_name] = (stack_alloc(size), local_type)
         frame = _Frame(name, variables, mark)
         self._frames.append(frame)
+        self._depth += 1
         self.profile.function_entries[name] += 1
         try:
             return self._execute_cfg(name, definition)
         finally:
+            self._depth -= 1
             self._frames.pop()
             memory.stack_release(mark)
 
@@ -485,17 +511,7 @@ class Machine:
     # CFG execution.
 
     def _block_plan(self, name: str) -> tuple[dict[int, tuple], int]:
-        """The flattened execution plan of one function, cached per
-        Program so every run of the same (memoized) program shares it."""
-        plans = _PLAN_CACHE.get(self.program)
-        if plans is None:
-            plans = {}
-            _PLAN_CACHE[self.program] = plans
-        plan = plans.get(name)
-        if plan is None:
-            plan = _build_block_plan(self.program.cfg(name))
-            plans[name] = plan
-        return plan
+        return block_plan(self.program, name)
 
     def _execute_cfg(
         self, name: str, definition: ast.FunctionDef

@@ -173,16 +173,20 @@ def cache_info(directory: Optional[str] = None) -> dict[str, object]:
     return summary
 
 
-def scan_cache_entries(directory: str) -> dict[str, object]:
-    """One pass over a cache directory's ``*.json`` entries, shared by
-    the profile and analysis caches: counts, bytes, mtime range."""
+def scan_cache_entries(
+    directory: str, suffixes: tuple[str, ...] = (".json",)
+) -> dict[str, object]:
+    """One pass over a cache directory's entries, shared by the
+    profile, analysis, and codegen caches: counts, bytes, mtime range.
+    ``suffixes`` selects which files count as entries (the codegen
+    cache stores ``.py`` source plus ``.code`` marshal blobs)."""
     entries = 0
     total_bytes = 0
     oldest: Optional[float] = None
     newest: Optional[float] = None
     if os.path.isdir(directory):
         for name in os.listdir(directory):
-            if not name.endswith(".json"):
+            if not name.endswith(suffixes):
                 continue
             entries += 1
             try:

@@ -1,5 +1,5 @@
-"""The 14-program benchmark suite, its loader, and the parallel
-cached profiling pipeline."""
+"""The 14-program benchmark suite, the generated suite-XL tier, the
+loader, and the parallel cached profiling pipeline."""
 
 from repro.suite.pipeline import (
     SuiteTimings,
@@ -13,14 +13,18 @@ from repro.suite.registry import (
     SuiteEntry,
     clear_caches,
     collect_profiles,
+    is_known_program,
+    known_program_names,
     load_program,
     profile_for_input,
     profile_key,
+    program_fuel,
     program_inputs,
     program_names,
     program_source,
     run_on_input,
     source_line_count,
+    xl_program_names,
 )
 
 __all__ = [
@@ -31,9 +35,12 @@ __all__ = [
     "clear_caches",
     "collect_profiles",
     "collect_suite_profiles",
+    "is_known_program",
+    "known_program_names",
     "load_program",
     "profile_for_input",
     "profile_key",
+    "program_fuel",
     "program_inputs",
     "program_names",
     "program_source",
@@ -41,4 +48,5 @@ __all__ = [
     "run_on_input",
     "source_line_count",
     "warm_suite_cache",
+    "xl_program_names",
 ]

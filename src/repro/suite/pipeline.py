@@ -186,7 +186,7 @@ def collect_suite_profiles(
     """
     ordered = list(names) if names is not None else registry.program_names()
     for name in ordered:
-        if name not in registry.SUITE_BY_NAME:
+        if not registry.is_known_program(name):
             raise KeyError(f"unknown suite program {name!r}")
     jobs = resolve_jobs(jobs)
     if use_cache is None:

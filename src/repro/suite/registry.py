@@ -11,6 +11,17 @@ Programs live in ``programs/*.c``; each has at least four inputs in
 :func:`collect_profiles` runs it on every input and returns the
 resulting profiles (memoized per process, since profiling is the
 expensive step every experiment shares).
+
+The registry also serves the generated **suite XL** tier
+(:mod:`repro.suite.xl`): XL names resolve through the same loader,
+profile cache, and pipeline, with their source synthesized
+deterministically instead of read from disk and a single empty stdin
+as their input set.
+
+Execution goes through :func:`repro.compile.machine_class`, so the
+``REPRO_BACKEND`` environment knob (or an explicit ``backend``
+argument) selects the compiled backend or the interpreter for every
+suite run, including pipeline worker processes.
 """
 
 from __future__ import annotations
@@ -20,7 +31,8 @@ import os
 import re
 from dataclasses import dataclass
 
-from repro.interp.machine import ExecutionResult, Machine
+from repro.compile import machine_class
+from repro.interp.machine import ExecutionResult
 from repro.profiles import cache as profile_cache
 from repro.profiles.profile import Profile
 from repro.program import Program
@@ -137,13 +149,49 @@ def program_names() -> list[str]:
     return [entry.name for entry in SUITE]
 
 
+def _xl():
+    # Lazy: repro.suite.xl pulls in the fuzz package, whose runner
+    # imports back from repro.suite — importing it at module load
+    # would cycle during package initialization.
+    from repro.suite import xl
+
+    return xl
+
+
+def xl_program_names() -> list[str]:
+    """Names of the generated suite-XL programs, in index order."""
+    return _xl().xl_program_names()
+
+
+def known_program_names(tier: str = "base") -> list[str]:
+    """Program names for a registry tier: ``base`` (the 14 paper
+    programs), ``xl`` (the generated scale-up tier), or ``all``."""
+    if tier == "base":
+        return program_names()
+    if tier == "xl":
+        return xl_program_names()
+    if tier == "all":
+        return program_names() + xl_program_names()
+    raise ValueError(f"unknown suite tier {tier!r} (base, xl, or all)")
+
+
+def is_known_program(name: str) -> bool:
+    """Whether ``name`` is a base-suite or suite-XL program."""
+    return name in SUITE_BY_NAME or name in _xl().XL_BY_NAME
+
+
 def source_path(name: str) -> str:
     """Path of one suite program's C source file."""
     return os.path.join(PROGRAMS_DIR, f"{name}.c")
 
 
 def program_source(name: str) -> str:
-    """The C source text of one suite program."""
+    """The C source text of one suite program (read from disk for the
+    base tier, synthesized deterministically for suite XL)."""
+    if name not in SUITE_BY_NAME:
+        xl = _xl()
+        if name in xl.XL_BY_NAME:
+            return xl.xl_source(name)
     with open(source_path(name), encoding="utf-8") as handle:
         return handle.read()
 
@@ -185,7 +233,14 @@ def input_paths(name: str) -> list[str]:
 
 
 def program_inputs(name: str) -> list[str]:
-    """All input strings for one suite program, in index order."""
+    """All input strings for one suite program, in index order.
+
+    XL programs read nothing from stdin; their input set is a single
+    empty string so every (program × input) surface — caching, the
+    pipeline fan-out, the ledger — treats both tiers uniformly.
+    """
+    if name not in SUITE_BY_NAME and name in _xl().XL_BY_NAME:
+        return [""]
     inputs = []
     for path in input_paths(name):
         with open(path, encoding="utf-8") as handle:
@@ -200,8 +255,8 @@ _PROFILE_CACHE: dict[str, list[Profile]] = {}
 
 
 def load_program(name: str) -> Program:
-    """Compile a suite program (memoized)."""
-    if name not in SUITE_BY_NAME:
+    """Compile a suite (or suite-XL) program (memoized)."""
+    if not is_known_program(name):
         raise KeyError(f"unknown suite program {name!r}")
     if name not in _PROGRAM_CACHE:
         _PROGRAM_CACHE[name] = Program.from_source(
@@ -210,15 +265,30 @@ def load_program(name: str) -> Program:
     return _PROGRAM_CACHE[name]
 
 
+def program_fuel(name: str) -> int:
+    """The execution budget for one registry program."""
+    entry = SUITE_BY_NAME.get(name)
+    if entry is not None:
+        return entry.fuel
+    return _xl().XL_BY_NAME[name].fuel
+
+
 def run_on_input(
-    name: str, stdin: str, input_name: str = ""
+    name: str,
+    stdin: str,
+    input_name: str = "",
+    backend: str | None = None,
 ) -> ExecutionResult:
-    """Run one suite program on one input string."""
-    entry = SUITE_BY_NAME[name]
+    """Run one suite program on one input string.
+
+    The machine class comes from :func:`repro.compile.machine_class`:
+    explicit ``backend`` argument, else ``REPRO_BACKEND``, else the
+    compiled default — both backends produce byte-identical profiles.
+    """
     program = load_program(name)
     profile = Profile(name, input_name)
-    machine = Machine(
-        program, stdin=stdin, fuel=entry.fuel, profile=profile
+    machine = machine_class(backend)(
+        program, stdin=stdin, fuel=program_fuel(name), profile=profile
     )
     result = machine.run()
     if result.aborted:

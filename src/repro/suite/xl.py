@@ -1,0 +1,156 @@
+"""Suite XL: a seed-pinned registry tier generated from the fuzz grammar.
+
+The base suite (14 hand-written programs) is sized for studying the
+*paper's* questions; it is far too small to stress the execution
+backends.  Suite XL scales the workload without scaling the repository:
+each XL program is a deterministic function of :data:`XL_SEED` alone,
+assembled at load time by concatenating many fuzz-generated translation
+units (:mod:`repro.fuzz.generator`) plus a deep synthetic call chain:
+
+* every unit's top-level symbols (``fnK``, ``gK``, ``mem``, ``table``,
+  ``__fz_fuel``, ``main``) are renamed into a ``uN_`` namespace, so
+  tens of units coexist in one translation unit — the biggest XL
+  programs carry hundreds of functions, and the tier as a whole
+  thousands;
+* each unit keeps its own program-level fuel global, so termination is
+  inherited from the generator's structural guarantees;
+* a ``chain_K`` ladder gives every program a call graph hundreds of
+  frames deep (well under the machine's 1800-frame limit), which the
+  base suite never exercises;
+* ``main`` invokes every unit's renamed entry point and the chain, then
+  prints a checksum, so the whole program is live code.
+
+Because generation is pure (seeded ``random.Random``, no ambient
+state), XL programs profile byte-identically across processes, worker
+counts, and execution backends — exactly like the base suite — and the
+registry serves them through the same loader, cache, and pipeline
+paths (see :mod:`repro.suite.registry`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from functools import lru_cache
+
+#: Everything in suite XL derives from this one seed.  Changing it (or
+#: the fuzz grammar's ``GENERATOR_VERSION``) re-pins the whole tier.
+XL_SEED = 71994
+
+#: Number of XL programs (``xl00`` .. ``xl49``).
+XL_COUNT = 50
+
+
+@dataclass(frozen=True)
+class XLEntry:
+    """Metadata for one generated suite-XL program."""
+
+    name: str
+    index: int
+    units: int
+    chain_depth: int
+    fuel: int = 100_000_000
+
+
+def _units_for(index: int) -> int:
+    # 3..20 units, spread deterministically (17 is coprime to 18, so
+    # the sizes cycle through every value rather than clustering).
+    return 3 + (index * 17) % 18
+
+
+def _chain_for(index: int) -> int:
+    # Call-chain depth 16..240: deep enough that XL exercises call
+    # graphs the base suite never does, with ample headroom under the
+    # machine's 1800-frame limit.
+    return 16 + (index * 41) % 225
+
+
+XL_SUITE: list[XLEntry] = [
+    XLEntry(
+        name=f"xl{index:02d}",
+        index=index,
+        units=_units_for(index),
+        chain_depth=_chain_for(index),
+    )
+    for index in range(XL_COUNT)
+]
+
+XL_BY_NAME: dict[str, XLEntry] = {entry.name: entry for entry in XL_SUITE}
+
+
+def xl_program_names() -> list[str]:
+    """Names of every XL program, in index order."""
+    return [entry.name for entry in XL_SUITE]
+
+
+#: Per-unit renames, applied in order.  ``main`` must rename before the
+#: generic identifier rules so each unit's entry point gets a unique
+#: name; the numbered rules use backreferences to keep the index.
+_RENAMES: tuple[tuple[re.Pattern[str], str], ...] = (
+    (re.compile(r"\b__fz_fuel\b"), "u{unit}_fuel"),
+    (re.compile(r"\bmem\b"), "u{unit}_mem"),
+    (re.compile(r"\btable\b"), "u{unit}_table"),
+    (re.compile(r"\bmain\b"), "u{unit}_entry"),
+    (re.compile(r"\bfn(\d+)\b"), r"u{unit}_fn\1"),
+    (re.compile(r"\bg(\d+)\b"), r"u{unit}_g\1"),
+)
+
+
+def _namespaced_unit(source: str, unit: int) -> str:
+    """One generated unit with its top-level symbols moved into the
+    ``u<unit>_`` namespace (locals and parameters are function-scoped
+    and need no rename)."""
+    for pattern, template in _RENAMES:
+        source = pattern.sub(template.format(unit=unit), source)
+    return source
+
+
+def _unit_seed(entry: XLEntry, unit: int) -> int:
+    from repro.fuzz.generator import derive_case_seed
+
+    return derive_case_seed(XL_SEED + 1000 * entry.index, unit)
+
+
+@lru_cache(maxsize=None)
+def xl_source(name: str) -> str:
+    """The (deterministic) C source of one XL program."""
+    from repro.fuzz.generator import GENERATOR_VERSION, generate_source
+
+    entry = XL_BY_NAME[name]
+    parts = [
+        f"/* suite-xl {entry.name}: units={entry.units} "
+        f"chain={entry.chain_depth} seed={XL_SEED} "
+        f"grammar v{GENERATOR_VERSION} */"
+    ]
+    for unit in range(entry.units):
+        parts.append(
+            _namespaced_unit(
+                generate_source(_unit_seed(entry, unit)), unit
+            )
+        )
+    # The deep call chain, leaf first so every call target is already
+    # defined.  Alternating branch shapes keep the chain from being
+    # one repeated block.
+    depth = entry.chain_depth
+    chain = [f"int chain_{depth}(int acc)\n{{\n    return acc;\n}}\n"]
+    for level in range(depth - 1, -1, -1):
+        if level % 3 == 0:
+            body = (
+                f"    if (acc < 0) {{\n        return 0;\n    }}\n"
+                f"    return chain_{level + 1}(acc + {level % 7});\n"
+            )
+        else:
+            body = (
+                f"    return chain_{level + 1}(acc + {level % 5});\n"
+            )
+        chain.append(f"int chain_{level}(int acc)\n{{\n{body}}}\n")
+    parts.append("".join(chain))
+    lines = ["int main(void)", "{", "    int total;", "    total = 0;"]
+    for unit in range(entry.units):
+        lines.append(f"    total = total + u{unit}_entry();")
+    lines.append(f"    total = total + chain_0({entry.units});")
+    lines.append('    printf("xl:%d\\n", total);')
+    lines.append("    return 0;")
+    lines.append("}")
+    parts.append("\n".join(lines) + "\n")
+    return "\n".join(parts)

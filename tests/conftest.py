@@ -30,11 +30,18 @@ def _hermetic_profile_cache(tmp_path_factory):
     never read from or write to the developer's real cache.
     """
     cache_dir = tmp_path_factory.mktemp("profile-cache")
+    codegen_dir = tmp_path_factory.mktemp("codegen-cache")
     previous = {
         name: os.environ.get(name)
-        for name in ("REPRO_CACHE_DIR", "REPRO_LEDGER", "REPRO_LEDGER_DIR")
+        for name in (
+            "REPRO_CACHE_DIR",
+            "REPRO_CODEGEN_CACHE_DIR",
+            "REPRO_LEDGER",
+            "REPRO_LEDGER_DIR",
+        )
     }
     os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    os.environ["REPRO_CODEGEN_CACHE_DIR"] = str(codegen_dir)
     # The run ledger defaults under the cache dir, so it is already
     # hermetic; drop any ambient overrides so tests see the default.
     os.environ.pop("REPRO_LEDGER", None)

@@ -114,6 +114,7 @@ class TestOracles:
             "cache_round_trip",
             "profile_round_trip",
             "weight_matching_bounds",
+            "compiled_vs_interpreter",
         ]
 
     def test_clean_programs_pass_every_oracle(self):

@@ -131,6 +131,18 @@ _weights = st.dictionaries(
 )
 _cutoffs = st.floats(min_value=0.01, max_value=1.0)
 
+# Integer-valued weights for the scaling invariant: with arbitrary
+# floats a subnormal weight can underflow to 0.0 when scaled (and two
+# nearby weights can round to the same product), which genuinely
+# changes the ranking — the property only holds when scaling is
+# order-exact.
+_exact_weights = st.dictionaries(
+    st.integers(min_value=0, max_value=30),
+    st.integers(min_value=0, max_value=10**6).map(float),
+    min_size=1,
+    max_size=30,
+)
+
 
 @given(_weights, _weights, _cutoffs)
 def test_score_bounded(estimate, actual, cutoff):
@@ -151,7 +163,7 @@ def test_full_cutoff_is_always_one(estimate, actual):
     )
 
 
-@given(_weights, _weights, _cutoffs, st.floats(0.1, 100.0))
+@given(_exact_weights, _weights, _cutoffs, st.floats(0.1, 100.0))
 def test_scaling_estimate_preserves_score(estimate, actual, cutoff, factor):
     scaled = {k: v * factor for k, v in estimate.items()}
     assert weight_matching_score(
