@@ -1,0 +1,116 @@
+"""Per-heuristic accuracy aggregation over branch records.
+
+Collapses a program's :class:`~repro.attribution.records.BranchRecord`
+list into one row per winning heuristic — static branch count, dynamic
+executions, dynamic misses, miss rate, and total attributed
+block-frequency error — and publishes those rows three ways:
+
+* **metrics** (:func:`publish_accuracy_metrics`) — counters and
+  histograms in the process-global :mod:`repro.obs` registry, so
+  ``repro stats`` / ``--format prom`` expose heuristic accuracy after
+  any ``repro explain``;
+* **ledger score rows** (:func:`accuracy_score_rows`) — flat
+  ``{metric: value}`` rows under the ``attribution`` experiment, so
+  ``repro compare --fail-on-regression`` gates each heuristic's miss
+  rate longitudinally against ``baselines/attribution.json``;
+* the ``repro explain`` text/JSON report itself.
+
+Scoring follows the paper's protocol (:mod:`repro.prediction
+.missrate`): constant-folded branches are excluded, and switches never
+produce records in the first place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs import incr, observe
+
+from repro.attribution.records import KNOWN_REASONS, BranchRecord
+
+
+@dataclass
+class HeuristicAccuracy:
+    """Accuracy of one heuristic over one program's branches."""
+
+    reason: str
+    branches: int = 0
+    executions: float = 0.0
+    misses: float = 0.0
+    attributed_error: float = 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.executions if self.executions else 0.0
+
+
+def accuracy_by_heuristic(
+    records: list[BranchRecord],
+) -> dict[str, HeuristicAccuracy]:
+    """One accuracy row per winning heuristic, in KNOWN_REASONS order
+    (unknown reasons, if any, sort after the known ones by name)."""
+    rows: dict[str, HeuristicAccuracy] = {}
+    for record in records:
+        if not record.scored:
+            continue
+        row = rows.get(record.winner)
+        if row is None:
+            row = rows[record.winner] = HeuristicAccuracy(record.winner)
+        row.branches += 1
+        row.executions += record.executions
+        row.misses += record.dynamic_misses
+        row.attributed_error += record.global_error
+    order = {reason: rank for rank, reason in enumerate(KNOWN_REASONS)}
+    return {
+        reason: rows[reason]
+        for reason in sorted(
+            rows, key=lambda r: (order.get(r, len(order)), r)
+        )
+    }
+
+
+def accuracy_score_rows(
+    program: str, records: list[BranchRecord]
+) -> dict[str, float]:
+    """Flat ledger score rows for one program.
+
+    Per heuristic: ``<program>.<reason>.missrate`` (the gated metric),
+    ``.branches`` (static coverage) and ``.executions`` (dynamic
+    coverage — deterministic, profiles are byte-identical across
+    backends and job counts).  Plus program-level totals.
+    """
+    rows: dict[str, float] = {}
+    scored = [record for record in records if record.scored]
+    total_executions = sum(record.executions for record in scored)
+    total_misses = sum(record.dynamic_misses for record in scored)
+    rows[f"{program}.branches"] = float(len(records))
+    rows[f"{program}.scored_branches"] = float(len(scored))
+    rows[f"{program}.missrate"] = (
+        total_misses / total_executions if total_executions else 0.0
+    )
+    rows[f"{program}.attributed_error"] = sum(
+        record.global_error for record in scored
+    )
+    for reason, row in accuracy_by_heuristic(records).items():
+        rows[f"{program}.{reason}.missrate"] = row.miss_rate
+        rows[f"{program}.{reason}.branches"] = float(row.branches)
+        rows[f"{program}.{reason}.executions"] = row.executions
+    return rows
+
+
+def publish_accuracy_metrics(
+    program: str, records: list[BranchRecord]
+) -> None:
+    """Fold one program's accuracy into the process-global metrics
+    registry (picked up by ``repro stats`` and the run ledger's
+    counter deltas)."""
+    incr("attribution.programs")
+    incr("attribution.branches", len(records))
+    for record in records:
+        if not record.scored:
+            continue
+        prefix = f"attribution.heuristic.{record.winner}"
+        incr(f"{prefix}.branches")
+        incr(f"{prefix}.executions", record.executions)
+        incr(f"{prefix}.misses", record.dynamic_misses)
+        observe("attribution.branch_error", record.global_error)

@@ -1,0 +1,100 @@
+"""CFG heatmap overlays: where the estimate diverges from the profile.
+
+Builds on :func:`repro.cfg.dot.cfg_to_dot` (the Figure-6 style
+renderer): each block carries its estimated vs. profiled frequency and
+is shaded by the magnitude of the difference (white = exact,
+saturated red = the function's worst block), and each conditional edge
+is labelled with the predicted probability next to the realized one
+(``p=0.80 q=0.99``).  The rendering is pure text and deterministic —
+two runs over the same profiles emit byte-identical DOT, whatever the
+backend or worker count that produced the profiles.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.block import ControlFlowGraph
+from repro.cfg.dot import cfg_to_dot
+from repro.profiles.profile import Profile
+
+from repro.attribution.records import BranchRecord
+
+#: Errors this small render as unshaded (white) blocks.
+SHADE_EPSILON = 1e-9
+
+
+def _shade(intensity: float) -> str:
+    """White -> red fill for an intensity in [0, 1]."""
+    intensity = min(max(intensity, 0.0), 1.0)
+    other = round(255 * (1.0 - 0.72 * intensity))
+    return f"#ff{other:02x}{other:02x}"
+
+
+def heatmap_dot(
+    cfg: ControlFlowGraph,
+    estimates: dict[int, float],
+    actuals: dict[int, float],
+    records: list[BranchRecord],
+    profile: Profile,
+) -> str:
+    """The heatmap DOT for one function.
+
+    ``estimates``/``actuals`` are per-block frequencies normalized to
+    one function entry; ``records`` the function's branch records
+    (supplying predicted probabilities); ``profile`` the aggregate
+    ground truth (supplying realized branch probabilities).
+    """
+    errors = {
+        block_id: estimates.get(block_id, 0.0)
+        - actuals.get(block_id, 0.0)
+        for block_id in cfg.blocks
+    }
+    worst = max((abs(e) for e in errors.values()), default=0.0)
+    annotations: dict[int, str] = {}
+    styles: dict[int, str] = {}
+    for block_id in sorted(cfg.blocks):
+        error = errors[block_id]
+        annotations[block_id] = (
+            f"est={estimates.get(block_id, 0.0):.3g} "
+            f"act={actuals.get(block_id, 0.0):.3g} "
+            f"err={error:+.3g}"
+        )
+        if worst > SHADE_EPSILON and abs(error) > SHADE_EPSILON:
+            fill = _shade(abs(error) / worst)
+            styles[block_id] = f'style=filled, fillcolor="{fill}"'
+    edge_annotations = _branch_edge_labels(cfg, records, profile)
+    return cfg_to_dot(
+        cfg,
+        block_annotations=annotations,
+        edge_annotations=edge_annotations,
+        block_styles=styles,
+    )
+
+
+def _branch_edge_labels(
+    cfg: ControlFlowGraph,
+    records: list[BranchRecord],
+    profile: Profile,
+) -> dict[tuple[int, int], str]:
+    """``p=<predicted> q=<actual>`` labels for conditional edges."""
+    by_block = {record.block_id: record for record in records}
+    outcomes = profile.branch_outcomes.get(cfg.function_name, {})
+    labels: dict[tuple[int, int], str] = {}
+    for block, branch in cfg.conditional_branches():
+        record = by_block.get(block.block_id)
+        if record is None:
+            continue
+        p = record.predicted_probability
+        outcome = outcomes.get(block.block_id)
+        if outcome is not None and outcome.total:
+            q_taken = outcome.taken / outcome.total
+            taken_label = f"T p={p:.2f} q={q_taken:.2f}"
+            fall_label = f"F p={1.0 - p:.2f} q={1.0 - q_taken:.2f}"
+        else:
+            taken_label = f"T p={p:.2f} q=-"
+            fall_label = f"F p={1.0 - p:.2f} q=-"
+        # Parallel arms (both targets equal) keep the taken label.
+        labels[(block.block_id, branch.true_target)] = taken_label
+        labels.setdefault(
+            (block.block_id, branch.false_target), fall_label
+        )
+    return labels

@@ -1,0 +1,217 @@
+"""Per-branch attribution records: heuristics fired vs. ground truth.
+
+One :class:`BranchRecord` per conditional branch in a program joins the
+three views the rest of the pipeline keeps separate:
+
+* **prediction** — every AST idiom that fired for the branch (in
+  priority order, from :func:`repro.prediction.heuristics
+  .collect_predictions`) plus the CFG-level Ball–Larus idioms
+  (:mod:`repro.prediction.cfg_heuristics`), and the *winning*
+  prediction the Markov transition matrix actually used;
+* **ground truth** — the branch's taken/not-taken totals from the
+  aggregated interpreter profiles, its realized taken probability, and
+  the dynamic misses the winning prediction incurs;
+* **protocol flags** — constant-folded branches are recorded (they are
+  features) but flagged excluded, matching the paper's miss-rate
+  scoring protocol in :mod:`repro.prediction.missrate`.
+
+Records are plain data with a stable dict form: they serialize to the
+attribution cache and to the ``repro explain --export-features`` JSONL
+feature/label matrix for the future learned estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.frontend.constfold import fold_condition
+from repro.prediction.cfg_heuristics import _FunctionShape
+from repro.prediction.heuristics import collect_predictions
+from repro.profiles.profile import Profile
+from repro.program import Program
+
+#: Every heuristic reason a record can carry, in reporting order: the
+#: AST idioms by priority, then the CFG idioms, then the fallbacks.
+KNOWN_REASONS = (
+    "constant",
+    "loop",
+    "pointer",
+    "error-call",
+    "opcode-eq",
+    "opcode-neg",
+    "multiple-ands",
+    "return",
+    "store",
+    "cfg-loop-exit",
+    "cfg-call",
+    "default",
+)
+
+
+@dataclass
+class BranchRecord:
+    """Everything known about one conditional branch."""
+
+    function: str
+    block_id: int
+    line: int
+    kind: str
+    #: Every idiom that fired, priority order: ``[(reason, p), ...]``.
+    fired: list[tuple[str, float]] = field(default_factory=list)
+    #: The prediction the transition matrix used.
+    winner: str = "default"
+    predicted_probability: float = 0.5
+    #: Profile ground truth (zero when the branch never executed).
+    taken: float = 0.0
+    not_taken: float = 0.0
+    #: Constant-folded: recorded but excluded from accuracy scoring.
+    is_constant: bool = False
+    #: Attributed block-frequency error (filled by the sensitivity
+    #: pass): L1 norm of the frequency change this branch's probability
+    #: error induces, locally and weighted by estimated invocations.
+    local_error: float = 0.0
+    global_error: float = 0.0
+    #: Blocks most perturbed by this branch: ``[(block id, delta)]``.
+    error_flow: list[tuple[int, float]] = field(default_factory=list)
+
+    @property
+    def executions(self) -> float:
+        return self.taken + self.not_taken
+
+    @property
+    def actual_probability(self) -> Optional[float]:
+        """Realized taken probability, or None if never executed."""
+        total = self.executions
+        return self.taken / total if total else None
+
+    @property
+    def predicted_taken(self) -> bool:
+        return self.predicted_probability >= 0.5
+
+    @property
+    def scored(self) -> bool:
+        """Counts toward accuracy: executed and not constant-folded."""
+        return self.executions > 0 and not self.is_constant
+
+    @property
+    def mispredicted(self) -> Optional[bool]:
+        """Direction miss against the majority outcome (None if the
+        branch never executed)."""
+        if self.executions == 0:
+            return None
+        return self.predicted_taken != (self.taken >= self.not_taken)
+
+    @property
+    def dynamic_misses(self) -> float:
+        return self.not_taken if self.predicted_taken else self.taken
+
+    def to_dict(self) -> dict:
+        """Stable JSON form (cache entries and the feature export)."""
+        return {
+            "function": self.function,
+            "block": self.block_id,
+            "line": self.line,
+            "kind": self.kind,
+            "fired": [[reason, p] for reason, p in self.fired],
+            "winner": self.winner,
+            "predicted_probability": self.predicted_probability,
+            "taken": self.taken,
+            "not_taken": self.not_taken,
+            "is_constant": self.is_constant,
+            "local_error": self.local_error,
+            "global_error": self.global_error,
+            "error_flow": [[b, d] for b, d in self.error_flow],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BranchRecord":
+        return cls(
+            function=str(payload["function"]),
+            block_id=int(payload["block"]),
+            line=int(payload["line"]),
+            kind=str(payload["kind"]),
+            fired=[
+                (str(reason), float(p)) for reason, p in payload["fired"]
+            ],
+            winner=str(payload["winner"]),
+            predicted_probability=float(payload["predicted_probability"]),
+            taken=float(payload["taken"]),
+            not_taken=float(payload["not_taken"]),
+            is_constant=bool(payload["is_constant"]),
+            local_error=float(payload["local_error"]),
+            global_error=float(payload["global_error"]),
+            error_flow=[
+                (int(b), float(d)) for b, d in payload["error_flow"]
+            ],
+        )
+
+
+def collect_branch_records(
+    program: Program, profile: Profile
+) -> list[BranchRecord]:
+    """One record per conditional branch, in (function, block) order.
+
+    ``profile`` is the evaluation ground truth — normally the aggregate
+    of every input's profile.  The winning prediction comes from the
+    program's memoized session predictor, i.e. exactly the probability
+    the Markov transition matrix was built from; the CFG idioms are
+    recorded as additional fired features even when an AST idiom
+    outranked them.
+    """
+    from repro.analysis.session import AnalysisSession
+    from repro.prediction.error_functions import settings_for_program
+
+    session = AnalysisSession.of(program)
+    predictor = session.predictor()
+    settings = settings_for_program(program)
+    p = settings.taken_probability
+    records: list[BranchRecord] = []
+    for function_name in program.function_names:
+        cfg = program.cfg(function_name)
+        outcomes = profile.branch_outcomes.get(function_name, {})
+        shape: Optional[_FunctionShape] = None
+        for block, branch in cfg.conditional_branches():
+            winner = predictor.predict_branch(function_name, block, branch)
+            fired = [
+                (prediction.reason, prediction.taken_probability)
+                for prediction in collect_predictions(
+                    branch.condition, branch.kind, branch.origin, settings
+                )
+            ]
+            if not fired or fired[0][0] != "constant":
+                # The CFG idioms are cheap relative to the solves and
+                # are genuine features even when outranked.
+                if shape is None:
+                    shape = _FunctionShape(cfg)
+                for cfg_prediction in (
+                    shape.loop_exit_heuristic(block, branch, p),
+                    shape.call_heuristic(block, branch, p),
+                ):
+                    if cfg_prediction is not None:
+                        fired.append(
+                            (
+                                cfg_prediction.reason,
+                                cfg_prediction.taken_probability,
+                            )
+                        )
+            outcome = outcomes.get(block.block_id)
+            records.append(
+                BranchRecord(
+                    function=function_name,
+                    block_id=block.block_id,
+                    line=branch.condition.location.line,
+                    kind=branch.kind,
+                    fired=fired,
+                    winner=winner.reason,
+                    predicted_probability=winner.taken_probability,
+                    taken=float(outcome.taken) if outcome else 0.0,
+                    not_taken=(
+                        float(outcome.not_taken) if outcome else 0.0
+                    ),
+                    is_constant=(
+                        fold_condition(branch.condition) is not None
+                    ),
+                )
+            )
+    return records

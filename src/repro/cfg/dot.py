@@ -18,12 +18,15 @@ def cfg_to_dot(
     graph: ControlFlowGraph,
     block_annotations: Optional[Mapping[int, str]] = None,
     edge_annotations: Optional[Mapping[tuple[int, int], str]] = None,
+    block_styles: Optional[Mapping[int, str]] = None,
 ) -> str:
     """Render ``graph`` as DOT text.
 
     ``block_annotations`` adds a second label line per block (e.g. an
     estimated frequency); ``edge_annotations`` labels edges (e.g. branch
-    probabilities).
+    probabilities); ``block_styles`` appends raw node attributes per
+    block (e.g. ``style=filled, fillcolor="#ffd9d9"`` for the error
+    heatmaps in :mod:`repro.attribution.heatmap`).
     """
     lines = [f'digraph "{graph.function_name}" {{', "  node [shape=box];"]
     for block_id in sorted(graph.blocks):
@@ -34,6 +37,8 @@ def cfg_to_dot(
         shape = ""
         if block_id == graph.entry_id:
             shape = ", penwidth=2"
+        if block_styles and block_id in block_styles:
+            shape = f"{shape}, {block_styles[block_id]}"
         lines.append(f'  n{block_id} [label="{label}"{shape}];')
     for block_id in sorted(graph.blocks):
         block = graph.blocks[block_id]

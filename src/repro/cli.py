@@ -9,6 +9,8 @@ Usage (after installing the package)::
     python -m repro exec compress --input 1 # run one program, show stdout
     python -m repro cfg compress table_lookup --dot  # dump a CFG
     python -m repro predict compress        # per-branch predictions
+    python -m repro explain compress --top 5  # worst-branch attribution
+    python -m repro explain base --record --dot heatmaps/  # full study
     python -m repro profile-suite --timings # collect/warm all profiles
     python -m repro profile-suite --tier xl --record  # suite XL, ledgered
     python -m repro run all --backend interp   # reference interpreter
@@ -58,9 +60,11 @@ import datetime
 import json
 import os
 import sys
+import time
 
 from repro import obs
 from repro.analysis import cache as analysis_cache
+from repro.attribution import cache as attribution_cache
 from repro.analysis.session import session_for_suite
 from repro.cfg import cfg_to_dot
 from repro.compile import BACKENDS
@@ -304,6 +308,119 @@ def _command_profile_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``repro explain`` target aliases: tier names plus the study alias
+#: (``branch_prediction`` = the 14-program base tier the paper's
+#: branch-prediction tables run over).
+_EXPLAIN_ALIASES = ("base", "xl", "all", "branch_prediction")
+
+
+def _resolve_explain_targets(targets: list[str]) -> list[str]:
+    """Expand ``repro explain`` targets (program names, tier aliases,
+    or ``branch_prediction``) into a program list, preserving order
+    and dropping duplicates."""
+    names: list[str] = []
+    for target in targets or ["base"]:
+        if target in _EXPLAIN_ALIASES:
+            tier = "base" if target == "branch_prediction" else target
+            expanded = known_program_names(tier)
+        elif is_known_program(target):
+            expanded = [target]
+        else:
+            raise ValueError(
+                f"unknown program or tier {target!r} "
+                f"(programs: {', '.join(program_names())}; "
+                f"aliases: {', '.join(_EXPLAIN_ALIASES)})"
+            )
+        for name in expanded:
+            if name not in names:
+                names.append(name)
+    return names
+
+
+def _command_explain(args: argparse.Namespace) -> int:
+    from repro.attribution import (
+        accuracy_score_rows,
+        explain_programs,
+        explanations_to_dict,
+        export_features,
+        render_explanations,
+        write_heatmaps,
+    )
+    from repro.obs import metrics_delta, metrics_snapshot
+
+    _apply_backend(args)
+    started_at = ledger.now_iso()
+    metrics_before = metrics_snapshot()
+    clock = time.perf_counter()
+    try:
+        names = _resolve_explain_targets(args.targets)
+    except ValueError as error:
+        _error(f"repro: {error}")
+        return 2
+    try:
+        explanations = explain_programs(
+            names,
+            estimator=args.estimator,
+            jobs=_resolve_jobs_or_fail(args.jobs),
+            use_cache=False if args.no_cache else None,
+        )
+    except KeyError as error:
+        _error(f"repro: {error.args[0]}")
+        return 2
+
+    if args.dot:
+        written: list[str] = []
+        for explanation in explanations:
+            written.extend(
+                write_heatmaps(
+                    explanation, args.dot, function=args.function
+                )
+            )
+        obs.diag(
+            f"repro: wrote {len(written)} heatmap DOT files to {args.dot}"
+        )
+    if args.export_features:
+        rows = export_features(explanations, args.export_features)
+        obs.diag(
+            f"repro: exported {rows} branch feature rows "
+            f"to {args.export_features}"
+        )
+    if args.record:
+        scores: dict[str, float] = {}
+        for explanation in explanations:
+            scores.update(
+                accuracy_score_rows(
+                    explanation.program, explanation.records
+                )
+            )
+        ledger.record_run(
+            "explain",
+            label=f"programs={len(names)}",
+            started_at=started_at,
+            jobs=_resolve_jobs_or_fail(args.jobs),
+            scores={"attribution": scores},
+            stages={"explain.total": time.perf_counter() - clock},
+            counters=ledger.counter_values(
+                metrics_delta(metrics_before)
+            ),
+        )
+    if args.json:
+        print(
+            json.dumps(
+                explanations_to_dict(explanations),
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(
+            render_explanations(
+                explanations, top=args.top, function=args.function
+            )
+        )
+    return 0
+
+
 def _format_mtime(value: object) -> str:
     """Unix mtime -> local ``YYYY-MM-DD HH:MM:SS`` (or ``-`` if empty)."""
     if value is None:
@@ -318,6 +435,10 @@ def _command_cache(args: argparse.Namespace) -> int:
             ("profile cache", profile_cache.cache_info()),
             ("analysis cache", analysis_cache.analysis_cache_info()),
             ("codegen cache", codegen_cache.codegen_cache_info()),
+            (
+                "attribution cache",
+                attribution_cache.attribution_cache_info(),
+            ),
             ("fuzz corpus", fuzz_corpus.corpus_info()),
         ):
             print(f"{title}:")
@@ -348,6 +469,11 @@ def _command_cache(args: argparse.Namespace) -> int:
             "codegen cache",
             codegen_cache.codegen_cache_info(),
             codegen_cache.clear_codegen_cache,
+        ),
+        (
+            "attribution cache",
+            attribution_cache.attribution_cache_info(),
+            attribution_cache.clear_attribution_cache,
         ),
         ("fuzz corpus", fuzz_corpus.corpus_info(), fuzz_corpus.clear_corpus),
     ):
@@ -751,6 +877,99 @@ def build_parser() -> argparse.ArgumentParser:
     layout_parser.add_argument("program")
     layout_parser.add_argument("function")
     layout_parser.set_defaults(handler=_command_layout)
+
+    explain_parser = subparsers.add_parser(
+        "explain",
+        help=(
+            "attribute estimation error to branches: ranked worst "
+            "branches, heuristic accuracy, CFG heatmaps"
+        ),
+    )
+    explain_parser.add_argument(
+        "targets",
+        nargs="*",
+        help=(
+            "programs to explain, or an alias: base (default), xl, "
+            "all, branch_prediction"
+        ),
+    )
+    explain_parser.add_argument(
+        "--function",
+        default=None,
+        help="restrict ranking (and heatmaps) to one function",
+    )
+    explain_parser.add_argument(
+        "--estimator",
+        default="markov",
+        help=(
+            "intra estimator whose error is attributed "
+            "(markov, smart, loop; default: markov)"
+        ),
+    )
+    explain_parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="how many worst branches to rank (default: 10)",
+    )
+    explain_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full explanation payload as JSON",
+    )
+    explain_parser.add_argument(
+        "--dot",
+        metavar="DIR",
+        default=None,
+        help=(
+            "write one CFG heatmap DOT per function "
+            "(<program>.<function>.dot) under this directory"
+        ),
+    )
+    explain_parser.add_argument(
+        "--export-features",
+        metavar="OUT",
+        default=None,
+        help=(
+            "write the per-branch feature/label matrix as JSONL "
+            "(one object per branch, heuristics fired + ground truth)"
+        ),
+    )
+    explain_parser.add_argument(
+        "--record",
+        action="store_true",
+        help=(
+            "append per-heuristic accuracy rows to the run ledger "
+            "(the 'attribution' experiment, gated by "
+            "baselines/attribution.json in CI)"
+        ),
+    )
+    explain_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for profiling (default: REPRO_JOBS or CPU count)",
+    )
+    explain_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the persistent attribution cache",
+    )
+    explain_parser.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "record a span trace and write it as JSONL "
+            "(REPRO_TRACE_FILE, default repro-trace.jsonl)"
+        ),
+    )
+    explain_parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress diagnostic stderr output (stdout is unchanged)",
+    )
+    _add_backend_argument(explain_parser)
+    explain_parser.set_defaults(handler=_command_explain)
 
     profile_parser = subparsers.add_parser(
         "profile-suite",

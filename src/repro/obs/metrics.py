@@ -136,11 +136,14 @@ def counter_value(name: str) -> Number:
 
 
 def histogram_sums(prefix: str) -> dict[str, float]:
-    """``{name without prefix: sum}`` for histograms under ``prefix``."""
+    """``{name without prefix: sum}`` for histograms under ``prefix``,
+    in name order regardless of registration order (worker merges
+    register metrics in whatever order the deltas arrive)."""
     return {
-        name[len(prefix):]: metric.total
-        for name, metric in _REGISTRY.items()
-        if isinstance(metric, Histogram) and name.startswith(prefix)
+        name[len(prefix):]: _REGISTRY[name].total  # type: ignore[union-attr]
+        for name in sorted(_REGISTRY)
+        if isinstance(_REGISTRY[name], Histogram)
+        and name.startswith(prefix)
     }
 
 
@@ -222,15 +225,34 @@ def _format_value(value: object) -> str:
     return str(value)
 
 
+#: Section order of the ``repro stats`` table: counts first, then
+#: point-in-time values, then distributions.
+_TYPE_ORDER = {"counter": 0, "gauge": 1, "histogram": 2}
+
+
 def render_metrics(snapshot: Optional[dict[str, dict]] = None) -> str:
-    """Human-readable metrics table (the ``repro stats`` view)."""
+    """Human-readable metrics table (the ``repro stats`` view).
+
+    Rows are grouped by metric type (counters, then gauges, then
+    histograms) and sorted by name within each group, so the table is
+    byte-identical however the metrics were registered — serial runs,
+    ``--jobs N`` worker merges, and cross-process ``absorb`` all
+    render the same way.
+    """
     if snapshot is None:
         snapshot = metrics_snapshot()
     if not snapshot:
         return "(no metrics recorded)"
     width = max(len(name) for name in snapshot)
     lines = [f"{'metric':{width}} {'type':9} value"]
-    for name in sorted(snapshot):
+    ordered = sorted(
+        snapshot,
+        key=lambda name: (
+            _TYPE_ORDER.get(snapshot[name]["type"], len(_TYPE_ORDER)),
+            name,
+        ),
+    )
+    for name in ordered:
         state = snapshot[name]
         if state["type"] == "histogram":
             value = (

@@ -36,6 +36,16 @@ MAX_METRIC_ROWS = 24
 MAX_STAGE_ROWS = 48
 MAX_COUNTER_ROWS = 80
 
+#: Experiments whose rows are one-per-program (or tiny) coverage
+#: gauges: every row renders, uncapped, so the suite-XL tier and fuzz
+#: runs chart completely instead of truncating at MAX_METRIC_ROWS.
+FULL_COVERAGE_EXPERIMENTS = frozenset({"suite", "suite_xl", "fuzz"})
+
+#: The ``repro explain --record`` experiment, rendered as one
+#: sub-table per program (grouped by the metric prefix before the
+#: first dot) showing the gated accuracy rows.
+ATTRIBUTION_EXPERIMENT = "attribution"
+
 #: Baseline drift below this is rendered as unchanged.
 DISPLAY_TOLERANCE = 1e-9
 
@@ -79,6 +89,7 @@ main { max-width: 980px; margin: 0 auto; }
 h1 { font-size: 20px; margin: 0 0 4px; }
 h2 { font-size: 16px; margin: 32px 0 8px; }
 h3 { font-size: 14px; margin: 20px 0 6px; color: var(--ink-1); }
+h4 { font-size: 13px; margin: 14px 0 4px; color: var(--ink-2); }
 .sub { color: var(--ink-2); margin: 0 0 20px; }
 .tiles { display: flex; flex-wrap: wrap; gap: 12px; margin: 16px 0; }
 .tile {
@@ -212,11 +223,20 @@ def _delta_cell(
     )
 
 
-def _select_metrics(metrics: Sequence[str]) -> tuple[list[str], int]:
-    """Keep the dashboard readable: prefer AVERAGE rows, cap the rest."""
+def _select_metrics(
+    metrics: Sequence[str], experiment: Optional[str] = None
+) -> tuple[list[str], int]:
+    """Keep the dashboard readable: prefer AVERAGE rows, cap the rest.
+
+    Per-program coverage experiments (suite tiers, fuzz) are exempt
+    from the cap — their whole point is one row per program, and
+    hiding half the XL tier reads as "covered" when it is not.
+    """
     averages = [name for name in metrics if "AVERAGE" in name]
     if averages:
         return averages, len(metrics) - len(averages)
+    if experiment in FULL_COVERAGE_EXPERIMENTS:
+        return list(metrics), 0
     if len(metrics) > MAX_METRIC_ROWS:
         return list(metrics[:MAX_METRIC_ROWS]), len(metrics) - MAX_METRIC_ROWS
     return list(metrics), 0
@@ -273,6 +293,46 @@ def _metric_table(
 
 def _seconds(value: float) -> str:
     return f"{value:.3f}s"
+
+
+def _attribution_sections(
+    history: Mapping[str, list[tuple[int, float]]],
+    baseline: Optional[Mapping[str, float]],
+) -> list[str]:
+    """Per-program heuristic-accuracy sub-tables for the
+    ``attribution`` experiment.
+
+    Metric names group by the program prefix before the first dot
+    (``compress.loop.missrate`` → program ``compress``); each program
+    shows its gated rows — every ``*.missrate`` plus the attributed
+    error — with the static/dynamic coverage counts noted rather than
+    tabulated.
+    """
+    by_program: dict[str, list[str]] = {}
+    for name in sorted(history):
+        program = name.split(".", 1)[0]
+        by_program.setdefault(program, []).append(name)
+    parts: list[str] = []
+    if not by_program:
+        parts.append('<p class="sub">(no attribution rows yet)</p>')
+        return parts
+    for program in sorted(by_program):
+        names = by_program[program]
+        shown = [
+            name
+            for name in names
+            if name.endswith(".missrate")
+            or name.endswith(".attributed_error")
+        ]
+        hidden = len(names) - len(shown)
+        parts.append(f"<h4>{_esc(program)}</h4>")
+        parts.append(_metric_table(history, shown, baseline))
+        if hidden > 0:
+            parts.append(
+                f'<p class="more">… {hidden} coverage rows '
+                f"(branch/execution counts) in the ledger</p>"
+            )
+    return parts
 
 
 def build_report(
@@ -343,11 +403,16 @@ def build_report(
         history = _history_rows(
             details, lambda detail, e=experiment: detail.scores.get(e, {})
         )
-        names, hidden = _select_metrics(sorted(history))
         experiment_baseline = (
             baseline.get(experiment) if baseline is not None else None
         )
         parts.append(f"<h3>{_esc(experiment)}</h3>")
+        if experiment == ATTRIBUTION_EXPERIMENT:
+            parts.extend(
+                _attribution_sections(history, experiment_baseline)
+            )
+            continue
+        names, hidden = _select_metrics(sorted(history), experiment)
         parts.append(
             _metric_table(
                 history,

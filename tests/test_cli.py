@@ -131,6 +131,7 @@ class TestObservabilityCli:
         cache_dir = tmp_path / "cache"
         monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
         monkeypatch.delenv("REPRO_ANALYSIS_CACHE_DIR", raising=False)
+        monkeypatch.delenv("REPRO_ATTRIBUTION_CACHE_DIR", raising=False)
         monkeypatch.delenv("REPRO_FUZZ_DIR", raising=False)
         os.makedirs(cache_dir)
         (cache_dir / "entry.json").write_text("{}")
@@ -138,12 +139,14 @@ class TestObservabilityCli:
         output = capsys.readouterr().out
         assert "profile cache:" in output
         assert "analysis cache:" in output
+        assert "attribution cache:" in output
         assert "fuzz corpus:" in output
         assert "run ledger:" in output
         assert "oldest:" in output and "newest:" in output
         # The profile cache has one entry; the analysis cache, the
-        # fuzz corpus, and the run ledger are empty.
-        assert output.count("oldest:    -") == 3
+        # attribution cache, the fuzz corpus, and the run ledger are
+        # empty.
+        assert output.count("oldest:    -") == 4
 
     def test_cache_clear_reports_per_cache(
         self, tmp_path, monkeypatch, capsys
@@ -151,19 +154,26 @@ class TestObservabilityCli:
         cache_dir = tmp_path / "cache"
         monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
         monkeypatch.delenv("REPRO_ANALYSIS_CACHE_DIR", raising=False)
+        monkeypatch.delenv("REPRO_ATTRIBUTION_CACHE_DIR", raising=False)
         monkeypatch.delenv("REPRO_FUZZ_DIR", raising=False)
         os.makedirs(cache_dir / "analysis")
+        os.makedirs(cache_dir / "attribution")
         os.makedirs(cache_dir / "fuzz")
         (cache_dir / "entry.json").write_text("{}")
         (cache_dir / "analysis" / "entry.json").write_text("{}")
+        (cache_dir / "attribution" / ("b" * 64 + ".json")).write_text("{}")
         (cache_dir / "fuzz" / ("a" * 64 + ".c")).write_text("int x;\n")
         assert main(["cache", "clear"]) == 0
         output = capsys.readouterr().out
         assert "profile cache: removed 1 entries" in output
         assert "analysis cache: removed 1 entries" in output
+        assert "attribution cache: removed 1 entries" in output
         assert "fuzz corpus: removed 1 entries" in output
         assert str(cache_dir) in output
         assert not (cache_dir / "entry.json").exists()
+        assert not (
+            cache_dir / "attribution" / ("b" * 64 + ".json")
+        ).exists()
         assert not (cache_dir / "fuzz" / ("a" * 64 + ".c")).exists()
 
 

@@ -560,6 +560,55 @@ class TestLedgerCli:
         assert main(["report", "--html", str(out)]) == 2
         assert not out.exists()
 
+    def test_report_attribution_per_program_sections(
+        self, ledger_dir, capsys, tmp_path
+    ):
+        ledger.record_run(
+            "explain",
+            label="programs=2",
+            scores={
+                "attribution": {
+                    "compress.missrate": 0.17,
+                    "compress.attributed_error": 3.5,
+                    "compress.branches": 48.0,
+                    "compress.loop.missrate": 0.09,
+                    "ear.missrate": 0.21,
+                    "ear.attributed_error": 1.2,
+                    "ear.scored_branches": 30.0,
+                }
+            },
+        )
+        out = tmp_path / "report.html"
+        assert main(["report", "--html", str(out)]) == 0
+        html = out.read_text()
+        # One <h4> sub-section per program, accuracy rows shown, and
+        # the coverage rows summarised rather than tabulated.
+        assert "<h4>compress</h4>" in html
+        assert "<h4>ear</h4>" in html
+        assert "compress.missrate" in html
+        assert "compress.loop.missrate" in html
+        assert "ear.attributed_error" in html
+        assert "compress.branches" not in html
+        assert "coverage rows" in html
+
+    def test_report_full_coverage_experiments_uncapped(
+        self, ledger_dir, capsys, tmp_path
+    ):
+        from repro.obs.report import MAX_METRIC_ROWS
+
+        rows = {
+            f"xl{i:02d}.blocks": float(i)
+            for i in range(MAX_METRIC_ROWS + 6)
+        }
+        ledger.record_run("profile", scores={"suite_xl": rows})
+        out = tmp_path / "report.html"
+        assert main(["report", "--html", str(out)]) == 0
+        html = out.read_text()
+        # Every XL row renders — coverage experiments are exempt from
+        # the per-experiment metric cap.
+        assert all(name in html for name in rows)
+        assert "more metrics in the ledger" not in html
+
     def test_cache_info_covers_ledger(self, ledger_dir, capsys):
         self._seed_runs()
         capsys.readouterr()

@@ -330,3 +330,126 @@ class TestCrossProcessDeterminism:
             assert f"experiment:{name}" in serial_names
         assert "run_all" in serial_names
         assert "suite.collect" in serial_names
+
+
+class TestRenderOrdering:
+    """`repro stats` output is grouped by metric type and sorted by
+    name within each group — byte-identical however (and in whatever
+    order) the metrics were registered."""
+
+    def test_table_groups_counters_gauges_histograms(self):
+        # Register deliberately out of order.
+        obs.observe("z.hist", 1.0)
+        obs.set_gauge("a.gauge", 2)
+        obs.incr("m.counter")
+        obs.incr("b.counter")
+        obs.observe("a.hist", 3.0)
+        lines = obs.render_metrics().splitlines()[1:]
+        names = [line.split()[0] for line in lines]
+        assert names == [
+            "b.counter", "m.counter", "a.gauge", "a.hist", "z.hist",
+        ]
+
+    def test_table_identical_across_registration_order(self):
+        obs.incr("x.one")
+        obs.observe("x.two", 1.0)
+        obs.set_gauge("x.three", 5)
+        first = obs.render_metrics()
+        obs.reset_metrics()
+        obs.set_gauge("x.three", 5)
+        obs.observe("x.two", 1.0)
+        obs.incr("x.one")
+        assert obs.render_metrics() == first
+
+    def test_histogram_sums_sorted_by_name(self):
+        obs.observe("stage.zeta", 1.0)
+        obs.observe("stage.alpha", 2.0)
+        obs.observe("stage.mid", 3.0)
+        assert list(obs.histogram_sums("stage.")) == [
+            "alpha", "mid", "zeta",
+        ]
+
+
+class TestCompiledBackendExport:
+    """compile.* spans and counters survive the JSONL trace
+    round-trip and the cross-process worker absorb — the compiled
+    backend is as observable from a merged parent as from the process
+    that did the compiling."""
+
+    SOURCE = """
+    int main(void) {
+        int i;
+        int n = 0;
+        for (i = 0; i < 3; i = i + 1) { n = n + 1; }
+        return n;
+    }
+    """
+
+    def _compile_fresh(self, name):
+        from repro.compile import backend
+        from repro.program import Program
+
+        # A fresh Program defeats the per-object module memo, so the
+        # compile.program span is emitted every time; the codegen
+        # cache may hit (that is part of what the counters record).
+        program = Program.from_source(self.SOURCE, name)
+        backend.compile_program(program)
+
+    def test_compile_spans_survive_jsonl_round_trip(self, tmp_path):
+        obs.enable_tracing()
+        with obs.span("worker.task"):
+            self._compile_fresh("jsonl-roundtrip")
+        obs.disable_tracing()
+        names = obs.span_names(obs.trace_roots())
+        assert "compile.program" in names
+        path, count = obs.write_trace_jsonl(
+            str(tmp_path / "compile-trace.jsonl")
+        )
+        assert count >= 2
+        back = obs.read_trace_jsonl(path)
+        assert obs.span_names(back) == names
+        # The program attribute survives too.
+        rendered = obs.render_span_tree(back, full=True)
+        assert "compile.program" in rendered
+        assert "program=jsonl-roundtrip" in rendered
+
+    def test_compile_observability_survives_absorb(self, tmp_path):
+        capture = obs.WorkerCapture(trace=True)
+        with capture:
+            with obs.span("worker.task"):
+                self._compile_fresh("absorb-roundtrip")
+        def flat_names(nodes):
+            for node in nodes:
+                yield node["name"]
+                yield from flat_names(node.get("children", []))
+
+        assert "compile.program" in set(
+            flat_names(capture.snapshot["spans"])
+        )
+        assert any(
+            name.startswith("compile.")
+            for name in capture.snapshot["metrics"]
+        )
+        functions_delta = capture.snapshot["metrics"]["compile.functions"]
+
+        # Simulate the process boundary: a clean parent registry and
+        # trace absorb the worker snapshot (ship it through JSON the
+        # way the pipeline does).
+        shipped = json.loads(json.dumps(capture.snapshot))
+        obs.reset_metrics()
+        obs.reset_trace()
+        obs.enable_tracing()
+        with obs.span("suite.collect"):
+            obs.absorb(shipped)
+        obs.disable_tracing()
+        assert obs.counter_value("compile.functions") == (
+            functions_delta["value"]
+        )
+        names = obs.span_names(obs.trace_roots())
+        assert "compile.program" in names
+
+        # And the merged tree still exports/imports coherently.
+        path, _ = obs.write_trace_jsonl(
+            str(tmp_path / "absorbed-trace.jsonl")
+        )
+        assert obs.span_names(obs.read_trace_jsonl(path)) == names
