@@ -1,0 +1,200 @@
+"""Serving benchmarks: request latency and throughput of the daemon.
+
+A load generator drives a real in-process server (socket and all)
+through :class:`repro.serve.ServeClient`:
+
+* **cold** — novel sources, every request pays parse + solve;
+* **warm** — the same sources again, answered from the session pool;
+* **burst** — 64 concurrent clients mixing repeats and novel sources,
+  the acceptance load the daemon must sustain with zero errors.
+
+The report carries p50/p99 latencies for the cold and warm phases plus
+burst throughput, prints as JSON, lands in the run ledger (kind
+``bench``, label ``bench-serve``), and optionally writes to
+``REPRO_BENCH_SERVE_JSON`` for the CI artifact.  Set
+``REPRO_BENCH_SMOKE=1`` for the quick variant (fewer sources and a
+shorter burst; the 64-way concurrency is kept either way).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from conftest import run_once
+
+_REPORT: dict[str, float] = {}
+_COUNTS: dict[str, int] = {}
+
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip().lower() in {
+    "1",
+    "yes",
+    "on",
+    "true",
+}
+
+#: Distinct translation units in the cold/warm phases.
+N_SOURCES = 8 if _SMOKE else 24
+#: How many times the warm phase replays each source.
+WARM_ROUNDS = 2 if _SMOKE else 4
+#: Concurrent clients in the burst phase (the acceptance floor).
+CONCURRENCY = 64
+#: Requests each burst client issues.
+BURST_PER_CLIENT = 2 if _SMOKE else 4
+
+
+def _source(index: int) -> str:
+    return (
+        f"int work{index}(int x) {{\n"
+        f"    int j; int total; total = 0;\n"
+        f"    for (j = 0; j < {5 + index % 7}; j = j + 1) {{\n"
+        f"        if (j % 2 == 0) {{ total = total + x; }}\n"
+        f"        else {{ total = total - 1; }}\n"
+        f"    }}\n"
+        f"    return total;\n"
+        f"}}\n"
+        f"int main() {{ return work{index}({index}); }}\n"
+    )
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    index = min(
+        len(ordered) - 1, int(round(fraction * (len(ordered) - 1)))
+    )
+    return ordered[index]
+
+
+@pytest.fixture(scope="module")
+def server():
+    from repro.serve import ServeClient, ServeConfig, start_in_thread
+
+    running = start_in_thread(ServeConfig(port=0, workers=4))
+    ServeClient(running.host, running.port).wait_ready()
+    yield running
+    running.shutdown()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_report():
+    yield
+    if not _REPORT:
+        return
+    report: dict[str, object] = {
+        "smoke": _SMOKE,
+        "sources": N_SOURCES,
+        "concurrency": CONCURRENCY,
+        "seconds": {k: round(v, 5) for k, v in sorted(_REPORT.items())},
+        "counts": dict(sorted(_COUNTS.items())),
+    }
+    payload = json.dumps(report, indent=2)
+    print(f"\nserve benchmark report:\n{payload}")
+    target = os.environ.get("REPRO_BENCH_SERVE_JSON")
+    if target:
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+    from conftest import record_bench_report
+
+    record_bench_report("bench-serve", report)
+
+
+def test_bench_cold_vs_warm_latency(benchmark, server):
+    """Cold requests pay the full pipeline; warm repeats must be
+    answered from the session pool, visibly faster at the median."""
+    from repro.obs import counter_value
+    from repro.serve import ServeClient
+
+    client = ServeClient(
+        server.host, server.port, timeout=120, tenant="bench"
+    )
+    sources = [_source(index) for index in range(N_SOURCES)]
+    cold: list[float] = []
+    warm: list[float] = []
+
+    def phases():
+        hits_before = counter_value("serve.pool.hits")
+        for index, source in enumerate(sources):
+            clock = time.perf_counter()
+            response = client.analyze(source, name=f"bench{index}.c")
+            cold.append(time.perf_counter() - clock)
+            assert response.status == 200, response.text
+        for _ in range(WARM_ROUNDS):
+            for index, source in enumerate(sources):
+                clock = time.perf_counter()
+                response = client.analyze(
+                    source, name=f"bench{index}.c"
+                )
+                warm.append(time.perf_counter() - clock)
+                assert response.status == 200, response.text
+                assert response.payload["server"]["cache"] == "hit"
+        return counter_value("serve.pool.hits") - hits_before
+
+    pool_hits = run_once(benchmark, phases)
+    _REPORT["cold_p50"] = _percentile(cold, 0.50)
+    _REPORT["cold_p99"] = _percentile(cold, 0.99)
+    _REPORT["warm_p50"] = _percentile(warm, 0.50)
+    _REPORT["warm_p99"] = _percentile(warm, 0.99)
+    _COUNTS["cold_requests"] = len(cold)
+    _COUNTS["warm_requests"] = len(warm)
+    _COUNTS["warm_pool_hits"] = int(pool_hits)
+    assert pool_hits >= len(warm)
+    assert _REPORT["warm_p50"] < _REPORT["cold_p50"]
+
+
+def test_bench_concurrent_burst_throughput(benchmark, server):
+    """64 concurrent clients, mixed repeat + novel traffic: the
+    daemon must answer every request with 200, no drops."""
+    from repro.serve import ServeClient
+
+    statuses: list[int] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(CONCURRENCY)
+
+    def client_main(worker: int) -> None:
+        client = ServeClient(
+            server.host,
+            server.port,
+            timeout=120,
+            tenant=f"burst{worker % 4}",
+        )
+        barrier.wait()
+        for round_ in range(BURST_PER_CLIENT):
+            if round_ % 2 == 0:
+                # Repeat traffic: everyone hammers a shared source.
+                source = _source(worker % N_SOURCES)
+                name = f"bench{worker % N_SOURCES}.c"
+            else:
+                # Novel traffic: a per-worker translation unit.
+                source = _source(1000 + worker)
+                name = f"burst{worker}.c"
+            response = client.analyze(source, name=name)
+            with lock:
+                statuses.append(response.status)
+
+    def burst() -> float:
+        threads = [
+            threading.Thread(target=client_main, args=(worker,))
+            for worker in range(CONCURRENCY)
+        ]
+        clock = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return time.perf_counter() - clock
+
+    elapsed = run_once(benchmark, burst)
+    total = CONCURRENCY * BURST_PER_CLIENT
+    assert len(statuses) == total
+    failures = [status for status in statuses if status != 200]
+    assert not failures, f"non-200 responses: {failures[:10]}"
+    _REPORT["burst_wall"] = elapsed
+    _COUNTS["burst_requests"] = total
+    _COUNTS["burst_errors"] = len(failures)
+    _COUNTS["burst_rps"] = int(total / elapsed) if elapsed else 0

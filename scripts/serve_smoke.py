@@ -1,0 +1,280 @@
+#!/usr/bin/env python3
+"""CI smoke test for the analysis daemon.
+
+Starts ``python -m repro serve`` as a real subprocess, waits for its
+ready line, fires a 64-way concurrent burst mixing repeat sources,
+novel sources, and one malformed source (the structured-400 path),
+then checks ``/metrics`` for session-pool hits and per-tenant
+counters.  Finally it fires a second wave and SIGTERMs the server
+while that wave is in flight: every accepted request must complete
+(200) or be refused up front (503) — never dropped — and the process
+must exit 0 (clean drain).
+
+Run from the repo root (``python scripts/serve_smoke.py``).  Set
+``SERVE_SMOKE_JSON`` to write the latency/metrics report for the CI
+artifact.  Exits non-zero if any check fails.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"),
+)
+
+from repro.serve import ServeClient  # noqa: E402
+
+#: Concurrent clients in the burst (the acceptance floor).
+CONCURRENCY = 64
+#: Requests per client in the burst.
+ROUNDS = 2
+#: Distinct repeat sources shared across the burst.
+REPEATS = 8
+#: Clients in the in-flight wave that SIGTERM interrupts.
+DRAIN_WAVE = 16
+
+MALFORMED = "int main( { return 0 }\n"
+
+_CHECKS: list[bool] = []
+
+
+def check(ok: bool, label: str) -> None:
+    print(f"{'ok  ' if ok else 'FAIL'} {label}")
+    _CHECKS.append(bool(ok))
+
+
+def _source(index: int) -> str:
+    return (
+        f"int work{index}(int x) {{\n"
+        f"    int j; int total; total = 0;\n"
+        f"    for (j = 0; j < {4 + index % 5}; j = j + 1) {{\n"
+        f"        if (j % 2 == 0) {{ total = total + x; }}\n"
+        f"        else {{ total = total - 1; }}\n"
+        f"    }}\n"
+        f"    return total;\n"
+        f"}}\n"
+        f"int main() {{ return work{index}({index}); }}\n"
+    )
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    index = min(
+        len(ordered) - 1, int(round(fraction * (len(ordered) - 1)))
+    )
+    return ordered[index]
+
+
+def _metric_value(metrics: str, name: str) -> float:
+    for line in metrics.splitlines():
+        if line.startswith(f"{name} "):
+            return float(line.split()[-1])
+    return 0.0
+
+
+def main() -> int:
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--workers",
+            "4",
+        ],
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    assert process.stdout is not None
+    try:
+        ready = process.stdout.readline().strip()
+        match = re.search(r"http://([^\s:]+):(\d+)", ready)
+        if not match:
+            print(f"FAIL no ready line from the daemon (got {ready!r})")
+            process.kill()
+            return 1
+        host, port = match.group(1), int(match.group(2))
+        print(f"daemon ready at {host}:{port} (pid {process.pid})")
+
+        # ------------------------------------------------------------
+        # Burst: repeat + novel + one malformed source, two tenants.
+        statuses: list[int] = []
+        latencies: list[float] = []
+        malformed: list[tuple[int, dict | None]] = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(CONCURRENCY)
+
+        def client_main(worker: int) -> None:
+            client = ServeClient(
+                host, port, timeout=120, tenant=f"smoke{worker % 2}"
+            )
+            barrier.wait()
+            for round_ in range(ROUNDS):
+                if worker == 0 and round_ == 0:
+                    response = client.analyze(MALFORMED, name="broken.c")
+                    with lock:
+                        malformed.append(
+                            (response.status, response.payload)
+                        )
+                    continue
+                if round_ % 2:
+                    source = _source(1000 + worker)
+                    name = f"novel{worker}.c"
+                else:
+                    source = _source(worker % REPEATS)
+                    name = f"repeat{worker % REPEATS}.c"
+                clock = time.perf_counter()
+                response = client.analyze(source, name=name)
+                elapsed = time.perf_counter() - clock
+                with lock:
+                    statuses.append(response.status)
+                    latencies.append(elapsed)
+
+        threads = [
+            threading.Thread(target=client_main, args=(worker,))
+            for worker in range(CONCURRENCY)
+        ]
+        burst_clock = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        burst_wall = time.perf_counter() - burst_clock
+
+        expected = CONCURRENCY * ROUNDS - 1
+        check(
+            len(statuses) == expected,
+            f"burst completed: {len(statuses)}/{expected} responses "
+            f"in {burst_wall:.2f}s",
+        )
+        bad = [status for status in statuses if status != 200]
+        check(not bad, f"burst all 200 (non-200: {bad[:10]})")
+        status, payload = malformed[0] if malformed else (0, None)
+        check(
+            status == 400
+            and isinstance(payload, dict)
+            and set(payload) == {"error", "file", "line", "col"},
+            f"malformed source -> structured 400 (got {status}, "
+            f"{payload})",
+        )
+
+        # ------------------------------------------------------------
+        # Metrics: pool hits and per-tenant counters must be visible.
+        probe = ServeClient(host, port, timeout=30)
+        metrics = probe.metrics()
+        hits = _metric_value(metrics, "repro_serve_pool_hits_total")
+        check(hits > 0, f"session pool served repeats ({hits:.0f} hits)")
+        for tenant in ("smoke0", "smoke1"):
+            needle = f'tenant="{tenant}"'
+            check(
+                needle in metrics, f"per-tenant counters ({needle})"
+            )
+        health = probe.healthz().payload or {}
+        check(
+            health.get("status") == "ok"
+            and bool(health.get("version")),
+            f"healthz ok, version {health.get('version')!r}",
+        )
+
+        # ------------------------------------------------------------
+        # Drain: SIGTERM while a wave is in flight; zero drops.
+        drain_results: list[object] = []
+
+        def drain_main(worker: int) -> None:
+            client = ServeClient(
+                host, port, timeout=120, tenant="drain"
+            )
+            try:
+                response = client.analyze(
+                    _source(2000 + worker), name=f"drain{worker}.c"
+                )
+                outcome: object = response.status
+            except OSError:
+                # Connection refused after the listener closed: the
+                # request was never accepted, so it cannot be dropped.
+                outcome = "refused"
+            with lock:
+                drain_results.append(outcome)
+
+        wave = [
+            threading.Thread(target=drain_main, args=(worker,))
+            for worker in range(DRAIN_WAVE)
+        ]
+        for thread in wave:
+            thread.start()
+        time.sleep(0.05)
+        process.send_signal(signal.SIGTERM)
+        for thread in wave:
+            thread.join()
+        exit_code = process.wait(timeout=60)
+
+        check(exit_code == 0, f"clean drain exit (code {exit_code})")
+        dropped = [
+            outcome
+            for outcome in drain_results
+            if outcome not in (200, 503, "refused")
+        ]
+        served = sum(
+            1 for outcome in drain_results if outcome == 200
+        )
+        check(
+            len(drain_results) == DRAIN_WAVE and not dropped,
+            f"drain dropped nothing ({served} served, "
+            f"{sum(1 for o in drain_results if o == 503)} refused 503, "
+            f"{sum(1 for o in drain_results if o == 'refused')} "
+            f"never accepted; anomalies: {dropped})",
+        )
+        check(served > 0, "drain wave: at least one request served")
+
+        report = {
+            "concurrency": CONCURRENCY,
+            "requests": len(statuses),
+            "burst_wall_s": round(burst_wall, 5),
+            "rps": int(len(statuses) / burst_wall) if burst_wall else 0,
+            "latency_s": {
+                "p50": round(_percentile(latencies, 0.50), 5),
+                "p90": round(_percentile(latencies, 0.90), 5),
+                "p99": round(_percentile(latencies, 0.99), 5),
+            },
+            "pool_hits": hits,
+            "drain": {
+                "wave": DRAIN_WAVE,
+                "served": served,
+                "exit_code": exit_code,
+            },
+            "passed": all(_CHECKS),
+        }
+        text = json.dumps(report, indent=2, sort_keys=True)
+        print(f"serve smoke report:\n{text}")
+        target = os.environ.get("SERVE_SMOKE_JSON")
+        if target:
+            with open(target, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)
+
+    failed = _CHECKS.count(False)
+    print(
+        f"{len(_CHECKS) - failed}/{len(_CHECKS)} checks passed"
+        + (f" ({failed} FAILED)" if failed else "")
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

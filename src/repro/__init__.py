@@ -11,6 +11,6 @@ source to AST + CFGs + call graph), the estimators in
 
 from repro.program import Program
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["Program", "__version__"]

@@ -32,6 +32,7 @@ accumulator (``parse``, ``intra:<estimator>``, ``inter:<backend>``,
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Optional
@@ -139,6 +140,11 @@ class AnalysisSession:
     def __init__(self, program: Program):
         self.program = program
         self.stats = SessionStats()
+        # Sessions are shared across threads by the serving pool; one
+        # reentrant lock serializes memo fills (computations nest:
+        # intra -> transitions -> predictor) while results, handed out
+        # as defensive copies, stay safe to use lock-free.
+        self._lock = threading.RLock()
         self._predictor: Optional[MemoizedPredictor] = None
         self._transitions: dict[str, dict[int, dict[int, float]]] = {}
         self._intra: dict[str, dict[str, dict[int, float]]] = {}
@@ -164,33 +170,37 @@ class AnalysisSession:
 
     def predictor(self) -> MemoizedPredictor:
         """The program's smart heuristic predictor, prediction-memoized."""
-        if self._predictor is None:
-            self._predictor = MemoizedPredictor(
-                HeuristicPredictor(settings_for_program(self.program))
-            )
-        return self._predictor
+        with self._lock:
+            if self._predictor is None:
+                self._predictor = MemoizedPredictor(
+                    HeuristicPredictor(settings_for_program(self.program))
+                )
+            return self._predictor
 
     def transitions(self, function_name: str) -> dict[int, dict[int, float]]:
         """Per-block successor probabilities for one function."""
-        cached = self._transitions.get(function_name)
-        if cached is None:
-            self.stats.misses += 1
-            incr("analysis.memo_misses")
-            with span(
-                "analysis.transitions",
-                program=self.program.name,
-                function=function_name,
-            ):
-                clock = time.perf_counter()
-                cached = transition_probabilities(
-                    self.program.cfg(function_name), self.predictor()
-                )
-                record_stage("transitions", time.perf_counter() - clock)
-            self._transitions[function_name] = cached
-        else:
-            self.stats.hits += 1
-            incr("analysis.memo_hits")
-        return {block: dict(row) for block, row in cached.items()}
+        with self._lock:
+            cached = self._transitions.get(function_name)
+            if cached is None:
+                self.stats.misses += 1
+                incr("analysis.memo_misses")
+                with span(
+                    "analysis.transitions",
+                    program=self.program.name,
+                    function=function_name,
+                ):
+                    clock = time.perf_counter()
+                    cached = transition_probabilities(
+                        self.program.cfg(function_name), self.predictor()
+                    )
+                    record_stage(
+                        "transitions", time.perf_counter() - clock
+                    )
+                self._transitions[function_name] = cached
+            else:
+                self.stats.hits += 1
+                incr("analysis.memo_hits")
+            return {block: dict(row) for block, row in cached.items()}
 
     # ------------------------------------------------------------------
     # Intra-procedural estimates.
@@ -202,28 +212,32 @@ class AnalysisSession:
         estimator name (callables are computed but not memoized)."""
         if not isinstance(estimator, str):
             return self._compute_intra(estimator)
-        cached = self._intra.get(estimator)
-        if cached is None:
-            self.stats.misses += 1
-            incr("analysis.memo_misses")
-            cached = self._load_intra_from_disk(estimator)
+        with self._lock:
+            cached = self._intra.get(estimator)
             if cached is None:
-                with span(
-                    "analysis.intra",
-                    program=self.program.name,
-                    estimator=estimator,
-                ):
-                    clock = time.perf_counter()
-                    cached = self._compute_intra(estimator)
-                    record_stage(
-                        f"intra:{estimator}", time.perf_counter() - clock
-                    )
-                self._store_intra_to_disk(estimator, cached)
-            self._intra[estimator] = cached
-        else:
-            self.stats.hits += 1
-            incr("analysis.memo_hits")
-        return {name: dict(blocks) for name, blocks in cached.items()}
+                self.stats.misses += 1
+                incr("analysis.memo_misses")
+                cached = self._load_intra_from_disk(estimator)
+                if cached is None:
+                    with span(
+                        "analysis.intra",
+                        program=self.program.name,
+                        estimator=estimator,
+                    ):
+                        clock = time.perf_counter()
+                        cached = self._compute_intra(estimator)
+                        record_stage(
+                            f"intra:{estimator}",
+                            time.perf_counter() - clock,
+                        )
+                    self._store_intra_to_disk(estimator, cached)
+                self._intra[estimator] = cached
+            else:
+                self.stats.hits += 1
+                incr("analysis.memo_hits")
+            return {
+                name: dict(blocks) for name, blocks in cached.items()
+            }
 
     def _compute_intra(
         self, estimator: "str | IntraEstimator"
@@ -305,48 +319,52 @@ class AnalysisSession:
         combiners (``call_site``, ``direct``, ``all_rec``,
         ``all_rec2``)."""
         key = (backend, estimator)
-        cached = self._invocations.get(key)
-        if cached is None:
-            self.stats.misses += 1
-            incr("analysis.memo_misses")
-            cached = self._load_invocations_from_disk(backend, estimator)
+        with self._lock:
+            cached = self._invocations.get(key)
             if cached is None:
-                # Intra estimates are a separate (memoized and
-                # separately timed) stage; compute them first so the
-                # inter stage times only its own work.
-                estimates = self.intra_estimates(estimator)
-                with span(
-                    "analysis.inter",
-                    program=self.program.name,
-                    backend=backend,
-                    estimator=estimator,
-                ):
-                    clock = time.perf_counter()
-                    if backend == "markov":
-                        cached = invocations_from_estimates(
-                            self.program, estimates
-                        )
-                    elif backend in SIMPLE_INTER_ESTIMATORS:
-                        cached = SIMPLE_INTER_ESTIMATORS[backend](
-                            self.program, estimator
-                        )
-                    else:
-                        raise KeyError(
-                            f"unknown invocation backend {backend!r}; "
-                            f"choices: "
-                            f"{['markov', *sorted(SIMPLE_INTER_ESTIMATORS)]}"
-                        )
-                    record_stage(
-                        f"inter:{backend}", time.perf_counter() - clock
-                    )
-                self._store_invocations_to_disk(
-                    backend, estimator, cached
+                self.stats.misses += 1
+                incr("analysis.memo_misses")
+                cached = self._load_invocations_from_disk(
+                    backend, estimator
                 )
-            self._invocations[key] = cached
-        else:
-            self.stats.hits += 1
-            incr("analysis.memo_hits")
-        return dict(cached)
+                if cached is None:
+                    # Intra estimates are a separate (memoized and
+                    # separately timed) stage; compute them first so
+                    # the inter stage times only its own work.
+                    estimates = self.intra_estimates(estimator)
+                    with span(
+                        "analysis.inter",
+                        program=self.program.name,
+                        backend=backend,
+                        estimator=estimator,
+                    ):
+                        clock = time.perf_counter()
+                        if backend == "markov":
+                            cached = invocations_from_estimates(
+                                self.program, estimates
+                            )
+                        elif backend in SIMPLE_INTER_ESTIMATORS:
+                            cached = SIMPLE_INTER_ESTIMATORS[backend](
+                                self.program, estimator
+                            )
+                        else:
+                            raise KeyError(
+                                f"unknown invocation backend "
+                                f"{backend!r}; choices: "
+                                f"{['markov', *sorted(SIMPLE_INTER_ESTIMATORS)]}"
+                            )
+                        record_stage(
+                            f"inter:{backend}",
+                            time.perf_counter() - clock,
+                        )
+                    self._store_invocations_to_disk(
+                        backend, estimator, cached
+                    )
+                self._invocations[key] = cached
+            else:
+                self.stats.hits += 1
+                incr("analysis.memo_hits")
+            return dict(cached)
 
     def _load_invocations_from_disk(
         self, backend: str, estimator: str
@@ -402,33 +420,38 @@ class AnalysisSession:
         """Estimated global frequency per call-site id (pointer calls
         omitted), memoized per (backend, intra estimator)."""
         key = (backend, estimator)
-        cached = self._call_sites.get(key)
-        if cached is None:
-            self.stats.misses += 1
-            incr("analysis.memo_misses")
-            estimates = self.intra_estimates(estimator)
-            invocations = self.invocations(backend, estimator)
-            with span(
-                "analysis.callsites",
-                program=self.program.name,
-                backend=backend,
-                estimator=estimator,
-            ):
-                clock = time.perf_counter()
-                cached = {}
-                for site in self.program.call_sites():
-                    if site.callee is None:
-                        continue
-                    local = local_call_site_frequency(site, estimates)
-                    cached[site.site_id] = local * invocations.get(
-                        site.caller, 0.0
+        with self._lock:
+            cached = self._call_sites.get(key)
+            if cached is None:
+                self.stats.misses += 1
+                incr("analysis.memo_misses")
+                estimates = self.intra_estimates(estimator)
+                invocations = self.invocations(backend, estimator)
+                with span(
+                    "analysis.callsites",
+                    program=self.program.name,
+                    backend=backend,
+                    estimator=estimator,
+                ):
+                    clock = time.perf_counter()
+                    cached = {}
+                    for site in self.program.call_sites():
+                        if site.callee is None:
+                            continue
+                        local = local_call_site_frequency(
+                            site, estimates
+                        )
+                        cached[site.site_id] = local * invocations.get(
+                            site.caller, 0.0
+                        )
+                    record_stage(
+                        "callsites", time.perf_counter() - clock
                     )
-                record_stage("callsites", time.perf_counter() - clock)
-            self._call_sites[key] = cached
-        else:
-            self.stats.hits += 1
-            incr("analysis.memo_hits")
-        return dict(cached)
+                self._call_sites[key] = cached
+            else:
+                self.stats.hits += 1
+                incr("analysis.memo_hits")
+            return dict(cached)
 
 
 # ----------------------------------------------------------------------

@@ -22,6 +22,7 @@ Usage (after installing the package)::
     python -m repro run all --trace         # record a span trace
     python -m repro trace                   # render the recorded trace
     python -m repro stats --format prom     # metrics from the last run
+    python -m repro serve --port 8787       # HTTP analysis daemon
     python -m repro history --limit 10      # past runs from the ledger
     python -m repro history show latest     # one run in full detail
     python -m repro compare latest~1 latest # score/stage drift check
@@ -231,19 +232,30 @@ def _command_layout(args: argparse.Namespace) -> int:
 
 
 def _command_predict(args: argparse.Namespace) -> int:
+    # The serving report module owns the prediction line format, so
+    # `repro predict` and the daemon's /v1/analyze predictions.lines
+    # are byte-identical by construction.
+    from repro.serve.report import prediction_lines
+
     session = session_for_suite(args.program)
-    program = session.program
-    predictor = session.predictor()
-    for name, cfg in program.cfgs.items():
-        for block, branch in cfg.conditional_branches():
-            prediction = predictor.predict_branch(name, block, branch)
-            direction = "T" if prediction.predicted_taken else "F"
-            print(
-                f"{name}:{block.label} @ {branch.condition.location.line} "
-                f"-> {direction} p={prediction.taken_probability:.2f} "
-                f"({prediction.reason})"
-            )
+    for line in prediction_lines(session):
+        print(line)
     return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeConfig, serve_forever
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+        batch_window_ms=args.batch_window_ms,
+        request_timeout_s=args.timeout,
+        record=args.record,
+    )
+    return serve_forever(config)
 
 
 def _command_profile_suite(args: argparse.Namespace) -> int:
@@ -588,6 +600,7 @@ def _history_show(args: argparse.Namespace) -> int:
     print(f"run {row.id}: {row.kind} {row.label}".rstrip())
     print(f"  started:  {row.started_at}")
     print(f"  git:      {row.git_sha or '-'}")
+    print(f"  version:  {row.version or '-'}")
     print(f"  python:   {row.python} on {row.platform}")
     print(
         f"  jobs:     {row.jobs}  "
@@ -792,12 +805,19 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse CLI parser (exposed for tests and docs)."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "Reproduction of 'Accurate Static Estimators for Program "
             "Optimization' (PLDI 1994)"
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {__version__}",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -869,6 +889,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     predict_parser.add_argument("program")
     predict_parser.set_defaults(handler=_command_predict)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help=(
+            "run the HTTP analysis daemon "
+            "(POST /v1/analyze, GET /healthz, GET /metrics)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        help="bind port; 0 picks a free port (default: 8787)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="analysis worker threads (default: 4)",
+    )
+    serve_parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=128,
+        help=(
+            "admitted analyze requests beyond which new ones get "
+            "429 + Retry-After (default: 128)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        help=(
+            "micro-batch window; identical requests arriving within "
+            "it share one computation (default: 2.0)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-request analysis timeout in seconds (default: 30)",
+    )
+    serve_parser.add_argument(
+        "--record",
+        action="store_true",
+        help="append one serving run to the ledger on shutdown",
+    )
+    serve_parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress diagnostic stderr output (stdout is unchanged)",
+    )
+    serve_parser.set_defaults(handler=_command_serve)
 
     layout_parser = subparsers.add_parser(
         "layout",

@@ -48,6 +48,21 @@ class FrontendError(Exception):
         """
         return f"{self.location}: {self.message}"
 
+    def diagnostic_dict(self) -> dict:
+        """The structured form of :meth:`diagnostic`.
+
+        This is the analysis daemon's 400 error surface: rejected
+        source becomes ``{error, file, line, col}`` JSON — never a
+        traceback — so API clients can jump to the offending token
+        exactly like CLI users do from the one-line form.
+        """
+        return {
+            "error": self.message,
+            "file": self.location.filename,
+            "line": self.location.line,
+            "col": self.location.column,
+        }
+
 
 class PreprocessorError(FrontendError):
     """Raised for malformed directives, unbalanced conditionals, etc."""

@@ -18,7 +18,7 @@ Layout::
     <ledger dir>/ledger.db        # SQLite, schema below
 
     runs(id, started_at, kind, label, git_sha, python, platform,
-         jobs, cache_enabled, schema_version)
+         jobs, cache_enabled, schema_version, version)
     scores(run_id, experiment, metric, value)    -- accuracy numbers
     stages(run_id, stage, seconds)               -- span-derived times
     counters(run_id, name, value)                -- metric deltas
@@ -76,7 +76,8 @@ CREATE TABLE IF NOT EXISTS runs (
     platform TEXT NOT NULL DEFAULT '',
     jobs INTEGER NOT NULL DEFAULT 1,
     cache_enabled INTEGER NOT NULL DEFAULT 1,
-    schema_version INTEGER NOT NULL DEFAULT 1
+    schema_version INTEGER NOT NULL DEFAULT 1,
+    version TEXT NOT NULL DEFAULT ''
 );
 CREATE TABLE IF NOT EXISTS scores (
     run_id INTEGER NOT NULL,
@@ -131,6 +132,18 @@ def _connect(path: Optional[str] = None) -> sqlite3.Connection:
     connection = sqlite3.connect(path, timeout=30.0)
     connection.execute("PRAGMA busy_timeout = 30000")
     connection.executescript(_SCHEMA)
+    # Databases created before the ``version`` column existed migrate
+    # in place (CREATE TABLE IF NOT EXISTS leaves them untouched).
+    columns = {
+        row[1]
+        for row in connection.execute("PRAGMA table_info(runs)")
+    }
+    if "version" not in columns:
+        connection.execute(
+            "ALTER TABLE runs ADD COLUMN version TEXT NOT NULL"
+            " DEFAULT ''"
+        )
+        connection.commit()
     return connection
 
 
@@ -161,11 +174,15 @@ def git_sha() -> str:
 
 
 def environment_fingerprint() -> dict[str, str]:
-    """The per-run provenance columns: git sha, python, platform."""
+    """The per-run provenance columns: git sha, python, platform, and
+    the installed ``repro`` package version."""
+    import repro
+
     return {
         "git_sha": git_sha(),
         "python": platform_module.python_version(),
         "platform": f"{sys.platform}-{platform_module.machine()}",
+        "version": repro.__version__,
     }
 
 
@@ -289,8 +306,8 @@ def record_run(
         connection.execute("BEGIN IMMEDIATE")
         cursor = connection.execute(
             "INSERT INTO runs (started_at, kind, label, git_sha, python,"
-            " platform, jobs, cache_enabled, schema_version)"
-            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            " platform, jobs, cache_enabled, schema_version, version)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
             (
                 started_at or now_iso(),
                 kind,
@@ -301,6 +318,7 @@ def record_run(
                 int(jobs),
                 1 if cache_enabled() else 0,
                 SCHEMA_VERSION,
+                fingerprint["version"],
             ),
         )
         run_id = int(cursor.lastrowid)
@@ -360,6 +378,8 @@ class RunRow:
     platform: str
     jobs: int
     cache_enabled: bool
+    #: ``repro.__version__`` of the process that recorded the run.
+    version: str = ""
     #: Distinct experiments with score rows in this run.
     experiments: int = 0
 
@@ -399,13 +419,14 @@ def _row_to_run(row: tuple) -> RunRow:
         platform=str(row[6]),
         jobs=int(row[7]),
         cache_enabled=bool(row[8]),
-        experiments=int(row[9]),
+        version=str(row[9]),
+        experiments=int(row[10]),
     )
 
 
 _RUN_COLUMNS = (
     "r.id, r.started_at, r.kind, r.label, r.git_sha, r.python,"
-    " r.platform, r.jobs, r.cache_enabled,"
+    " r.platform, r.jobs, r.cache_enabled, r.version,"
     " (SELECT COUNT(DISTINCT experiment) FROM scores s"
     "  WHERE s.run_id = r.id)"
 )

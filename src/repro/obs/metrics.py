@@ -270,22 +270,83 @@ def _prom_name(name: str) -> str:
     return "repro_" + re.sub(r"[^a-zA-Z0-9_]", "_", name)
 
 
+#: Registry names of the form ``base{key=value,key=value}`` are labeled
+#: series of the ``base`` family (the convention the serving layer uses
+#: for per-tenant and per-status metrics).
+_LABELED_NAME = re.compile(r"^(?P<base>[^{}]+)\{(?P<labels>.*)\}$")
+
+
+def _split_labels(name: str) -> tuple[str, tuple[tuple[str, str], ...]]:
+    """``"a{k=v,k2=v2}"`` → ``("a", (("k", "v"), ("k2", "v2")))``."""
+    match = _LABELED_NAME.match(name)
+    if match is None:
+        return name, ()
+    labels = []
+    for pair in match.group("labels").split(","):
+        key, sep, value = pair.partition("=")
+        if sep and key.strip():
+            labels.append((key.strip(), value))
+    return match.group("base"), tuple(labels)
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape per the Prometheus text exposition format."""
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _render_labels(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{re.sub(r"[^a-zA-Z0-9_]", "_", key)}='
+        f'"{_escape_label_value(value)}"'
+        for key, value in labels
+    )
+    return "{" + inner + "}"
+
+
 def render_prometheus(snapshot: Optional[dict[str, dict]] = None) -> str:
-    """Prometheus text-exposition rendering of a metrics snapshot."""
+    """Prometheus text-exposition rendering of a metrics snapshot.
+
+    Each family gets ``# HELP`` and ``# TYPE`` lines followed by its
+    series; registry names carrying a ``{key=value,...}`` suffix render
+    as labeled series of one family with label values escaped per the
+    exposition format.  Counters get the conventional ``_total`` suffix
+    and histograms export as summaries (``_count``/``_sum``).
+    """
     if snapshot is None:
         snapshot = metrics_snapshot()
-    lines: list[str] = []
+    families: dict[tuple[str, str], list] = {}
     for name in sorted(snapshot):
         state = snapshot[name]
-        prom = _prom_name(name)
-        if state["type"] == "counter":
-            lines.append(f"# TYPE {prom}_total counter")
-            lines.append(f"{prom}_total {_format_value(state['value'])}")
-        elif state["type"] == "gauge":
-            lines.append(f"# TYPE {prom} gauge")
-            lines.append(f"{prom} {_format_value(state['value'])}")
-        else:
-            lines.append(f"# TYPE {prom} summary")
-            lines.append(f"{prom}_count {state['count']}")
-            lines.append(f"{prom}_sum {_format_value(state['sum'])}")
+        base, labels = _split_labels(name)
+        families.setdefault((base, state["type"]), []).append(
+            (labels, state)
+        )
+    lines: list[str] = []
+    for base, kind in sorted(families):
+        prom = _prom_name(base)
+        if kind == "counter":
+            prom += "_total"
+        prom_type = "summary" if kind == "histogram" else kind
+        lines.append(f"# HELP {prom} {kind} {base}")
+        lines.append(f"# TYPE {prom} {prom_type}")
+        for labels, state in families[(base, kind)]:
+            rendered = _render_labels(labels)
+            if kind == "histogram":
+                lines.append(
+                    f"{prom}_count{rendered} {state['count']}"
+                )
+                lines.append(
+                    f"{prom}_sum{rendered} "
+                    f"{_format_value(state['sum'])}"
+                )
+            else:
+                lines.append(
+                    f"{prom}{rendered} {_format_value(state['value'])}"
+                )
     return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,406 @@
+"""Transport-independent core of the analysis daemon.
+
+:class:`ServeApp` owns everything between the HTTP socket and the
+estimator pipeline: the sharded session pool, the micro-batching
+scheduler, inflight accounting and backpressure, per-tenant metrics,
+the drain state machine, and the optional end-of-life ledger record.
+The HTTP layer (:mod:`repro.serve.http`) only parses bytes and calls
+:meth:`ServeApp.handle`; tests can drive the app directly.
+
+Request lifecycle for ``POST /v1/analyze``:
+
+1. draining? → 503 (new work refused while in-flight work completes);
+2. at ``max_inflight``? → 429 with ``Retry-After`` (backpressure);
+3. body parsed and validated → 400 with a structured error on any
+   malformed shape, including :meth:`FrontendError.diagnostic` as
+   ``{error, file, line, col}`` for rejected source;
+4. the request parks in the batcher (identical sources coalesce),
+   runs on a worker thread against the session pool, and must finish
+   inside ``request_timeout_s`` → 504 otherwise;
+5. per-tenant counters (``X-Repro-Tenant``) and a latency histogram
+   land in the :mod:`repro.obs` registry, scraped live by
+   ``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional
+
+import repro
+from repro.frontend.errors import FrontendError
+from repro.obs import (
+    diag,
+    incr,
+    metrics_snapshot,
+    observe,
+    render_prometheus,
+    set_gauge,
+    span,
+)
+from repro.serve.pool import DEFAULT_MAX_BYTES, DEFAULT_SHARDS, SessionPool
+from repro.serve.report import (
+    RequestError,
+    build_report,
+    content_hash,
+    validate_request,
+)
+from repro.serve.scheduler import Batcher
+
+#: Upper bound on accepted request bodies (sources beyond this are
+#: not programs anyone analyzes interactively).
+DEFAULT_MAX_BODY = 2 * 1024 * 1024
+
+
+@dataclass
+class ServeConfig:
+    """Everything ``repro serve`` lets the operator tune."""
+
+    host: str = "127.0.0.1"
+    port: int = 8787
+    workers: int = 4
+    max_inflight: int = 128
+    batch_window_ms: float = 2.0
+    request_timeout_s: float = 30.0
+    max_body_bytes: int = DEFAULT_MAX_BODY
+    pool_bytes: int = DEFAULT_MAX_BYTES
+    pool_shards: int = DEFAULT_SHARDS
+    #: Record the serving run (uptime, traffic counters) in the ledger
+    #: on shutdown.
+    record: bool = False
+
+
+@dataclass
+class Response:
+    """One HTTP response, transport-agnostic."""
+
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+def status_text(status: int) -> str:
+    """Reason phrase for the status line."""
+    return _STATUS_TEXT.get(status, "Unknown")
+
+
+def _json_response(status: int, payload: object, **headers: str) -> Response:
+    body = (
+        json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+    )
+    return Response(status, body, headers=dict(headers))
+
+
+_TENANT_RE = re.compile(r"[^A-Za-z0-9_.-]")
+
+
+def tenant_label(headers: dict[str, str]) -> str:
+    """The metrics label for one request's tenant.
+
+    ``X-Repro-Tenant`` sanitized to a safe charset and bounded length;
+    absent or empty headers map to ``anon``.
+    """
+    raw = headers.get("x-repro-tenant", "").strip()
+    if not raw:
+        return "anon"
+    return _TENANT_RE.sub("_", raw)[:32]
+
+
+class ServeApp:
+    """The daemon's request broker (one instance per server)."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self.pool = SessionPool(
+            max_bytes=self.config.pool_bytes,
+            shards=self.config.pool_shards,
+        )
+        self.executor = ThreadPoolExecutor(
+            max_workers=max(1, self.config.workers),
+            thread_name_prefix="repro-serve",
+        )
+        self.draining = False
+        self.inflight = 0
+        self.started_monotonic = time.monotonic()
+        self.started_at: Optional[str] = None
+        self._metrics_before = metrics_snapshot()
+        self._batcher: Optional[Batcher] = None
+        self._idle: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------------
+    # Event-loop binding (the app is constructed before the loop runs).
+
+    def bind_loop(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Attach the batcher and drain event to the serving loop."""
+        self._batcher = Batcher(
+            loop,
+            self.executor,
+            batch_window_ms=self.config.batch_window_ms,
+        )
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    # ------------------------------------------------------------------
+    # Routing.
+
+    async def handle(
+        self, method: str, path: str, headers: dict[str, str], body: bytes
+    ) -> Response:
+        """Dispatch one parsed request to its route."""
+        tenant = tenant_label(headers)
+        clock = time.perf_counter()
+        with span("serve.request", path=path, tenant=tenant):
+            if path == "/healthz" and method == "GET":
+                response = self._handle_healthz()
+            elif path == "/metrics" and method == "GET":
+                response = self._handle_metrics()
+            elif path == "/v1/analyze":
+                if method != "POST":
+                    response = _json_response(
+                        405, {"error": "use POST"}, Allow="POST"
+                    )
+                else:
+                    response = await self._handle_analyze(headers, body)
+            else:
+                response = _json_response(
+                    404, {"error": f"no route {path!r}"}
+                )
+        elapsed_ms = (time.perf_counter() - clock) * 1000.0
+        incr(
+            "serve.responses"
+            f"{{code={response.status},tenant={tenant}}}"
+        )
+        observe(f"serve.latency_ms{{tenant={tenant}}}", elapsed_ms)
+        return response
+
+    # ------------------------------------------------------------------
+    # Routes.
+
+    def _handle_healthz(self) -> Response:
+        return _json_response(
+            200,
+            {
+                "status": "draining" if self.draining else "ok",
+                "version": repro.__version__,
+                "inflight": self.inflight,
+                "uptime_s": round(
+                    time.monotonic() - self.started_monotonic, 3
+                ),
+                "pool": self.pool.stats(),
+                "workers": self.config.workers,
+                "max_inflight": self.config.max_inflight,
+            },
+        )
+
+    def _handle_metrics(self) -> Response:
+        self.refresh_gauges()
+        text = render_prometheus(metrics_snapshot())
+        return Response(
+            200,
+            text.encode("utf-8"),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    async def _handle_analyze(
+        self, headers: dict[str, str], body: bytes
+    ) -> Response:
+        if self.draining:
+            incr("serve.refused.draining")
+            return _json_response(
+                503,
+                {"error": "server is draining"},
+                **{"Retry-After": "5", "Connection": "close"},
+            )
+        if self.inflight >= self.config.max_inflight:
+            incr("serve.refused.backpressure")
+            return _json_response(
+                429,
+                {
+                    "error": (
+                        "too many in-flight requests "
+                        f"(limit {self.config.max_inflight})"
+                    )
+                },
+                **{"Retry-After": "1"},
+            )
+        if len(body) > self.config.max_body_bytes:
+            return _json_response(
+                413,
+                {
+                    "error": (
+                        f"body exceeds {self.config.max_body_bytes} bytes"
+                    )
+                },
+            )
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return _json_response(
+                400, {"error": "request body is not valid JSON"}
+            )
+        try:
+            request = validate_request(payload)
+        except RequestError as error:
+            return _json_response(400, {"error": str(error)})
+
+        self.inflight += 1
+        if self._idle is not None:
+            self._idle.clear()
+        clock = time.perf_counter()
+        try:
+            key = (
+                content_hash(request["source"]),
+                tuple(request["estimators"]),
+                request["backend"],
+                request["attribution"],
+            )
+            assert self._batcher is not None, "bind_loop() not called"
+            report, was_hit = await asyncio.wait_for(
+                self._batcher.submit(
+                    key, lambda: self._analyze(request)
+                ),
+                timeout=self.config.request_timeout_s,
+            )
+        except asyncio.TimeoutError:
+            incr("serve.timeouts")
+            return _json_response(
+                504,
+                {
+                    "error": (
+                        "analysis exceeded "
+                        f"{self.config.request_timeout_s}s"
+                    )
+                },
+            )
+        except FrontendError as error:
+            incr("serve.frontend_errors")
+            return _json_response(400, error.diagnostic_dict())
+        except Exception as error:  # noqa: BLE001 - boundary
+            incr("serve.errors")
+            diag(f"repro serve: internal error: {error!r}")
+            return _json_response(500, {"error": "internal error"})
+        finally:
+            self.inflight -= 1
+            if self.inflight == 0 and self._idle is not None:
+                self._idle.set()
+        # The ``server`` block is the only part of the payload that is
+        # not a pure function of (source, options): equivalence tests
+        # strip exactly this key.
+        body_payload = dict(report)
+        body_payload["server"] = {
+            "cache": "hit" if was_hit else "miss",
+            "elapsed_ms": round(
+                (time.perf_counter() - clock) * 1000.0, 3
+            ),
+        }
+        return _json_response(200, body_payload)
+
+    # ------------------------------------------------------------------
+    # The worker-thread computation.
+
+    def _analyze(self, request: dict) -> tuple[dict, bool]:
+        session, was_hit = self.pool.get(
+            request["source"], request["name"]
+        )
+        with span(
+            "serve.analyze",
+            program=request["name"],
+            backend=request["backend"],
+        ):
+            report = build_report(
+                session,
+                estimators=request["estimators"],
+                backend=request["backend"],
+                attribution=request["attribution"],
+                name=request["name"],
+            )
+        return report, was_hit
+
+    # ------------------------------------------------------------------
+    # Gauges, drain, shutdown.
+
+    def refresh_gauges(self) -> None:
+        """Point-in-time serving gauges (scrape/healthz freshness)."""
+        stats = self.pool.stats()
+        set_gauge("serve.pool.entries", stats["entries"])
+        set_gauge("serve.pool.bytes", stats["bytes"])
+        set_gauge("serve.inflight", self.inflight)
+        set_gauge(
+            "serve.uptime_seconds",
+            round(time.monotonic() - self.started_monotonic, 3),
+        )
+        set_gauge("serve.draining", 1 if self.draining else 0)
+
+    def begin_drain(self) -> None:
+        """Stop accepting analyze work; in-flight requests complete."""
+        if not self.draining:
+            self.draining = True
+            incr("serve.drains")
+            if self._batcher is not None:
+                self._batcher.drain()
+
+    async def wait_drained(self, timeout: Optional[float] = None) -> bool:
+        """Wait for in-flight work to finish; True when fully drained."""
+        if self._idle is None or self.inflight == 0:
+            return True
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout=timeout)
+        except asyncio.TimeoutError:
+            return False
+        return True
+
+    def close(self) -> None:
+        """Tear down workers and optionally record the serving run."""
+        self.executor.shutdown(wait=True)
+        if self.config.record:
+            self._record_run()
+
+    def _record_run(self) -> None:
+        from repro.obs import ledger, metrics_delta
+
+        delta = metrics_delta(self._metrics_before)
+        counters = ledger.counter_values(delta)
+        requests = sum(
+            value
+            for name, value in counters.items()
+            if name.startswith("serve.responses{")
+        )
+        ledger.record_run(
+            "serve",
+            label=f"{self.config.host}:{self.config.port}",
+            started_at=self.started_at,
+            jobs=self.config.workers,
+            scores={
+                "serve": {
+                    "requests": requests,
+                    "pool_hits": counters.get("serve.pool.hits", 0.0),
+                    "pool_misses": counters.get(
+                        "serve.pool.misses", 0.0
+                    ),
+                }
+            },
+            stages={
+                "serve.uptime": time.monotonic()
+                - self.started_monotonic
+            },
+            counters=counters,
+        )

@@ -1,0 +1,151 @@
+"""Blocking client for the analysis daemon (stdlib ``http.client``).
+
+Used three ways: by the serving tests (drive the real socket path), by
+``benchmarks/test_bench_serve.py`` (the load generator), and by the CI
+smoke job.  Nothing here depends on the server internals — it is an
+ordinary HTTP client any consumer could write.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+
+@dataclass
+class ServeResponse:
+    """One HTTP exchange: status, parsed JSON (when JSON), raw text."""
+
+    status: int
+    payload: Optional[dict]
+    text: str
+    headers: dict[str, str] = field(default_factory=dict)
+
+
+class ServeClient:
+    """A small synchronous client; one connection per request by
+    default (``keep_alive=True`` reuses a single connection — not
+    thread-safe in that mode)."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 60.0,
+        tenant: Optional[str] = None,
+        keep_alive: bool = False,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.tenant = tenant
+        self.keep_alive = keep_alive
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[dict[str, str]] = None,
+    ) -> ServeResponse:
+        send_headers = dict(headers or {})
+        if self.tenant:
+            send_headers.setdefault("X-Repro-Tenant", self.tenant)
+        if not self.keep_alive:
+            send_headers.setdefault("Connection", "close")
+        connection = self._connection
+        if connection is None:
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        try:
+            connection.request(
+                method, path, body=body, headers=send_headers
+            )
+            raw = connection.getresponse()
+            text = raw.read().decode("utf-8", "replace")
+            status = raw.status
+            response_headers = {
+                name.lower(): value
+                for name, value in raw.getheaders()
+            }
+        finally:
+            if self.keep_alive:
+                self._connection = connection
+            else:
+                connection.close()
+        payload: Optional[dict] = None
+        try:
+            decoded = json.loads(text)
+            if isinstance(decoded, dict):
+                payload = decoded
+        except ValueError:
+            payload = None
+        return ServeResponse(status, payload, text, response_headers)
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    # ------------------------------------------------------------------
+    # Endpoints.
+
+    def analyze(
+        self,
+        source: str,
+        name: Optional[str] = None,
+        estimators: Optional[Sequence[str]] = None,
+        backend: Optional[str] = None,
+        attribution: Optional[bool] = None,
+        extra: Optional[dict] = None,
+    ) -> ServeResponse:
+        """``POST /v1/analyze`` for one source text."""
+        payload: dict = {"source": source}
+        if name is not None:
+            payload["name"] = name
+        if estimators is not None:
+            payload["estimators"] = list(estimators)
+        if backend is not None:
+            payload["backend"] = backend
+        if attribution is not None:
+            payload["attribution"] = attribution
+        if extra:
+            payload.update(extra)
+        return self._request(
+            "POST",
+            "/v1/analyze",
+            body=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+
+    def healthz(self) -> ServeResponse:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """The raw Prometheus exposition text."""
+        return self._request("GET", "/metrics").text
+
+    def wait_ready(self, timeout: float = 30.0) -> dict:
+        """Poll ``/healthz`` until the daemon answers; returns the
+        payload (raises ``TimeoutError`` otherwise)."""
+        deadline = time.monotonic() + timeout
+        last_error: Optional[Exception] = None
+        while time.monotonic() < deadline:
+            try:
+                response = self.healthz()
+                if response.status == 200 and response.payload:
+                    return response.payload
+            except OSError as error:
+                last_error = error
+            time.sleep(0.05)
+        raise TimeoutError(
+            f"daemon at {self.host}:{self.port} not ready in "
+            f"{timeout}s (last error: {last_error!r})"
+        )

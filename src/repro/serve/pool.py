@@ -1,0 +1,151 @@
+"""Sharded in-memory :class:`AnalysisSession` pool for the daemon.
+
+The serving hot path is "the same source again": editor integrations
+and CI bots re-submit identical translation units far more often than
+novel ones.  The pool keeps fully warmed sessions (parsed program,
+memoized predictor/transitions/estimates) in memory keyed by content
+hash, in front of the existing on-disk profile/analysis/codegen
+caches, so a repeat source costs a dict probe instead of a re-parse
+and re-solve.
+
+Design:
+
+* **Shard-per-lock** — the key space is split across N shards, each an
+  LRU ``OrderedDict`` behind its own mutex, so concurrent requests for
+  different sources never serialize on one lock.
+* **Byte budget** — every entry is charged its source size; each shard
+  evicts least-recently-used entries once it exceeds its slice of the
+  budget.  Sessions memoize roughly in proportion to source size, so
+  source bytes are a stable, cheap cost proxy.
+* **Miss races are benign** — two threads missing the same key both
+  parse; the second insert finds the first and adopts it (counted as
+  ``serve.pool.races``), so a key never holds two live sessions.
+
+Counters: ``serve.pool.hits`` / ``misses`` / ``evictions`` /
+``races``; gauges ``serve.pool.entries`` / ``serve.pool.bytes``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.analysis.session import AnalysisSession
+from repro.obs import incr, set_gauge, span
+from repro.program import Program
+from repro.serve.report import content_hash
+
+#: Defaults: 64 MiB of source across 8 shards.
+DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+DEFAULT_SHARDS = 8
+
+
+@dataclass
+class _Entry:
+    session: AnalysisSession
+    cost: int
+
+
+class _Shard:
+    __slots__ = ("lock", "entries", "bytes")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.entries: OrderedDict[str, _Entry] = OrderedDict()
+        self.bytes = 0
+
+
+class SessionPool:
+    """Content-addressed, sharded, byte-budgeted session cache."""
+
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        shards: int = DEFAULT_SHARDS,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be at least 1")
+        self.max_bytes = max_bytes
+        self._shards = [_Shard() for _ in range(shards)]
+        self._shard_budget = max(1, max_bytes // shards)
+
+    def _shard_for(self, key: str) -> _Shard:
+        return self._shards[int(key[:8], 16) % len(self._shards)]
+
+    def get(self, source: str, name: str) -> tuple[AnalysisSession, bool]:
+        """The pooled session for ``source`` — ``(session, was_hit)``.
+
+        A hit refreshes the entry's recency; a miss parses the source
+        (outside the shard lock, so other keys keep flowing), inserts
+        the new session, and evicts LRU entries past the budget.
+        """
+        key = content_hash(source)
+        shard = self._shard_for(key)
+        with shard.lock:
+            entry = shard.entries.get(key)
+            if entry is not None:
+                shard.entries.move_to_end(key)
+                incr("serve.pool.hits")
+                return entry.session, True
+        incr("serve.pool.misses")
+        with span("serve.parse", program=name):
+            program = Program.from_source(source, name)
+        session = AnalysisSession.of(program)
+        cost = len(source.encode("utf-8"))
+        with shard.lock:
+            racing = shard.entries.get(key)
+            if racing is not None:
+                # Another thread parsed the same source first; adopt
+                # its session so per-key memoization stays single.
+                shard.entries.move_to_end(key)
+                incr("serve.pool.races")
+                return racing.session, False
+            shard.entries[key] = _Entry(session, cost)
+            shard.bytes += cost
+            while shard.bytes > self._shard_budget and len(shard.entries) > 1:
+                _, evicted = shard.entries.popitem(last=False)
+                shard.bytes -= evicted.cost
+                incr("serve.pool.evictions")
+        self._publish_gauges()
+        return session, False
+
+    def peek(self, source: str) -> bool:
+        """Whether ``source`` is pooled (no recency update)."""
+        key = content_hash(source)
+        shard = self._shard_for(key)
+        with shard.lock:
+            return key in shard.entries
+
+    def stats(self) -> dict[str, int]:
+        """Point-in-time totals across all shards."""
+        entries = 0
+        total = 0
+        for shard in self._shards:
+            with shard.lock:
+                entries += len(shard.entries)
+                total += shard.bytes
+        return {
+            "entries": entries,
+            "bytes": total,
+            "shards": len(self._shards),
+            "max_bytes": self.max_bytes,
+        }
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were removed."""
+        removed = 0
+        for shard in self._shards:
+            with shard.lock:
+                removed += len(shard.entries)
+                shard.entries.clear()
+                shard.bytes = 0
+        self._publish_gauges()
+        return removed
+
+    def _publish_gauges(self) -> None:
+        stats = self.stats()
+        set_gauge("serve.pool.entries", stats["entries"])
+        set_gauge("serve.pool.bytes", stats["bytes"])

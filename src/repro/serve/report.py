@@ -1,0 +1,325 @@
+"""The analyze report: what ``POST /v1/analyze`` returns.
+
+One request carries C-subset source; the response carries the full
+static-estimation story for that translation unit:
+
+* per-function **block frequencies** — both local (normalized to one
+  function entry, exactly what the intra estimators produce) and
+  global (scaled by the estimated invocation count);
+* **function frequencies** (invocation estimates) per inter backend;
+* **rankings** — functions by estimated global cost and call sites by
+  estimated global frequency, the orderings selective optimization
+  consumes;
+* **branch predictions** — one entry per conditional branch, plus the
+  exact text lines ``repro predict`` prints (shared helper, so the
+  serving surface and the CLI can never drift apart);
+* an optional **attribution summary** — the program is executed once
+  on empty stdin and per-heuristic accuracy plus the worst branches
+  are attributed (the ``repro explain`` machinery in miniature).
+
+Everything here is a pure function of an
+:class:`~repro.analysis.session.AnalysisSession`, so a response served
+through the pool/batcher/HTTP stack is byte-identical (modulo the
+``server`` timing block, which the transport adds) to what a direct
+in-process computation yields — the equivalence tests rely on that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional, Sequence
+
+from repro.analysis.session import AnalysisSession
+from repro.estimators.base import INTRA_ESTIMATORS
+from repro.estimators.inter.simple import SIMPLE_INTER_ESTIMATORS
+
+#: Invocation backends an analyze request may select.
+INTER_BACKENDS: tuple[str, ...] = (
+    "markov",
+    *sorted(SIMPLE_INTER_ESTIMATORS),
+)
+
+#: Default request shape: the paper's best intra estimator under the
+#: Markov inter-procedural backend.
+DEFAULT_ESTIMATORS: tuple[str, ...] = ("smart",)
+DEFAULT_BACKEND = "markov"
+
+#: Execution budget for the optional attribution run (the request's
+#: program executed once on empty stdin, like a suite-XL program).
+ATTRIBUTION_FUEL = 10_000_000
+
+#: How many worst branches the attribution summary ranks.
+ATTRIBUTION_TOP = 10
+
+
+def content_hash(source: str) -> str:
+    """The content-address of one source text (the pool key)."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class RequestError(ValueError):
+    """A malformed analyze request (HTTP 400, before any parsing)."""
+
+
+def validate_request(payload: object) -> dict:
+    """Check an ``/v1/analyze`` JSON body; returns the normalized form.
+
+    Raises :class:`RequestError` with a user-facing message for every
+    malformed shape, so the HTTP layer can map it straight to a 400.
+    """
+    if not isinstance(payload, dict):
+        raise RequestError("request body must be a JSON object")
+    source = payload.get("source")
+    if not isinstance(source, str) or not source.strip():
+        raise RequestError("'source' must be a non-empty string")
+    name = payload.get("name", "request.c")
+    if not isinstance(name, str) or not name:
+        raise RequestError("'name' must be a non-empty string")
+    estimators = payload.get("estimators", list(DEFAULT_ESTIMATORS))
+    if isinstance(estimators, str):
+        estimators = [estimators]
+    if not isinstance(estimators, list) or not estimators:
+        raise RequestError("'estimators' must be a non-empty list")
+    for estimator in estimators:
+        if estimator not in INTRA_ESTIMATORS:
+            raise RequestError(
+                f"unknown estimator {estimator!r}; "
+                f"choices: {sorted(INTRA_ESTIMATORS)}"
+            )
+    backend = payload.get("backend", DEFAULT_BACKEND)
+    if backend not in INTER_BACKENDS:
+        raise RequestError(
+            f"unknown backend {backend!r}; "
+            f"choices: {list(INTER_BACKENDS)}"
+        )
+    attribution = payload.get("attribution", False)
+    if not isinstance(attribution, bool):
+        raise RequestError("'attribution' must be a boolean")
+    return {
+        "source": source,
+        "name": name,
+        # Deduplicated, order preserved: the report is keyed by
+        # estimator name so repeats would only repeat work.
+        "estimators": list(dict.fromkeys(estimators)),
+        "backend": backend,
+        "attribution": attribution,
+    }
+
+
+def prediction_lines(session: AnalysisSession) -> list[str]:
+    """The ``repro predict`` report, one line per conditional branch.
+
+    This is the single source of truth for that format: the CLI prints
+    these lines and the serving report embeds them, so the two surfaces
+    are byte-identical by construction.
+    """
+    program = session.program
+    predictor = session.predictor()
+    lines: list[str] = []
+    for name, cfg in program.cfgs.items():
+        for block, branch in cfg.conditional_branches():
+            prediction = predictor.predict_branch(name, block, branch)
+            direction = "T" if prediction.predicted_taken else "F"
+            lines.append(
+                f"{name}:{block.label} @ {branch.condition.location.line} "
+                f"-> {direction} p={prediction.taken_probability:.2f} "
+                f"({prediction.reason})"
+            )
+    return lines
+
+
+def _branch_entries(session: AnalysisSession) -> list[dict]:
+    program = session.program
+    predictor = session.predictor()
+    entries: list[dict] = []
+    for name, cfg in program.cfgs.items():
+        for block, branch in cfg.conditional_branches():
+            prediction = predictor.predict_branch(name, block, branch)
+            entries.append(
+                {
+                    "function": name,
+                    "block": block.block_id,
+                    "label": block.label,
+                    "line": branch.condition.location.line,
+                    "taken": prediction.predicted_taken,
+                    "probability": round(
+                        prediction.taken_probability, 6
+                    ),
+                    "reason": prediction.reason,
+                    "constant": prediction.is_constant,
+                }
+            )
+    return entries
+
+
+def _rank(values: dict, tiebreak_order: Sequence) -> list:
+    """Keys of ``values`` sorted by value descending, ties broken by
+    the given deterministic order (function definition order, call-site
+    id order) so the ranking never depends on dict iteration."""
+    position = {key: index for index, key in enumerate(tiebreak_order)}
+    return sorted(
+        values,
+        key=lambda key: (-values[key], position.get(key, len(position))),
+    )
+
+
+def _attribution_summary(
+    session: AnalysisSession, fuel: int = ATTRIBUTION_FUEL
+) -> dict:
+    """Run the program once on empty stdin and attribute prediction
+    accuracy (a static-only request never executes anything)."""
+    from repro.attribution.accuracy import accuracy_by_heuristic
+    from repro.attribution.records import collect_branch_records
+    from repro.compile.backend import run_program_backend
+
+    program = session.program
+    result = run_program_backend(
+        program, stdin="", fuel=fuel, input_name="serve"
+    )
+    if result.aborted:
+        return {
+            "error": "execution aborted (fuel exhausted or runtime fault)",
+            "status": result.status,
+        }
+    records = collect_branch_records(program, result.profile)
+    scored = [record for record in records if record.scored]
+    rows = accuracy_by_heuristic(records)
+    executions = sum(row.executions for row in rows.values())
+    misses = sum(row.misses for row in rows.values())
+    worst = sorted(
+        scored,
+        key=lambda record: (
+            -abs(
+                record.predicted_probability
+                - (
+                    record.taken / record.executions
+                    if record.executions
+                    else 0.5
+                )
+            ),
+            record.function,
+            record.block_id,
+        ),
+    )[:ATTRIBUTION_TOP]
+    return {
+        "status": result.status,
+        "branches": len(scored),
+        "executions": executions,
+        "miss_rate": round(misses / executions, 6) if executions else 0.0,
+        "heuristics": [
+            {
+                "reason": row.reason,
+                "branches": row.branches,
+                "executions": row.executions,
+                "misses": row.misses,
+                "miss_rate": round(row.miss_rate, 6),
+            }
+            for row in rows.values()
+        ],
+        "worst_branches": [
+            {
+                "function": record.function,
+                "block": record.block_id,
+                "line": record.line,
+                "predicted": round(record.predicted_probability, 6),
+                "actual": round(
+                    record.taken / record.executions, 6
+                )
+                if record.executions
+                else None,
+                "winner": record.winner,
+            }
+            for record in worst
+        ],
+    }
+
+
+def build_report(
+    session: AnalysisSession,
+    estimators: Sequence[str] = DEFAULT_ESTIMATORS,
+    backend: str = DEFAULT_BACKEND,
+    attribution: bool = False,
+    name: Optional[str] = None,
+    version: Optional[str] = None,
+) -> dict:
+    """The full analyze report for one session (JSON-able, sorted).
+
+    Deterministic: two calls with the same source and options produce
+    equal payloads whatever process, thread, or cache layer computed
+    them.  The HTTP layer adds a ``server`` block (timing, cache
+    disposition) on top; equivalence tests strip exactly that block.
+    """
+    import repro
+
+    program = session.program
+    source = program.source or ""
+    report: dict = {
+        "name": name or program.name,
+        "content_hash": content_hash(source),
+        "version": version or repro.__version__,
+        "backend": backend,
+        "functions": list(program.function_names),
+        "estimates": {},
+        "invocations": {},
+        "call_sites": {},
+        "rankings": {},
+    }
+    sites = {
+        site.site_id: site
+        for site in program.call_sites()
+        if site.callee is not None
+    }
+    site_order = sorted(sites)
+    for estimator in estimators:
+        local = session.intra_estimates(estimator)
+        invocations = session.invocations(backend, estimator)
+        call_sites = session.call_site_frequencies(backend, estimator)
+        totals = {
+            function: sum(blocks.values()) * invocations.get(function, 0.0)
+            for function, blocks in local.items()
+        }
+        report["estimates"][estimator] = {
+            function: {
+                "invocations": round(invocations.get(function, 0.0), 9),
+                "total": round(totals[function], 9),
+                "blocks": {
+                    str(block_id): round(frequency, 9)
+                    for block_id, frequency in sorted(blocks.items())
+                },
+            }
+            for function, blocks in sorted(local.items())
+        }
+        report["invocations"][estimator] = {
+            function: round(value, 9)
+            for function, value in sorted(invocations.items())
+        }
+        report["call_sites"][estimator] = {
+            str(site_id): {
+                "caller": sites[site_id].caller,
+                "callee": sites[site_id].callee,
+                "line": sites[site_id].call.location.line,
+                "frequency": round(call_sites.get(site_id, 0.0), 9),
+            }
+            for site_id in site_order
+        }
+        report["rankings"][estimator] = {
+            "functions": _rank(totals, program.function_names),
+            "call_sites": [
+                str(site_id)
+                for site_id in _rank(
+                    {
+                        site_id: call_sites.get(site_id, 0.0)
+                        for site_id in site_order
+                    },
+                    site_order,
+                )
+            ],
+        }
+    report["predictions"] = {
+        "lines": prediction_lines(session),
+        "branches": _branch_entries(session),
+    }
+    report["attribution"] = (
+        _attribution_summary(session) if attribution else None
+    )
+    return report

@@ -1,0 +1,119 @@
+"""Micro-batching request scheduler for the analysis daemon.
+
+Incoming analyze requests are not dispatched one by one: each request
+parks in a pending batch for at most ``batch_window_ms``; when the
+window closes (or the batch fills), the whole batch flushes at once.
+Batching buys two things:
+
+* **coalescing** — requests in the same window carrying the same
+  (content hash, options) key are served by *one* computation, and
+  every waiter gets the same result object (counted as
+  ``serve.batch.coalesced``).  Under a thundering herd of identical
+  sources the pipeline runs once per window, not once per request.
+* **amortized dispatch** — one event-loop wakeup moves a whole batch
+  to the worker threads instead of one timer per request.
+
+The scheduler is transport-agnostic: callers ``await submit(key,
+thunk)`` where ``thunk`` is the synchronous computation to run on a
+worker thread.  Cancellation of one waiter never cancels the shared
+computation (other waiters may be parked on it).
+
+Histograms: ``serve.batch.size`` (unique jobs per flush) and
+``serve.batch.requests`` (waiters per flush).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Hashable, Optional
+
+from repro.obs import incr, observe
+
+#: Flush even a partially filled window once this many unique jobs
+#: are parked (keeps worst-case latency bounded under load).
+DEFAULT_MAX_BATCH = 64
+
+
+class Batcher:
+    """Window-based coalescing dispatcher over a thread executor."""
+
+    def __init__(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        executor,
+        batch_window_ms: float = 2.0,
+        max_batch: int = DEFAULT_MAX_BATCH,
+    ) -> None:
+        self._loop = loop
+        self._executor = executor
+        self._window_s = max(0.0, batch_window_ms) / 1000.0
+        self._max_batch = max(1, max_batch)
+        #: key -> (thunk, [futures waiting on it])
+        self._pending: dict[
+            Hashable, tuple[Callable[[], object], list[asyncio.Future]]
+        ] = {}
+        self._flush_handle: Optional[asyncio.Handle] = None
+
+    def submit(
+        self, key: Hashable, thunk: Callable[[], object]
+    ) -> Awaitable[object]:
+        """Park one request; resolves with ``thunk()``'s result.
+
+        Requests sharing ``key`` within one window share one
+        execution.  Returns a future the caller awaits (wrap in
+        ``asyncio.wait_for`` for per-request timeouts; the shared
+        computation itself is never cancelled).
+        """
+        waiter: asyncio.Future = self._loop.create_future()
+        entry = self._pending.get(key)
+        if entry is not None:
+            entry[1].append(waiter)
+            incr("serve.batch.coalesced")
+        else:
+            self._pending[key] = (thunk, [waiter])
+            if len(self._pending) >= self._max_batch:
+                self._flush()
+            elif self._flush_handle is None:
+                if self._window_s <= 0.0:
+                    self._flush_handle = self._loop.call_soon(self._flush)
+                else:
+                    self._flush_handle = self._loop.call_later(
+                        self._window_s, self._flush
+                    )
+        # Shield the shared execution from one waiter's cancellation
+        # (a timed-out request must not kill its batch-mates' result).
+        return asyncio.shield(waiter)
+
+    def _flush(self) -> None:
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        batch = self._pending
+        if not batch:
+            return
+        self._pending = {}
+        observe("serve.batch.size", len(batch))
+        observe(
+            "serve.batch.requests",
+            sum(len(waiters) for _, waiters in batch.values()),
+        )
+        for key, (thunk, waiters) in batch.items():
+            task = self._loop.run_in_executor(self._executor, thunk)
+            task.add_done_callback(
+                lambda done, waiters=waiters: self._settle(done, waiters)
+            )
+
+    @staticmethod
+    def _settle(done: asyncio.Future, waiters: list[asyncio.Future]) -> None:
+        error = done.exception()
+        for waiter in waiters:
+            if waiter.cancelled():
+                continue
+            if error is not None:
+                waiter.set_exception(error)
+            else:
+                waiter.set_result(done.result())
+
+    def drain(self) -> None:
+        """Flush anything still parked (shutdown path)."""
+        self._flush()
