@@ -5,14 +5,19 @@ Starts ``python -m repro serve`` as a real subprocess, waits for its
 ready line, fires a 64-way concurrent burst mixing repeat sources,
 novel sources, and one malformed source (the structured-400 path),
 then checks ``/metrics`` for session-pool hits and per-tenant
-counters.  Finally it fires a second wave and SIGTERMs the server
-while that wave is in flight: every accepted request must complete
-(200) or be refused up front (503) — never dropped — and the process
-must exit 0 (clean drain).
+counters.  It then exercises the observability surface: a W3C
+``traceparent`` round-trip, flight-recorder retention of injected
+errors (``/debug/traces?kind=errors``), span trees on ``/debug/slow``,
+and an on-demand flamegraph from ``/debug/profile``.  Finally it fires
+a second wave and SIGTERMs the server while that wave is in flight:
+every accepted request must complete (200) or be refused up front
+(503) — never dropped — and the process must exit 0 (clean drain).
 
 Run from the repo root (``python scripts/serve_smoke.py``).  Set
-``SERVE_SMOKE_JSON`` to write the latency/metrics report for the CI
-artifact.  Exits non-zero if any check fails.
+``SERVE_SMOKE_JSON`` to write the latency/metrics report,
+``SERVE_SMOKE_PROFILE`` to save the flamegraph SVG, and
+``SERVE_SMOKE_FLIGHT`` to dump the flight-recorder rings (all three
+are uploaded as CI artifacts).  Exits non-zero if any check fails.
 """
 
 from __future__ import annotations
@@ -166,7 +171,9 @@ def main() -> int:
         check(
             status == 400
             and isinstance(payload, dict)
-            and set(payload) == {"error", "file", "line", "col"},
+            and set(payload) == {
+                "error", "file", "line", "col", "trace_id",
+            },
             f"malformed source -> structured 400 (got {status}, "
             f"{payload})",
         )
@@ -188,6 +195,102 @@ def main() -> int:
             and bool(health.get("version")),
             f"healthz ok, version {health.get('version')!r}",
         )
+
+        # ------------------------------------------------------------
+        # Tracing: W3C traceparent round-trips through the daemon.
+        trace_id = "ab" * 16
+        traced = probe.analyze(
+            _source(1), name="traced.c",
+            traceparent=f"00-{trace_id}-{'cd' * 8}-01",
+        )
+        check(
+            traced.status == 200
+            and traced.trace_id == trace_id
+            and traced.payload["server"]["trace_id"] == trace_id,
+            f"traceparent round-trip (echoed {traced.trace_id})",
+        )
+
+        # ------------------------------------------------------------
+        # Flight recorder: injected failures survive the healthy burst.
+        injected: set[str] = set()
+        for index in range(5):
+            bad = probe._request(
+                "POST",
+                "/v1/analyze",
+                body=json.dumps(
+                    {"source": _source(index), "backend": "nope"}
+                ).encode(),
+            )
+            if bad.status == 400 and bad.trace_id:
+                injected.add(bad.trace_id)
+        flight = probe.traces(kind="errors").payload or {}
+        retained = {
+            record.get("trace_id")
+            for record in flight.get("traces", [])
+        }
+        check(
+            len(injected) == 5 and injected <= retained,
+            f"flight recorder retained {len(injected & retained)}/"
+            f"{len(injected)} injected errors",
+        )
+        slow = probe.slow(limit=5).payload or {}
+        slow_records = slow.get("traces", [])
+        check(
+            bool(slow_records)
+            and all(r.get("spans") for r in slow_records),
+            f"/debug/slow returns span trees "
+            f"({len(slow_records)} records)",
+        )
+        flight_target = os.environ.get("SERVE_SMOKE_FLIGHT")
+        if flight_target:
+            with open(flight_target, "w", encoding="utf-8") as handle:
+                json.dump(
+                    {
+                        "errors": flight,
+                        "slow": slow,
+                        "recent": probe.traces(limit=20).payload,
+                    },
+                    handle,
+                    indent=2,
+                    sort_keys=True,
+                )
+                handle.write("\n")
+            print(f"flight dump -> {flight_target}")
+
+        # ------------------------------------------------------------
+        # Profiler: an on-demand flamegraph while traffic flows.
+        noise_stop = threading.Event()
+
+        def noise_main() -> None:
+            client = ServeClient(host, port, timeout=120)
+            index = 3000
+            while not noise_stop.is_set():
+                client.analyze(
+                    _source(index), name=f"noise{index}.c"
+                )
+                index += 1
+
+        noise = threading.Thread(target=noise_main)
+        noise.start()
+        try:
+            svg = probe.profile(seconds=1.0, interval_ms=2.0)
+        finally:
+            noise_stop.set()
+            noise.join()
+        check(
+            svg.status == 200
+            and svg.text.startswith("<svg ")
+            and "</svg>" in svg.text,
+            f"/debug/profile returns a flamegraph SVG "
+            f"({len(svg.text)} bytes)",
+        )
+        profile_target = os.environ.get("SERVE_SMOKE_PROFILE")
+        if profile_target:
+            with open(
+                profile_target, "w", encoding="utf-8"
+            ) as handle:
+                handle.write(svg.text)
+            print(f"flamegraph -> {profile_target}")
 
         # ------------------------------------------------------------
         # Drain: SIGTERM while a wave is in flight; zero drops.

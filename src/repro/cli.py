@@ -22,7 +22,11 @@ Usage (after installing the package)::
     python -m repro run all --trace         # record a span trace
     python -m repro trace                   # render the recorded trace
     python -m repro stats --format prom     # metrics from the last run
+    python -m repro profile -- run all      # flamegraph of a command
+    python -m repro run all --profile       # same, as a rider flag
     python -m repro serve --port 8787       # HTTP analysis daemon
+    python -m repro serve --access-log logs/  # + JSON access log
+    python -m repro traces --slow           # daemon flight recorder
     python -m repro history --limit 10      # past runs from the ledger
     python -m repro history show latest     # one run in full detail
     python -m repro compare latest~1 latest # score/stage drift check
@@ -45,7 +49,12 @@ Observability (see :mod:`repro.obs`): ``--trace``/``REPRO_TRACE``
 record a span trace and write it as JSONL (``REPRO_TRACE_FILE``,
 default ``repro-trace.jsonl``); metrics are always on and persisted at
 the end of each command for ``repro stats``; ``--quiet``/``REPRO_QUIET``
-silence diagnostic stderr chatter without touching stdout.
+silence diagnostic stderr chatter without touching stdout.  ``repro
+profile -- <command>`` (or ``--profile`` on ``run``/``serve``/
+``profile-suite``) samples the process with the zero-dependency
+wall-clock profiler (:mod:`repro.obs.profiler`) and writes a
+flamegraph SVG plus collapsed stacks (``REPRO_PROFILE_FILE``, default
+``repro-profile.svg``).
 
 Every ``run``/``run all``/``fuzz run`` invocation (and the benchmark
 harness) appends one run to the persistent ledger
@@ -254,8 +263,112 @@ def _command_serve(args: argparse.Namespace) -> int:
         batch_window_ms=args.batch_window_ms,
         request_timeout_s=args.timeout,
         record=args.record,
+        access_log_dir=args.access_log,
     )
     return serve_forever(config)
+
+
+def _render_trace_record(record: dict) -> str:
+    """One summary line per flight-recorder record."""
+
+    def col(value: object, default: str = "-") -> str:
+        return default if value is None else str(value)
+
+    queue = record.get("queue_wait_ms")
+    queue_text = "-" if queue is None else f"{queue:.3f}ms"
+    return (
+        f"{col(record.get('trace_id'))[:16]:16} "
+        f"{col(record.get('status')):>4} "
+        f"{float(record.get('elapsed_ms') or 0.0):9.3f}ms "
+        f"cache={col(record.get('cache')):4} "
+        f"queue={queue_text:>9} "
+        f"batch={col(record.get('batch_size')):>2} "
+        f"shard={col(record.get('pool_shard')):>2} "
+        f"{col(record.get('tenant'), 'anon')} "
+        f"{col(record.get('name') or record.get('path'))}"
+        + (" [coalesced]" if record.get("coalesced") else "")
+        + (" [timeout]" if record.get("timeout") else "")
+    )
+
+
+def _command_traces(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient
+
+    client = ServeClient(args.host, args.port, timeout=30)
+    try:
+        if args.slow:
+            response = client.slow(limit=args.limit)
+        else:
+            response = client.traces(
+                limit=args.limit,
+                kind="errors" if args.errors else None,
+            )
+    except OSError as error:
+        _error(
+            f"repro: cannot reach daemon at {args.host}:{args.port}: "
+            f"{error}"
+        )
+        return 2
+    if response.status != 200 or response.payload is None:
+        _error(f"repro: daemon answered {response.status}")
+        return 2
+    if args.json:
+        print(json.dumps(response.payload, indent=2, sort_keys=True))
+        return 0
+    records = response.payload.get("traces", [])
+    stats = response.payload.get("stats", {})
+    if not records:
+        print("(no traces retained)")
+    for record in records:
+        print(_render_trace_record(record))
+        if args.full and record.get("spans"):
+            roots = [
+                obs.Span.from_dict(span_dict)
+                for span_dict in record["spans"]
+            ]
+            tree = obs.render_span_tree(roots, full=True)
+            for line in tree.splitlines():
+                print(f"    {line}")
+    print(
+        f"flight recorder: {stats.get('recorded', 0)} recorded, "
+        f"{stats.get('errors', 0)} errors retained, "
+        f"slowest {stats.get('slowest_ms', 0)}ms"
+    )
+    return 0
+
+
+def _command_profile(args: argparse.Namespace) -> int:
+    from repro.obs.profiler import SamplingProfiler, write_profile
+
+    rest = list(args.argv)
+    while rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        _error(
+            "repro: profile needs a command to run, e.g. "
+            "'repro profile -- run figure2'"
+        )
+        return 2
+    if rest[0] == "profile":
+        _error("repro: cannot nest 'repro profile'")
+        return 2
+    profiler = SamplingProfiler(
+        interval_ms=args.interval_ms,
+        include_idle=args.include_idle,
+    )
+    profiler.start()
+    try:
+        status = main(rest)
+    finally:
+        profiler.stop()
+        svg_path, collapsed_path = write_profile(
+            profiler, args.out, title="repro " + " ".join(rest)
+        )
+        obs.diag(
+            f"repro: profile captured {profiler.total_samples} "
+            f"samples -> {svg_path} (collapsed: {collapsed_path})"
+        )
+    return status
 
 
 def _command_profile_suite(args: argparse.Namespace) -> int:
@@ -469,6 +582,21 @@ def _command_cache(args: argparse.Namespace) -> int:
         print(f"  size:      {info['bytes']} bytes")
         print(f"  oldest:    {info['oldest_run'] or '-'}")
         print(f"  newest:    {info['newest_run'] or '-'}")
+        from repro.obs.flight import access_log_info
+
+        info = access_log_info()
+        print("serve access log:")
+        print(
+            "  directory: "
+            + (
+                info["directory"]
+                or "(unset: REPRO_ACCESS_LOG_DIR or "
+                "'repro serve --access-log')"
+            )
+        )
+        print(f"  enabled:   {'yes' if info['enabled'] else 'no'}")
+        print(f"  files:     {info['files']}")
+        print(f"  size:      {info['bytes']} bytes")
         return 0
     for title, info, clear in (
         ("profile cache", profile_cache.cache_info(), profile_cache.clear_cache),
@@ -803,6 +931,18 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_profile_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "sample this command with the wall-clock profiler and "
+            "write a flamegraph SVG on exit (REPRO_PROFILE_FILE, "
+            "default repro-profile.svg)"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse CLI parser (exposed for tests and docs)."""
     from repro import __version__
@@ -859,6 +999,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress diagnostic stderr output (stdout is unchanged)",
     )
+    _add_profile_argument(run_parser)
     _add_backend_argument(run_parser)
     run_parser.set_defaults(handler=_command_run)
 
@@ -944,10 +1085,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="append one serving run to the ledger on shutdown",
     )
     serve_parser.add_argument(
+        "--access-log",
+        dest="access_log",
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory for the rotated JSON access log (default: "
+            "REPRO_ACCESS_LOG_DIR, else stderr only)"
+        ),
+    )
+    serve_parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress diagnostic stderr output (stdout is unchanged)",
     )
+    _add_profile_argument(serve_parser)
     serve_parser.set_defaults(handler=_command_serve)
 
     layout_parser = subparsers.add_parser(
@@ -1101,6 +1253,7 @@ def build_parser() -> argparse.ArgumentParser:
             "(REPRO_TRACE_FILE, default repro-trace.jsonl)"
         ),
     )
+    _add_profile_argument(profile_parser)
     _add_backend_argument(profile_parser)
     profile_parser.set_defaults(handler=_command_profile_suite)
 
@@ -1335,6 +1488,91 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats_parser.set_defaults(handler=_command_stats)
 
+    traces_parser = subparsers.add_parser(
+        "traces",
+        help=(
+            "fetch request traces from a running daemon's flight "
+            "recorder (GET /debug/traces | /debug/slow)"
+        ),
+    )
+    traces_parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="daemon address (default: 127.0.0.1)",
+    )
+    traces_parser.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        help="daemon port (default: 8787)",
+    )
+    traces_parser.add_argument(
+        "--slow",
+        action="store_true",
+        help="slowest retained requests instead of most recent",
+    )
+    traces_parser.add_argument(
+        "--errors",
+        action="store_true",
+        help="retained error/timeout traces instead of most recent",
+    )
+    traces_parser.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        help="traces to fetch (default: 10)",
+    )
+    traces_parser.add_argument(
+        "--full",
+        action="store_true",
+        help="render each trace's full span tree",
+    )
+    traces_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw JSON payload",
+    )
+    traces_parser.set_defaults(handler=_command_traces)
+
+    profiler_parser = subparsers.add_parser(
+        "profile",
+        help=(
+            "run another repro command under the sampling profiler "
+            "and write a flamegraph SVG"
+        ),
+    )
+    profiler_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="SVG",
+        help=(
+            "flamegraph output path (default: REPRO_PROFILE_FILE or "
+            "repro-profile.svg; collapsed stacks land next to it)"
+        ),
+    )
+    profiler_parser.add_argument(
+        "--interval-ms",
+        dest="interval_ms",
+        type=float,
+        default=5.0,
+        help="sampling interval in milliseconds (default: 5)",
+    )
+    profiler_parser.add_argument(
+        "--include-idle",
+        action="store_true",
+        help=(
+            "keep stacks parked in locks/selectors/executor queues "
+            "(dropped by default)"
+        ),
+    )
+    profiler_parser.add_argument(
+        "argv",
+        nargs=argparse.REMAINDER,
+        metavar="-- command",
+        help="the repro command to profile, e.g. '-- run all'",
+    )
+    profiler_parser.set_defaults(handler=_command_profile)
+
     return parser
 
 
@@ -1364,6 +1602,12 @@ def main(argv: list[str] | None = None) -> int:
         obs.set_quiet(True)
     if getattr(args, "trace", False) is True:
         obs.enable_tracing()
+    profiler = None
+    if getattr(args, "profile", False) is True:
+        from repro.obs.profiler import SamplingProfiler
+
+        profiler = SamplingProfiler()
+        profiler.start()
     try:
         status = args.handler(args)
         _finish_observability()
@@ -1376,6 +1620,19 @@ def main(argv: list[str] | None = None) -> int:
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
     finally:
+        if profiler is not None:
+            profiler.stop()
+            from repro.obs.profiler import write_profile
+
+            svg_path, collapsed_path = write_profile(
+                profiler,
+                title=f"repro {getattr(args, 'command', '')}".strip(),
+            )
+            obs.diag(
+                f"profile: {profiler.total_samples} samples over "
+                f"{profiler.wall_seconds:.2f}s -> {svg_path} "
+                f"(+ {collapsed_path})"
+            )
         # Restore process-global flags so in-process callers (tests,
         # embedding) see main() as reentrant.  --backend publishes
         # through the environment (worker processes inherit it), so it

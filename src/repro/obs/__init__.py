@@ -15,6 +15,12 @@ Four pieces, threaded through every layer of the system:
   ``repro trace`` tree report, and the persisted metrics snapshot
   behind ``repro stats``.
 
+Two request-level companions (imported on demand, not re-exported):
+:mod:`repro.obs.flight`, the daemon's tail-sampled flight recorder
+and structured access log, and :mod:`repro.obs.profiler`, the
+zero-dependency sampling wall-clock profiler behind ``repro
+profile`` and ``GET /debug/profile``.
+
 This module also owns :func:`diag`, the single helper all diagnostic
 stderr chatter routes through (``--quiet``/``REPRO_QUIET`` silence it
 without touching stdout).
@@ -49,15 +55,24 @@ from repro.obs.metrics import (
     render_metrics,
     render_prometheus,
     reset_metrics,
+    sample_percentiles,
     set_gauge,
 )
 from repro.obs.trace import (
     Span,
+    TraceBuffer,
     attach_span,
+    current_buffer,
     current_span,
+    current_trace_id,
     disable_tracing,
     enable_tracing,
     forced_tracing,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+    request_buffer,
     reset_trace,
     span,
     span_names,
@@ -96,21 +111,29 @@ def diag(message: str) -> None:
 
 __all__ = [
     "Span",
+    "TraceBuffer",
     "WorkerCapture",
     "absorb",
     "attach_span",
     "counter",
     "counter_value",
+    "current_buffer",
     "current_span",
+    "current_trace_id",
     "default_trace_path",
     "diag",
     "disable_tracing",
     "enable_tracing",
     "forced_tracing",
+    "format_traceparent",
     "gauge",
     "histogram",
     "histogram_sums",
     "incr",
+    "new_span_id",
+    "new_trace_id",
+    "parse_traceparent",
+    "request_buffer",
     "merge_metrics",
     "metrics_delta",
     "metrics_snapshot",
@@ -123,6 +146,7 @@ __all__ = [
     "render_span_tree",
     "reset_metrics",
     "reset_trace",
+    "sample_percentiles",
     "set_gauge",
     "set_quiet",
     "span",

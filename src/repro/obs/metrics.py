@@ -56,10 +56,27 @@ class Gauge:
         return {"type": "gauge", "value": self.value}
 
 
-class Histogram:
-    """A distribution summary: count, sum, min, max."""
+#: Per-histogram sample reservoir bound.  Below the cap the reservoir
+#: is the exact observation multiset (so percentiles are exact and
+#: serial vs. ``--jobs N`` runs agree); past it, new observations
+#: overwrite slots in a deterministic stride so the reservoir keeps
+#: tracking the recent distribution without ever growing.
+SAMPLE_CAP = 512
 
-    __slots__ = ("count", "total", "minimum", "maximum")
+#: Odd stride coprime to every possible cap ≤ SAMPLE_CAP, so repeated
+#: replacement visits all slots before reusing one.
+_SAMPLE_STRIDE = 40503
+
+
+class Histogram:
+    """A distribution summary: count, sum, min, max, plus a bounded
+    sample reservoir for percentiles and an optional exemplar (the
+    trace id of one recent observation, for metric→trace pivots)."""
+
+    __slots__ = (
+        "count", "total", "minimum", "maximum",
+        "samples", "exemplar", "_cursor",
+    )
     kind = "histogram"
 
     def __init__(self) -> None:
@@ -67,8 +84,13 @@ class Histogram:
         self.total: float = 0.0
         self.minimum: Optional[float] = None
         self.maximum: Optional[float] = None
+        self.samples: list[float] = []
+        self.exemplar: Optional[dict] = None
+        self._cursor: int = 0
 
-    def observe(self, value: Number) -> None:
+    def observe(
+        self, value: Number, exemplar: Optional[str] = None
+    ) -> None:
         value = float(value)
         self.count += 1
         self.total += value
@@ -76,15 +98,49 @@ class Histogram:
             self.minimum = value
         if self.maximum is None or value > self.maximum:
             self.maximum = value
+        self._insert(value)
+        if exemplar is not None:
+            self.exemplar = {"value": value, "trace_id": exemplar}
+
+    def _insert(self, value: float) -> None:
+        self._cursor += 1
+        if len(self.samples) < SAMPLE_CAP:
+            self.samples.append(value)
+        else:
+            self.samples[
+                (self._cursor * _SAMPLE_STRIDE) % SAMPLE_CAP
+            ] = value
+
+    def percentiles(self) -> Optional[dict[str, float]]:
+        """Nearest-rank p50/p95/p99 over the sample reservoir."""
+        return sample_percentiles(self.samples)
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "type": "histogram",
             "count": self.count,
             "sum": self.total,
             "min": self.minimum,
             "max": self.maximum,
+            "samples": list(self.samples),
         }
+        if self.exemplar is not None:
+            payload["exemplar"] = dict(self.exemplar)
+        return payload
+
+
+def sample_percentiles(
+    samples: Optional[list[float]],
+) -> Optional[dict[str, float]]:
+    """Nearest-rank ``{"p50", "p95", "p99"}`` of a sample list."""
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    last = len(ordered) - 1
+    return {
+        f"p{int(q * 100)}": ordered[min(last, int(round(q * last)))]
+        for q in (0.50, 0.95, 0.99)
+    }
 
 
 Metric = Union[Counter, Gauge, Histogram]
@@ -124,9 +180,12 @@ def set_gauge(name: str, value: Number) -> None:
     gauge(name).set(value)
 
 
-def observe(name: str, value: Number) -> None:
-    """Record one observation into the histogram ``name``."""
-    histogram(name).observe(value)
+def observe(
+    name: str, value: Number, exemplar: Optional[str] = None
+) -> None:
+    """Record one observation into the histogram ``name`` (with an
+    optional exemplar trace id)."""
+    histogram(name).observe(value, exemplar=exemplar)
 
 
 def counter_value(name: str) -> Number:
@@ -181,6 +240,14 @@ def metrics_delta(before: dict[str, dict]) -> dict[str, dict]:
         else:  # histogram
             base_count = previous["count"] if previous else 0
             if state["count"] != base_count:
+                # The reservoir is exact while total observations stay
+                # under the cap, so ship only the samples recorded
+                # since the snapshot; once replacement kicks in the
+                # whole reservoir goes (an approximation, like any
+                # bounded reservoir).
+                samples = state.get("samples", [])
+                if state["count"] <= SAMPLE_CAP:
+                    samples = samples[min(base_count, SAMPLE_CAP):]
                 delta[name] = {
                     "type": "histogram",
                     "count": state["count"] - base_count,
@@ -189,7 +256,10 @@ def metrics_delta(before: dict[str, dict]) -> dict[str, dict]:
                     ),
                     "min": state["min"],
                     "max": state["max"],
+                    "samples": list(samples),
                 }
+                if state.get("exemplar") is not None:
+                    delta[name]["exemplar"] = state["exemplar"]
     return delta
 
 
@@ -205,6 +275,10 @@ def merge_metrics(delta: dict[str, dict]) -> None:
             target = histogram(name)
             target.count += state["count"]
             target.total += state["sum"]
+            for value in state.get("samples", []):
+                target._insert(float(value))
+            if state.get("exemplar") is not None:
+                target.exemplar = dict(state["exemplar"])
             for key, worse in (("minimum", min), ("maximum", max)):
                 incoming = state["min" if key == "minimum" else "max"]
                 if incoming is None:
@@ -258,8 +332,14 @@ def render_metrics(snapshot: Optional[dict[str, dict]] = None) -> str:
             value = (
                 f"count={state['count']} sum={_format_value(state['sum'])}"
                 f" min={_format_value(state['min'])}"
-                f" max={_format_value(state['max'])}"
             )
+            quantiles = sample_percentiles(state.get("samples"))
+            if quantiles:
+                value += "".join(
+                    f" {label}={_format_value(quantiles[label])}"
+                    for label in ("p50", "p95", "p99")
+                )
+            value += f" max={_format_value(state['max'])}"
         else:
             value = _format_value(state["value"])
         lines.append(f"{name:{width}} {state['type']:9} {value}")
@@ -338,13 +418,34 @@ def render_prometheus(snapshot: Optional[dict[str, dict]] = None) -> str:
         for labels, state in families[(base, kind)]:
             rendered = _render_labels(labels)
             if kind == "histogram":
-                lines.append(
-                    f"{prom}_count{rendered} {state['count']}"
-                )
+                count_line = f"{prom}_count{rendered} {state['count']}"
+                exemplar = state.get("exemplar")
+                if exemplar:
+                    # OpenMetrics-style exemplar: one recent
+                    # observation pinned to its trace id, the
+                    # metric→trace pivot for dashboards.
+                    count_line += (
+                        f' # {{trace_id="'
+                        f'{_escape_label_value(str(exemplar["trace_id"]))}'
+                        f'"}} {_format_value(exemplar["value"])}'
+                    )
+                lines.append(count_line)
                 lines.append(
                     f"{prom}_sum{rendered} "
                     f"{_format_value(state['sum'])}"
                 )
+                quantiles = sample_percentiles(state.get("samples"))
+                for fraction, label in (
+                    ("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")
+                ):
+                    if quantiles:
+                        quantile_labels = labels + (
+                            ("quantile", fraction),
+                        )
+                        lines.append(
+                            f"{prom}{_render_labels(quantile_labels)} "
+                            f"{_format_value(quantiles[label])}"
+                        )
             else:
                 lines.append(
                     f"{prom}{rendered} {_format_value(state['value'])}"

@@ -17,11 +17,22 @@ Clocks: spans measure duration with :func:`time.perf_counter` and
 record their start as an offset from the process's trace epoch, so
 sibling ordering is meaningful within a process but wall-clock dates
 never enter the trace (keeping exports diffable).
+
+Request scoping: the serving daemon needs per-request span trees even
+when process-wide tracing is off.  :func:`request_buffer` installs a
+:class:`TraceBuffer` in the current context; while one is active,
+:func:`span` records real spans whose finished roots land in the
+buffer instead of the process-global root list.  Because the buffer
+lives in a contextvar, it follows the request across ``await`` points,
+and a ``contextvars.copy_context()`` hop carries it onto worker
+threads (the micro-batching scheduler does exactly that), so spans
+opened on a worker still parent under the request span.
 """
 
 from __future__ import annotations
 
 import os
+import re
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
@@ -43,6 +54,11 @@ _CURRENT: ContextVar[Optional["Span"]] = ContextVar(
 
 #: Finished top-level spans, in completion order.
 _ROOTS: list["Span"] = []
+
+#: The request-scoped trace buffer of the current context (serving).
+_BUFFER: ContextVar[Optional["TraceBuffer"]] = ContextVar(
+    "repro_obs_trace_buffer", default=None
+)
 
 
 def tracing_enabled() -> bool:
@@ -110,6 +126,12 @@ class Span:
         parent = _CURRENT.get()
         if parent is not None:
             parent.children.append(self)
+            return
+        buffer = _BUFFER.get()
+        if buffer is not None:
+            buffer.roots.append(self)
+            if _ENABLED:
+                _ROOTS.append(self)
         else:
             _ROOTS.append(self)
 
@@ -160,17 +182,102 @@ _NOOP = _NoopSpan()
 
 
 def span(name: str, **attrs: object):
-    """Open a span named ``name`` (no-op when tracing is disabled)."""
-    if not _ENABLED:
+    """Open a span named ``name``.
+
+    Records a real span when process tracing is on *or* a request
+    buffer is active in this context; a shared no-op otherwise.
+    """
+    if not _ENABLED and _BUFFER.get() is None:
         return _NOOP
     return Span(name, attrs)
 
 
 def current_span():
     """The innermost open span (a no-op stand-in when none/disabled)."""
-    if not _ENABLED:
+    if not _ENABLED and _BUFFER.get() is None:
         return _NOOP
     return _CURRENT.get() or _NOOP
+
+
+# ----------------------------------------------------------------------
+# Request-scoped buffers and trace identity (the serving layer).
+
+
+class TraceBuffer:
+    """Collects one request's finished root spans.
+
+    Installed in the context by :func:`request_buffer`; while active,
+    :func:`span` records real spans regardless of the process-wide
+    tracing switch, and top-level spans land in :attr:`roots` instead
+    of (or, with tracing on, in addition to) the global root list.
+    """
+
+    __slots__ = ("trace_id", "roots")
+
+    def __init__(self, trace_id: Optional[str] = None) -> None:
+        self.trace_id = trace_id or new_trace_id()
+        self.roots: list[Span] = []
+
+
+@contextmanager
+def request_buffer(trace_id: Optional[str] = None):
+    """Scope a :class:`TraceBuffer` to the current context."""
+    buffer = TraceBuffer(trace_id)
+    token = _BUFFER.set(buffer)
+    try:
+        yield buffer
+    finally:
+        _BUFFER.reset(token)
+
+
+def current_buffer() -> Optional[TraceBuffer]:
+    """The active request buffer, if any."""
+    return _BUFFER.get()
+
+
+def current_trace_id() -> Optional[str]:
+    """Trace id of the active request buffer (None outside one)."""
+    buffer = _BUFFER.get()
+    return buffer.trace_id if buffer is not None else None
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id (32 lowercase hex chars)."""
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit span/request id (16 lowercase hex chars)."""
+    return os.urandom(8).hex()
+
+
+#: W3C Trace Context ``traceparent``: version-traceid-parentid-flags.
+_TRACEPARENT = re.compile(
+    r"^([0-9a-f]{2})-([0-9a-f]{32})-([0-9a-f]{16})-([0-9a-f]{2})$"
+)
+
+
+def parse_traceparent(value: str) -> Optional[tuple[str, str]]:
+    """``(trace_id, parent_span_id)`` from a ``traceparent`` header.
+
+    Returns None for anything malformed, the all-zero ids, or the
+    reserved version ``ff`` — callers then mint a fresh trace id
+    rather than propagating garbage.
+    """
+    match = _TRACEPARENT.match(value.strip().lower())
+    if match is None:
+        return None
+    version, trace_id, parent_id, _flags = match.groups()
+    if version == "ff":
+        return None
+    if trace_id == "0" * 32 or parent_id == "0" * 16:
+        return None
+    return trace_id, parent_id
+
+
+def format_traceparent(trace_id: str, span_id: str) -> str:
+    """Render a ``traceparent`` header (version 00, sampled flag)."""
+    return f"00-{trace_id}-{span_id}-01"
 
 
 def attach_span(span_: Span) -> None:

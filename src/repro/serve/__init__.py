@@ -19,7 +19,11 @@ estimator pipeline into a long-lived, multi-tenant service:
   tests, the load-generating benchmark, and the CI smoke job.
 
 Endpoints: ``POST /v1/analyze``, ``GET /healthz``, ``GET /metrics``
-(live Prometheus text over the :mod:`repro.obs` registry).
+(live Prometheus text over the :mod:`repro.obs` registry),
+``GET /debug/traces`` / ``GET /debug/slow`` (the tail-sampled flight
+recorder, :mod:`repro.obs.flight`), and ``GET /debug/profile``
+(on-demand flamegraphs from :mod:`repro.obs.profiler`).  Every
+request carries a W3C ``traceparent`` trace identity end to end.
 """
 
 from __future__ import annotations

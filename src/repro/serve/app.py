@@ -9,17 +9,29 @@ The HTTP layer (:mod:`repro.serve.http`) only parses bytes and calls
 
 Request lifecycle for ``POST /v1/analyze``:
 
-1. draining? → 503 (new work refused while in-flight work completes);
-2. at ``max_inflight``? → 429 with ``Retry-After`` (backpressure);
-3. body parsed and validated → 400 with a structured error on any
+1. a trace id is minted (or adopted from an incoming W3C
+   ``traceparent`` header) and a request-scoped span buffer opens, so
+   the request records a full span tree even with process tracing off;
+2. draining? → 503 (new work refused while in-flight work completes);
+3. at ``max_inflight``? → 429 with ``Retry-After`` (backpressure);
+4. body parsed and validated → 400 with a structured error on any
    malformed shape, including :meth:`FrontendError.diagnostic` as
-   ``{error, file, line, col}`` for rejected source;
-4. the request parks in the batcher (identical sources coalesce),
+   ``{error, file, line, col, trace_id}`` for rejected source;
+5. the request parks in the batcher (identical sources coalesce),
    runs on a worker thread against the session pool, and must finish
    inside ``request_timeout_s`` → 504 otherwise;
-5. per-tenant counters (``X-Repro-Tenant``) and a latency histogram
-   land in the :mod:`repro.obs` registry, scraped live by
-   ``GET /metrics``.
+6. the response carries ``traceparent`` + ``X-Repro-Trace-Id``; the
+   completed trace lands in the flight recorder
+   (:mod:`repro.obs.flight`), one JSON access-log line is emitted,
+   and RED metrics — per-tenant request counters,
+   ``serve.errors{class=4xx|5xx}``, and a latency histogram with
+   exemplar trace ids — land in the :mod:`repro.obs` registry,
+   scraped live by ``GET /metrics``.
+
+Debug surface: ``GET /debug/traces`` (recent / error traces),
+``GET /debug/slow`` (slowest retained traces, full span trees), and
+``GET /debug/profile?seconds=N`` (on-demand flamegraph SVG from the
+sampling profiler).
 """
 
 from __future__ import annotations
@@ -28,6 +40,7 @@ import asyncio
 import json
 import re
 import time
+import urllib.parse
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional
@@ -36,13 +49,19 @@ import repro
 from repro.frontend.errors import FrontendError
 from repro.obs import (
     diag,
+    format_traceparent,
     incr,
     metrics_snapshot,
+    new_span_id,
+    new_trace_id,
     observe,
+    parse_traceparent,
     render_prometheus,
+    request_buffer,
     set_gauge,
     span,
 )
+from repro.obs.flight import AccessLog, FlightRecorder, build_record
 from repro.serve.pool import DEFAULT_MAX_BYTES, DEFAULT_SHARDS, SessionPool
 from repro.serve.report import (
     RequestError,
@@ -73,6 +92,14 @@ class ServeConfig:
     #: Record the serving run (uptime, traffic counters) in the ledger
     #: on shutdown.
     record: bool = False
+    #: Flight-recorder ring sizes (recent requests / retained
+    #: failures / slowest-requests heap).
+    flight_recent: int = 256
+    flight_errors: int = 256
+    flight_slow: int = 32
+    #: Directory for the rotated on-disk access log (None: stderr
+    #: only; also settable via ``REPRO_ACCESS_LOG_DIR``).
+    access_log_dir: Optional[str] = None
 
 
 @dataclass
@@ -125,6 +152,23 @@ def tenant_label(headers: dict[str, str]) -> str:
     return _TENANT_RE.sub("_", raw)[:32]
 
 
+class _RequestTrace:
+    """Per-request trace identity plus outcome fields the analyze
+    handler fills in for the flight record / access log."""
+
+    __slots__ = (
+        "trace_id", "request_id", "name", "cache", "error", "timeout"
+    )
+
+    def __init__(self, trace_id: str, request_id: str) -> None:
+        self.trace_id = trace_id
+        self.request_id = request_id
+        self.name: Optional[str] = None
+        self.cache: Optional[str] = None
+        self.error: Optional[str] = None
+        self.timeout = False
+
+
 class ServeApp:
     """The daemon's request broker (one instance per server)."""
 
@@ -133,6 +177,14 @@ class ServeApp:
         self.pool = SessionPool(
             max_bytes=self.config.pool_bytes,
             shards=self.config.pool_shards,
+        )
+        self.flight = FlightRecorder(
+            recent=self.config.flight_recent,
+            errors=self.config.flight_errors,
+            slow=self.config.flight_slow,
+        )
+        self.access_log = AccessLog(
+            directory=self.config.access_log_dir
         )
         self.executor = ThreadPoolExecutor(
             max_workers=max(1, self.config.workers),
@@ -165,31 +217,92 @@ class ServeApp:
     async def handle(
         self, method: str, path: str, headers: dict[str, str], body: bytes
     ) -> Response:
-        """Dispatch one parsed request to its route."""
+        """Dispatch one parsed request to its route.
+
+        Every request runs inside a request-scoped trace buffer: the
+        span tree it produces feeds the flight recorder and the
+        access log, the response echoes the trace identity
+        (``traceparent`` + ``X-Repro-Trace-Id``), and RED metrics
+        record rate, errors, and duration with exemplar trace ids.
+        """
         tenant = tenant_label(headers)
+        route, _, query = path.partition("?")
+        params = dict(urllib.parse.parse_qsl(query))
+        incoming = parse_traceparent(headers.get("traceparent", ""))
+        trace_id = incoming[0] if incoming else new_trace_id()
+        rtx = _RequestTrace(trace_id, new_span_id())
         clock = time.perf_counter()
-        with span("serve.request", path=path, tenant=tenant):
-            if path == "/healthz" and method == "GET":
-                response = self._handle_healthz()
-            elif path == "/metrics" and method == "GET":
-                response = self._handle_metrics()
-            elif path == "/v1/analyze":
-                if method != "POST":
-                    response = _json_response(
-                        405, {"error": "use POST"}, Allow="POST"
-                    )
+        with request_buffer(trace_id) as buffer:
+            with span(
+                "serve.request",
+                path=route,
+                tenant=tenant,
+                request_id=rtx.request_id,
+            ) as request_span:
+                if incoming:
+                    request_span.set(parent_id=incoming[1])
+                if route == "/healthz" and method == "GET":
+                    response = self._handle_healthz()
+                elif route == "/metrics" and method == "GET":
+                    response = self._handle_metrics()
+                elif route == "/debug/traces" and method == "GET":
+                    response = self._handle_traces(params, slow=False)
+                elif route == "/debug/slow" and method == "GET":
+                    response = self._handle_traces(params, slow=True)
+                elif route == "/debug/profile" and method == "GET":
+                    response = await self._handle_profile(params)
+                elif route == "/v1/analyze":
+                    if method != "POST":
+                        response = _json_response(
+                            405, {"error": "use POST"}, Allow="POST"
+                        )
+                    else:
+                        response = await self._handle_analyze(
+                            headers, body, rtx
+                        )
                 else:
-                    response = await self._handle_analyze(headers, body)
-            else:
-                response = _json_response(
-                    404, {"error": f"no route {path!r}"}
-                )
+                    response = _json_response(
+                        404, {"error": f"no route {route!r}"}
+                    )
         elapsed_ms = (time.perf_counter() - clock) * 1000.0
-        incr(
-            "serve.responses"
-            f"{{code={response.status},tenant={tenant}}}"
+        status = response.status
+        incr(f"serve.responses{{code={status},tenant={tenant}}}")
+        if status >= 500:
+            incr("serve.errors{class=5xx}")
+        elif status >= 400:
+            incr("serve.errors{class=4xx}")
+        observe(
+            f"serve.latency_ms{{tenant={tenant}}}",
+            elapsed_ms,
+            exemplar=trace_id,
         )
-        observe(f"serve.latency_ms{{tenant={tenant}}}", elapsed_ms)
+        response.headers.setdefault(
+            "traceparent",
+            format_traceparent(trace_id, rtx.request_id),
+        )
+        response.headers.setdefault("X-Repro-Trace-Id", trace_id)
+        record = build_record(
+            trace_id=trace_id,
+            request_id=rtx.request_id,
+            method=method,
+            path=route,
+            tenant=tenant,
+            status=status,
+            elapsed_ms=elapsed_ms,
+            spans=[root.to_dict() for root in buffer.roots],
+            name=rtx.name,
+            cache=rtx.cache,
+            error=rtx.error,
+            timeout=rtx.timeout,
+        )
+        if route == "/v1/analyze" and method == "POST":
+            self.flight.record(record)
+        entry = {
+            key: value
+            for key, value in record.items()
+            if key != "spans"
+        }
+        diag(self.access_log.log(entry))
         return response
 
     # ------------------------------------------------------------------
@@ -220,48 +333,122 @@ class ServeApp:
             content_type="text/plain; version=0.0.4; charset=utf-8",
         )
 
-    async def _handle_analyze(
-        self, headers: dict[str, str], body: bytes
+    def _handle_traces(
+        self, params: dict[str, str], slow: bool
     ) -> Response:
+        try:
+            limit = int(params.get("limit", "0")) or None
+        except ValueError:
+            limit = None
+        if slow:
+            records = self.flight.slow(limit)
+        elif params.get("kind") == "errors":
+            records = self.flight.errors(limit)
+        else:
+            records = self.flight.traces(limit)
+        return _json_response(
+            200, {"traces": records, "stats": self.flight.stats()}
+        )
+
+    async def _handle_profile(self, params: dict[str, str]) -> Response:
+        from repro.obs.profiler import SamplingProfiler
+
+        try:
+            seconds = float(params.get("seconds", "2"))
+            interval_ms = float(params.get("interval_ms", "5"))
+        except ValueError:
+            return _json_response(
+                400,
+                {"error": "seconds and interval_ms must be numbers"},
+            )
+        seconds = min(max(seconds, 0.05), 60.0)
+        interval_ms = min(max(interval_ms, 1.0), 100.0)
+        include_idle = params.get("idle", "").lower() in {
+            "1", "yes", "on", "true"
+        }
+        profiler = SamplingProfiler(
+            interval_ms=interval_ms, include_idle=include_idle
+        )
+        profiler.start()
+        try:
+            await asyncio.sleep(seconds)
+        finally:
+            profiler.stop()
+        if params.get("format") == "collapsed":
+            return Response(
+                200,
+                profiler.collapsed_text().encode("utf-8"),
+                content_type="text/plain; charset=utf-8",
+            )
+        svg = profiler.flamegraph_svg(
+            title=(
+                f"repro serve — {seconds:g}s at {interval_ms:g}ms"
+            )
+        )
+        return Response(
+            200, svg.encode("utf-8"), content_type="image/svg+xml"
+        )
+
+    async def _handle_analyze(
+        self,
+        headers: dict[str, str],
+        body: bytes,
+        rtx: _RequestTrace,
+    ) -> Response:
+        trace_id = rtx.trace_id
         if self.draining:
             incr("serve.refused.draining")
+            rtx.error = "draining"
             return _json_response(
                 503,
-                {"error": "server is draining"},
+                {"error": "server is draining", "trace_id": trace_id},
                 **{"Retry-After": "5", "Connection": "close"},
             )
         if self.inflight >= self.config.max_inflight:
             incr("serve.refused.backpressure")
+            rtx.error = "backpressure"
             return _json_response(
                 429,
                 {
                     "error": (
                         "too many in-flight requests "
                         f"(limit {self.config.max_inflight})"
-                    )
+                    ),
+                    "trace_id": trace_id,
                 },
                 **{"Retry-After": "1"},
             )
         if len(body) > self.config.max_body_bytes:
+            rtx.error = "body too large"
             return _json_response(
                 413,
                 {
                     "error": (
                         f"body exceeds {self.config.max_body_bytes} bytes"
-                    )
+                    ),
+                    "trace_id": trace_id,
                 },
             )
         try:
             payload = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, ValueError):
+            rtx.error = "invalid JSON"
             return _json_response(
-                400, {"error": "request body is not valid JSON"}
+                400,
+                {
+                    "error": "request body is not valid JSON",
+                    "trace_id": trace_id,
+                },
             )
         try:
             request = validate_request(payload)
         except RequestError as error:
-            return _json_response(400, {"error": str(error)})
+            rtx.error = str(error)
+            return _json_response(
+                400, {"error": str(error), "trace_id": trace_id}
+            )
 
+        rtx.name = request["name"]
         self.inflight += 1
         if self._idle is not None:
             self._idle.clear()
@@ -282,26 +469,40 @@ class ServeApp:
             )
         except asyncio.TimeoutError:
             incr("serve.timeouts")
+            rtx.timeout = True
+            rtx.error = "timeout"
             return _json_response(
                 504,
                 {
                     "error": (
                         "analysis exceeded "
                         f"{self.config.request_timeout_s}s"
-                    )
+                    ),
+                    "trace_id": trace_id,
                 },
             )
         except FrontendError as error:
             incr("serve.frontend_errors")
-            return _json_response(400, error.diagnostic_dict())
+            rtx.error = str(error)
+            diagnostic = error.diagnostic_dict()
+            diagnostic["trace_id"] = trace_id
+            return _json_response(400, diagnostic)
         except Exception as error:  # noqa: BLE001 - boundary
             incr("serve.errors")
-            diag(f"repro serve: internal error: {error!r}")
-            return _json_response(500, {"error": "internal error"})
+            rtx.error = repr(error)
+            diag(
+                f"repro serve: internal error: {error!r} "
+                f"(trace {trace_id})"
+            )
+            return _json_response(
+                500,
+                {"error": "internal error", "trace_id": trace_id},
+            )
         finally:
             self.inflight -= 1
             if self.inflight == 0 and self._idle is not None:
                 self._idle.set()
+        rtx.cache = "hit" if was_hit else "miss"
         # The ``server`` block is the only part of the payload that is
         # not a pure function of (source, options): equivalence tests
         # strip exactly this key.
@@ -311,6 +512,7 @@ class ServeApp:
             "elapsed_ms": round(
                 (time.perf_counter() - clock) * 1000.0, 3
             ),
+            "trace_id": trace_id,
         }
         return _json_response(200, body_payload)
 
@@ -318,14 +520,15 @@ class ServeApp:
     # The worker-thread computation.
 
     def _analyze(self, request: dict) -> tuple[dict, bool]:
-        session, was_hit = self.pool.get(
-            request["source"], request["name"]
-        )
         with span(
             "serve.analyze",
             program=request["name"],
             backend=request["backend"],
-        ):
+        ) as analyze_span:
+            session, was_hit = self.pool.get(
+                request["source"], request["name"]
+            )
+            analyze_span.set(pool="hit" if was_hit else "miss")
             report = build_report(
                 session,
                 estimators=request["estimators"],
@@ -349,6 +552,10 @@ class ServeApp:
             round(time.monotonic() - self.started_monotonic, 3),
         )
         set_gauge("serve.draining", 1 if self.draining else 0)
+        flight = self.flight.stats()
+        set_gauge("serve.flight.recorded", flight["recorded"])
+        set_gauge("serve.flight.errors", flight["errors"])
+        set_gauge("serve.flight.slowest_ms", flight["slowest_ms"])
 
     def begin_drain(self) -> None:
         """Stop accepting analyze work; in-flight requests complete."""
@@ -371,6 +578,7 @@ class ServeApp:
     def close(self) -> None:
         """Tear down workers and optionally record the serving run."""
         self.executor.shutdown(wait=True)
+        self.access_log.close()
         if self.config.record:
             self._record_run()
 

@@ -4,6 +4,11 @@ Used three ways: by the serving tests (drive the real socket path), by
 ``benchmarks/test_bench_serve.py`` (the load generator), and by the CI
 smoke job.  Nothing here depends on the server internals — it is an
 ordinary HTTP client any consumer could write.
+
+Trace propagation: pass ``traceparent=`` per call (or set a client
+default) and the daemon joins that W3C trace instead of minting a
+fresh id; every response exposes the server-assigned identity as
+:attr:`ServeResponse.trace_id`.
 """
 
 from __future__ import annotations
@@ -14,6 +19,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.obs import format_traceparent, parse_traceparent
+
 
 @dataclass
 class ServeResponse:
@@ -23,6 +30,14 @@ class ServeResponse:
     payload: Optional[dict]
     text: str
     headers: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def trace_id(self) -> Optional[str]:
+        """The request's trace id as echoed by the daemon."""
+        parsed = parse_traceparent(self.headers.get("traceparent", ""))
+        if parsed is not None:
+            return parsed[0]
+        return self.headers.get("x-repro-trace-id")
 
 
 class ServeClient:
@@ -37,12 +52,16 @@ class ServeClient:
         timeout: float = 60.0,
         tenant: Optional[str] = None,
         keep_alive: bool = False,
+        traceparent: Optional[str] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
         self.tenant = tenant
         self.keep_alive = keep_alive
+        #: Default ``traceparent`` sent with every request (callers
+        #: joining an existing distributed trace).
+        self.traceparent = traceparent
         self._connection: Optional[http.client.HTTPConnection] = None
 
     # ------------------------------------------------------------------
@@ -57,6 +76,8 @@ class ServeClient:
         send_headers = dict(headers or {})
         if self.tenant:
             send_headers.setdefault("X-Repro-Tenant", self.tenant)
+        if self.traceparent:
+            send_headers.setdefault("traceparent", self.traceparent)
         if not self.keep_alive:
             send_headers.setdefault("Connection", "close")
         connection = self._connection
@@ -105,6 +126,7 @@ class ServeClient:
         backend: Optional[str] = None,
         attribution: Optional[bool] = None,
         extra: Optional[dict] = None,
+        traceparent: Optional[str] = None,
     ) -> ServeResponse:
         """``POST /v1/analyze`` for one source text."""
         payload: dict = {"source": source}
@@ -118,11 +140,14 @@ class ServeClient:
             payload["attribution"] = attribution
         if extra:
             payload.update(extra)
+        headers = {"Content-Type": "application/json"}
+        if traceparent is not None:
+            headers["traceparent"] = traceparent
         return self._request(
             "POST",
             "/v1/analyze",
             body=json.dumps(payload).encode("utf-8"),
-            headers={"Content-Type": "application/json"},
+            headers=headers,
         )
 
     def healthz(self) -> ServeResponse:
@@ -131,6 +156,44 @@ class ServeClient:
     def metrics(self) -> str:
         """The raw Prometheus exposition text."""
         return self._request("GET", "/metrics").text
+
+    def traces(
+        self,
+        limit: Optional[int] = None,
+        kind: Optional[str] = None,
+    ) -> ServeResponse:
+        """``GET /debug/traces`` (``kind="errors"`` for failures)."""
+        query = []
+        if limit:
+            query.append(f"limit={int(limit)}")
+        if kind:
+            query.append(f"kind={kind}")
+        path = "/debug/traces" + (
+            "?" + "&".join(query) if query else ""
+        )
+        return self._request("GET", path)
+
+    def slow(self, limit: Optional[int] = None) -> ServeResponse:
+        """``GET /debug/slow`` — slowest retained request traces."""
+        path = "/debug/slow" + (f"?limit={int(limit)}" if limit else "")
+        return self._request("GET", path)
+
+    def profile(
+        self,
+        seconds: float = 2.0,
+        interval_ms: float = 5.0,
+        format: Optional[str] = None,
+    ) -> ServeResponse:
+        """``GET /debug/profile`` — sample the daemon for
+        ``seconds``; the body is a flamegraph SVG (or collapsed
+        stacks with ``format="collapsed"``)."""
+        path = (
+            f"/debug/profile?seconds={seconds:g}"
+            f"&interval_ms={interval_ms:g}"
+        )
+        if format:
+            path += f"&format={format}"
+        return self._request("GET", path)
 
     def wait_ready(self, timeout: float = 30.0) -> dict:
         """Poll ``/healthz`` until the daemon answers; returns the

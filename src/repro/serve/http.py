@@ -28,7 +28,7 @@ import threading
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.obs import diag, incr
+from repro.obs import diag, incr, new_trace_id
 from repro.serve.app import Response, ServeApp, ServeConfig, status_text
 
 #: Reading limits: a request head (line + headers) beyond this is junk.
@@ -100,14 +100,27 @@ async def _handle_connection(
                 head = await _read_head(reader)
             except _BadRequest as error:
                 incr("serve.bad_requests")
+                # Even an unparseable request gets a trace id, so the
+                # rejection correlates with the access log.
+                trace_id = new_trace_id()
+                diag(app.access_log.log({
+                    "trace_id": trace_id,
+                    "method": None,
+                    "path": None,
+                    "status": 400,
+                    "error": str(error),
+                }))
                 writer.write(
                     _encode_response(
                         Response(
                             400,
                             (
                                 b'{"error": "' +
-                                str(error).encode("utf-8") + b'"}\n'
+                                str(error).encode("utf-8") +
+                                b'", "trace_id": "' +
+                                trace_id.encode("ascii") + b'"}\n'
                             ),
+                            headers={"X-Repro-Trace-Id": trace_id},
                         ),
                         close=True,
                     )
@@ -222,6 +235,11 @@ def serve_forever(config: ServeConfig) -> int:
             f"max-inflight={config.max_inflight} "
             f"batch-window={config.batch_window_ms}ms"
         )
+        if app.access_log.directory:
+            diag(
+                "repro serve: access log in "
+                f"{app.access_log.directory}"
+            )
 
     try:
         drained = asyncio.run(

@@ -32,7 +32,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.analysis.session import AnalysisSession
-from repro.obs import incr, set_gauge, span
+from repro.obs import current_span, incr, set_gauge, span
 from repro.program import Program
 from repro.serve.report import content_hash
 
@@ -72,17 +72,24 @@ class SessionPool:
         self._shards = [_Shard() for _ in range(shards)]
         self._shard_budget = max(1, max_bytes // shards)
 
+    def shard_index(self, key: str) -> int:
+        """Which shard serves ``key`` (stable; span attribute)."""
+        return int(key[:8], 16) % len(self._shards)
+
     def _shard_for(self, key: str) -> _Shard:
-        return self._shards[int(key[:8], 16) % len(self._shards)]
+        return self._shards[self.shard_index(key)]
 
     def get(self, source: str, name: str) -> tuple[AnalysisSession, bool]:
         """The pooled session for ``source`` — ``(session, was_hit)``.
 
         A hit refreshes the entry's recency; a miss parses the source
         (outside the shard lock, so other keys keep flowing), inserts
-        the new session, and evicts LRU entries past the budget.
+        the new session, and evicts LRU entries past the budget.  The
+        serving shard index lands on the caller's current span, so
+        request traces show which lock the request contended on.
         """
         key = content_hash(source)
+        current_span().set(pool_shard=self.shard_index(key))
         shard = self._shard_for(key)
         with shard.lock:
             entry = shard.entries.get(key)

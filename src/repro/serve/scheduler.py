@@ -18,20 +18,63 @@ thunk)`` where ``thunk`` is the synchronous computation to run on a
 worker thread.  Cancellation of one waiter never cancels the shared
 computation (other waiters may be parked on it).
 
-Histograms: ``serve.batch.size`` (unique jobs per flush) and
-``serve.batch.requests`` (waiters per flush).
+Tracing: ``loop.run_in_executor`` does **not** carry contextvars onto
+the worker thread, so each job captures ``contextvars.copy_context()``
+at submit time and the flush dispatches ``context.run(job)``.  The
+copied context holds the submitting request's span and trace buffer,
+so the worker-side ``serve.batch`` span (and everything the pipeline
+opens beneath it) parents under that request's ``serve.request`` span.
+Requests that *coalesce* onto an existing job run in the owner's
+context; their own request spans instead carry ``coalesced=True`` plus
+``link_trace``/``link_job`` attributes pointing at the owner's trace
+and the shared job id — a span link, not a parent edge.
+
+Histograms: ``serve.batch.size`` (unique jobs per flush),
+``serve.batch.requests`` (waiters per flush), and
+``serve.batch.queue_wait_ms`` (submit→dispatch latency, also recorded
+on every ``serve.batch`` span).
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextvars
+import time
 from typing import Awaitable, Callable, Hashable, Optional
 
-from repro.obs import incr, observe
+from repro.obs import (
+    current_span,
+    current_trace_id,
+    incr,
+    new_span_id,
+    observe,
+    span,
+)
 
 #: Flush even a partially filled window once this many unique jobs
 #: are parked (keeps worst-case latency bounded under load).
 DEFAULT_MAX_BATCH = 64
+
+
+class _PendingJob:
+    """One parked computation and everyone waiting on it."""
+
+    __slots__ = (
+        "thunk", "waiters", "context", "submitted", "trace_id", "job_id"
+    )
+
+    def __init__(
+        self, thunk: Callable[[], object], waiter: asyncio.Future
+    ) -> None:
+        self.thunk = thunk
+        self.waiters: list[asyncio.Future] = [waiter]
+        #: Snapshot of the submitting request's context (span parent,
+        #: trace buffer) — re-entered on the worker thread.
+        self.context = contextvars.copy_context()
+        self.submitted = time.perf_counter()
+        self.trace_id = current_trace_id()
+        #: Shared computation id: coalesced requests link to it.
+        self.job_id = new_span_id()
 
 
 class Batcher:
@@ -48,10 +91,7 @@ class Batcher:
         self._executor = executor
         self._window_s = max(0.0, batch_window_ms) / 1000.0
         self._max_batch = max(1, max_batch)
-        #: key -> (thunk, [futures waiting on it])
-        self._pending: dict[
-            Hashable, tuple[Callable[[], object], list[asyncio.Future]]
-        ] = {}
+        self._pending: dict[Hashable, _PendingJob] = {}
         self._flush_handle: Optional[asyncio.Handle] = None
 
     def submit(
@@ -67,10 +107,17 @@ class Batcher:
         waiter: asyncio.Future = self._loop.create_future()
         entry = self._pending.get(key)
         if entry is not None:
-            entry[1].append(waiter)
+            entry.waiters.append(waiter)
             incr("serve.batch.coalesced")
+            current_span().set(
+                coalesced=True,
+                link_trace=entry.trace_id,
+                link_job=entry.job_id,
+            )
         else:
-            self._pending[key] = (thunk, [waiter])
+            entry = _PendingJob(thunk, waiter)
+            self._pending[key] = entry
+            current_span().set(link_job=entry.job_id)
             if len(self._pending) >= self._max_batch:
                 self._flush()
             elif self._flush_handle is None:
@@ -92,15 +139,38 @@ class Batcher:
         if not batch:
             return
         self._pending = {}
-        observe("serve.batch.size", len(batch))
+        jobs = len(batch)
+        observe("serve.batch.size", jobs)
         observe(
             "serve.batch.requests",
-            sum(len(waiters) for _, waiters in batch.values()),
+            sum(len(entry.waiters) for entry in batch.values()),
         )
-        for key, (thunk, waiters) in batch.items():
-            task = self._loop.run_in_executor(self._executor, thunk)
+        now = time.perf_counter()
+        for key, entry in batch.items():
+            waited_ms = (now - entry.submitted) * 1000.0
+            observe("serve.batch.queue_wait_ms", waited_ms)
+
+            def job(
+                entry: _PendingJob = entry,
+                jobs: int = jobs,
+                waited_ms: float = waited_ms,
+            ) -> object:
+                with span(
+                    "serve.batch",
+                    job=entry.job_id,
+                    batch_size=jobs,
+                    waiters=len(entry.waiters),
+                    queue_wait_ms=round(waited_ms, 3),
+                ):
+                    return entry.thunk()
+
+            task = self._loop.run_in_executor(
+                self._executor, entry.context.run, job
+            )
             task.add_done_callback(
-                lambda done, waiters=waiters: self._settle(done, waiters)
+                lambda done, entry=entry: self._settle(
+                    done, entry.waiters
+                )
             )
 
     @staticmethod

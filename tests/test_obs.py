@@ -3,7 +3,9 @@ exporters, and the cross-process determinism guarantees."""
 
 from __future__ import annotations
 
+import contextvars
 import json
+import threading
 
 import pytest
 
@@ -42,6 +44,7 @@ class TestMetrics:
             "sum": 8.0,
             "min": 1.0,
             "max": 5.0,
+            "samples": [2.0, 5.0, 1.0],
         }
 
     def test_histogram_sums_by_prefix(self):
@@ -453,3 +456,186 @@ class TestCompiledBackendExport:
             str(tmp_path / "absorbed-trace.jsonl")
         )
         assert obs.span_names(obs.read_trace_jsonl(path)) == names
+
+
+class TestTraceIdentity:
+    """W3C traceparent parsing/formatting and id minting."""
+
+    def test_new_ids_are_hex_and_unique(self):
+        trace_ids = {obs.new_trace_id() for _ in range(32)}
+        span_ids = {obs.new_span_id() for _ in range(32)}
+        assert len(trace_ids) == 32 and len(span_ids) == 32
+        assert all(
+            len(t) == 32 and int(t, 16) >= 0 for t in trace_ids
+        )
+        assert all(
+            len(s) == 16 and int(s, 16) >= 0 for s in span_ids
+        )
+
+    def test_round_trip(self):
+        trace_id = obs.new_trace_id()
+        span_id = obs.new_span_id()
+        header = obs.format_traceparent(trace_id, span_id)
+        assert header == f"00-{trace_id}-{span_id}-01"
+        assert obs.parse_traceparent(header) == (trace_id, span_id)
+
+    def test_case_and_whitespace_tolerant(self):
+        trace_id = "a" * 32
+        span_id = "b" * 16
+        header = f"  00-{trace_id.upper()}-{span_id.upper()}-01  "
+        assert obs.parse_traceparent(header) == (trace_id, span_id)
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            "",
+            "garbage",
+            "00-short-b0b0b0b0b0b0b0b0-01",
+            "00-" + "g" * 32 + "-" + "b" * 16 + "-01",  # non-hex
+            "ff-" + "a" * 32 + "-" + "b" * 16 + "-01",  # version ff
+            "00-" + "0" * 32 + "-" + "b" * 16 + "-01",  # zero trace
+            "00-" + "a" * 32 + "-" + "0" * 16 + "-01",  # zero parent
+        ],
+    )
+    def test_rejects_malformed(self, value):
+        assert obs.parse_traceparent(value) is None
+
+
+class TestRequestBuffer:
+    """Request-scoped span capture, independent of process tracing."""
+
+    def test_buffer_records_with_tracing_off(self):
+        assert not obs.tracing_enabled()
+        with obs.request_buffer() as buffer:
+            with obs.span("serve.request"):
+                with obs.span("serve.analyze"):
+                    pass
+        assert [root.name for root in buffer.roots] == ["serve.request"]
+        assert [
+            child.name for child in buffer.roots[0].children
+        ] == ["serve.analyze"]
+        # Nothing leaked into the process-global trace.
+        assert obs.trace_roots() == []
+        # And the buffer is gone once the request scope closes.
+        assert obs.current_buffer() is None
+        assert obs.current_trace_id() is None
+
+    def test_buffer_id_visible_inside_scope(self):
+        with obs.request_buffer("f" * 32) as buffer:
+            assert buffer.trace_id == "f" * 32
+            assert obs.current_trace_id() == "f" * 32
+
+    def test_buffer_and_global_roots_with_tracing_on(self):
+        obs.enable_tracing()
+        with obs.request_buffer() as buffer:
+            with obs.span("serve.request"):
+                pass
+        assert [root.name for root in buffer.roots] == ["serve.request"]
+        # With tracing enabled the same root is also globally visible
+        # (so `repro trace` still sees serve traffic).
+        assert [root.name for root in obs.trace_roots()] == [
+            "serve.request"
+        ]
+
+    def test_copied_context_parents_across_threads(self):
+        """The scheduler's copy_context() hop: a span opened on a
+        worker thread parents under the request span that was open
+        when the context was captured."""
+        with obs.request_buffer() as buffer:
+            with obs.span("serve.request"):
+                captured = contextvars.copy_context()
+
+                def work():
+                    with obs.span("serve.batch"):
+                        with obs.span("serve.analyze"):
+                            pass
+
+                thread = threading.Thread(
+                    target=captured.run, args=(work,)
+                )
+                thread.start()
+                thread.join()
+        (request,) = buffer.roots
+        assert [c.name for c in request.children] == ["serve.batch"]
+        assert [
+            c.name for c in request.children[0].children
+        ] == ["serve.analyze"]
+
+
+class TestPercentiles:
+    """Histogram sample reservoirs, percentiles, and exemplars."""
+
+    def test_nearest_rank_small(self):
+        assert obs.sample_percentiles([]) is None
+        assert obs.sample_percentiles(None) is None
+        assert obs.sample_percentiles([7.0]) == {
+            "p50": 7.0, "p95": 7.0, "p99": 7.0,
+        }
+        values = [float(v) for v in range(1, 101)]
+        result = obs.sample_percentiles(values)
+        # Nearest rank over 0..99 indexes of the sorted values.
+        assert result["p50"] == 51.0
+        assert result["p95"] == 95.0
+        assert result["p99"] == 99.0
+
+    def test_reservoir_exact_under_cap(self):
+        from repro.obs.metrics import SAMPLE_CAP, histogram
+
+        for value in (3.0, 1.0, 2.0):
+            obs.observe("h", value)
+        assert histogram("h").samples == [3.0, 1.0, 2.0]
+        assert len(histogram("h").samples) <= SAMPLE_CAP
+
+    def test_reservoir_bounded_past_cap(self):
+        from repro.obs.metrics import SAMPLE_CAP, histogram
+
+        for value in range(SAMPLE_CAP * 2):
+            obs.observe("h", float(value))
+        target = histogram("h")
+        assert target.count == SAMPLE_CAP * 2
+        assert len(target.samples) == SAMPLE_CAP
+        # Replacement keeps tracking the stream: recent values present.
+        assert any(v >= SAMPLE_CAP for v in target.samples)
+
+    def test_exemplar_recorded_and_rendered(self):
+        obs.observe("lat", 5.0, exemplar="a" * 32)
+        snapshot = obs.metrics_snapshot()
+        assert snapshot["lat"]["exemplar"] == {
+            "value": 5.0,
+            "trace_id": "a" * 32,
+        }
+        prom = obs.render_prometheus()
+        assert 'repro_lat_count 1 # {trace_id="' + "a" * 32 in prom
+
+    def test_table_shows_percentiles(self):
+        for value in (1.0, 2.0, 3.0, 4.0):
+            obs.observe("lat", value)
+        table = obs.render_metrics()
+        assert "p50=" in table and "p95=" in table and "p99=" in table
+
+    def test_prometheus_quantile_series(self):
+        for value in (1.0, 2.0, 3.0, 4.0):
+            obs.observe("lat", value)
+        prom = obs.render_prometheus()
+        assert 'repro_lat{quantile="0.5"}' in prom
+        assert 'repro_lat{quantile="0.95"}' in prom
+        assert 'repro_lat{quantile="0.99"}' in prom
+
+    def test_delta_and_merge_preserve_samples(self):
+        obs.observe("h", 1.0)
+        base = obs.metrics_snapshot()
+        obs.observe("h", 2.0, exemplar="c" * 32)
+        obs.observe("h", 3.0)
+        delta = obs.metrics_delta(base)
+        assert delta["h"]["count"] == 2
+        assert delta["h"]["samples"] == [2.0, 3.0]
+        assert delta["h"]["exemplar"]["trace_id"] == "c" * 32
+        # A fresh registry absorbing the delta reconstructs the
+        # distribution (jobs-N parity for percentiles).
+        obs.reset_metrics()
+        obs.observe("h", 1.0)
+        obs.merge_metrics(delta)
+        snapshot = obs.metrics_snapshot()
+        assert snapshot["h"]["count"] == 3
+        assert sorted(snapshot["h"]["samples"]) == [1.0, 2.0, 3.0]
+        assert snapshot["h"]["exemplar"]["trace_id"] == "c" * 32

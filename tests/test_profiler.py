@@ -1,0 +1,158 @@
+"""Tests for the zero-dependency sampling profiler
+(:mod:`repro.obs.profiler`)."""
+
+from __future__ import annotations
+
+import threading
+import time
+import xml.etree.ElementTree as ET
+
+from repro.obs.profiler import (
+    SamplingProfiler,
+    flamegraph_svg,
+    write_profile,
+)
+
+
+def _busy_loop(stop: threading.Event) -> None:
+    """A recognisable CPU-bound leaf frame for the sampler to catch."""
+    total = 0
+    while not stop.is_set():
+        total += sum(range(200))
+
+
+def _run_busy(profiler: SamplingProfiler, seconds: float = 0.25):
+    stop = threading.Event()
+    thread = threading.Thread(target=_busy_loop, args=(stop,))
+    thread.start()
+    try:
+        with profiler:
+            time.sleep(seconds)
+    finally:
+        stop.set()
+        thread.join()
+
+
+class TestSampler:
+    def test_captures_busy_stack(self):
+        profiler = SamplingProfiler(interval_ms=2.0)
+        _run_busy(profiler)
+        assert profiler.total_samples > 0
+        assert profiler.wall_seconds > 0.1
+        collapsed = profiler.collapsed()
+        busy = [
+            stack for stack in collapsed
+            if "_busy_loop" in stack
+        ]
+        assert busy, f"busy loop not sampled: {list(collapsed)[:5]}"
+        # The busy thread is a major share of the profile (the main
+        # thread parked in time.sleep is sampled too — its leaf frame
+        # is this test file, not interpreter wait machinery).
+        busy_samples = sum(collapsed[s] for s in busy)
+        assert busy_samples >= profiler.total_samples * 0.25
+
+    def test_idle_stacks_filtered_by_default(self):
+        """A thread parked in Event.wait() is scheduler noise, not
+        work; the default profile drops it (but counts it)."""
+        park = threading.Event()
+        parked = threading.Thread(target=park.wait, args=(5.0,))
+        parked.start()
+        try:
+            profiler = SamplingProfiler(interval_ms=2.0)
+            with profiler:
+                time.sleep(0.15)
+        finally:
+            park.set()
+            parked.join()
+        assert profiler.idle_samples > 0
+        assert not any(
+            "threading.py:wait" in stack.split(";")[-1]
+            for stack in profiler.collapsed()
+        )
+
+    def test_include_idle_keeps_parked_threads(self):
+        park = threading.Event()
+        parked = threading.Thread(target=park.wait, args=(5.0,))
+        parked.start()
+        try:
+            profiler = SamplingProfiler(
+                interval_ms=2.0, include_idle=True
+            )
+            with profiler:
+                time.sleep(0.15)
+        finally:
+            park.set()
+            parked.join()
+        assert any(
+            "threading.py" in stack
+            for stack in profiler.collapsed()
+        )
+
+    def test_collapsed_text_format(self):
+        profiler = SamplingProfiler(interval_ms=2.0)
+        _run_busy(profiler, seconds=0.15)
+        text = profiler.collapsed_text()
+        lines = [line for line in text.splitlines() if line]
+        assert lines
+        for line in lines:
+            stack, _, count = line.rpartition(" ")
+            assert stack and int(count) > 0
+            assert ";" in stack  # root-first frames joined
+
+    def test_start_stop_idempotent(self):
+        profiler = SamplingProfiler(interval_ms=2.0)
+        profiler.start()
+        profiler.start()  # second start is a no-op
+        profiler.stop()
+        profiler.stop()  # second stop too
+        assert profiler.wall_seconds >= 0.0
+
+
+class TestFlamegraph:
+    def test_svg_is_valid_xml_with_proportional_widths(self):
+        collapsed = {
+            "main;solve": 75,
+            "main;parse": 25,
+        }
+        svg = flamegraph_svg(collapsed, title="unit")
+        root = ET.fromstring(svg)  # well-formed XML
+        assert root.tag.endswith("svg")
+        rects = [
+            el for el in root.iter()
+            if el.tag.endswith("rect") and el.get("fill", "").startswith("rgb")
+        ]
+        # all + main + solve + parse
+        assert len(rects) == 4
+        widths = {
+            round(float(el.get("width"))) for el in rects
+        }
+        assert 1200 in widths  # root spans the canvas
+        assert 900 in widths and 300 in widths  # 75/25 split
+        assert "unit — 100 samples" in svg
+        assert "<script" not in svg  # self-contained, no JS
+
+    def test_empty_profile_renders(self):
+        svg = flamegraph_svg({}, title="empty")
+        ET.fromstring(svg)
+        assert "no samples" in svg
+
+    def test_tooltips_have_percentages(self):
+        svg = flamegraph_svg({"a;b": 1}, title="t")
+        assert "(1 samples, 100.00%)" in svg
+
+    def test_write_profile_paths(self, tmp_path, monkeypatch):
+        profiler = SamplingProfiler(interval_ms=2.0)
+        _run_busy(profiler, seconds=0.1)
+        out = str(tmp_path / "prof.svg")
+        svg_path, collapsed_path = write_profile(profiler, out)
+        assert svg_path == out
+        assert collapsed_path == str(tmp_path / "prof.collapsed")
+        ET.parse(svg_path)
+        assert open(collapsed_path, encoding="utf-8").read() == (
+            profiler.collapsed_text()
+        )
+        # Default path comes from the environment.
+        env_out = str(tmp_path / "env.svg")
+        monkeypatch.setenv("REPRO_PROFILE_FILE", env_out)
+        svg_path, _ = write_profile(profiler)
+        assert svg_path == env_out

@@ -567,9 +567,11 @@ class TestHttpEndpoints:
             "file",
             "line",
             "col",
+            "trace_id",
         }
         assert response.payload["file"] == "broken.c"
         assert response.payload["line"] >= 1
+        assert response.payload["trace_id"] == response.trace_id
         assert "Traceback" not in response.text
         assert counter_value("serve.frontend_errors") - before == 1
 
@@ -721,7 +723,11 @@ class TestSuiteEquivalence:
                 assert response.status == 200, (name, response.text)
                 served = dict(response.payload)
                 server_block = served.pop("server")
-                assert set(server_block) == {"cache", "elapsed_ms"}
+                assert set(server_block) == {
+                    "cache",
+                    "elapsed_ms",
+                    "trace_id",
+                }
                 direct = _normalize(
                     build_report(
                         session_for_suite(name), name=name
@@ -808,3 +814,375 @@ class TestServeLedgerRecord:
         assert detail.scores["serve"]["requests"] >= 2.0
         assert detail.scores["serve"]["pool_hits"] >= 1.0
         assert "serve.uptime" in detail.stages
+
+
+# ----------------------------------------------------------------------
+# Request tracing, the flight recorder, and the debug surface.
+
+
+def _span_names(spans: list[dict]) -> set[str]:
+    names: set[str] = set()
+    stack = list(spans)
+    while stack:
+        node = stack.pop()
+        names.add(node["name"])
+        stack.extend(node.get("children", []))
+    return names
+
+
+def _find_record(client: ServeClient, trace_id: str) -> dict:
+    for record in client.traces().payload["traces"]:
+        if record["trace_id"] == trace_id:
+            return record
+    raise AssertionError(f"trace {trace_id} not in flight recorder")
+
+
+class TestTracing:
+    def test_every_response_carries_trace_identity(self, client):
+        response = client.analyze(SOURCE, name="traced.c")
+        assert response.status == 200
+        trace_id = response.trace_id
+        assert trace_id and len(trace_id) == 32
+        int(trace_id, 16)  # valid hex
+        assert response.payload["server"]["trace_id"] == trace_id
+        header = response.headers["traceparent"]
+        assert header.startswith(f"00-{trace_id}-")
+
+    def test_traceparent_round_trip(self, client):
+        """A client-supplied W3C trace identity is adopted, echoed,
+        and linked to the incoming parent span."""
+        trace_id = "ab" * 16
+        parent_id = "cd" * 8
+        header = f"00-{trace_id}-{parent_id}-01"
+        response = client.analyze(
+            SOURCE, name="joined.c", traceparent=header
+        )
+        assert response.status == 200
+        assert response.trace_id == trace_id
+        assert response.payload["server"]["trace_id"] == trace_id
+        # The response's own span id is fresh, not the caller's.
+        echoed = response.headers["traceparent"]
+        assert echoed.split("-")[2] != parent_id
+        record = _find_record(client, trace_id)
+        assert record["parent_id"] == parent_id
+
+    def test_client_default_traceparent(self, server):
+        trace_id = "12" * 16
+        client = ServeClient(
+            server.host,
+            server.port,
+            traceparent=f"00-{trace_id}-{'34' * 8}-01",
+        )
+        assert client.analyze(SOURCE).trace_id == trace_id
+
+    def test_malformed_traceparent_gets_fresh_id(self, client):
+        response = client.analyze(
+            SOURCE, name="bad-header.c", traceparent="garbage"
+        )
+        assert response.status == 200
+        assert len(response.trace_id) == 32
+
+    def test_flight_record_has_full_span_tree(self, client):
+        response = client.analyze(SOURCE, name="spans.c")
+        record = _find_record(client, response.trace_id)
+        names = _span_names(record["spans"])
+        # The asyncio hop (request -> batcher -> worker thread) keeps
+        # parentage: the whole pipeline hangs off serve.request.
+        assert {"serve.request", "serve.batch", "serve.analyze"} <= names
+        (request,) = record["spans"]
+        assert request["name"] == "serve.request"
+        batch = request["children"][0]
+        assert batch["name"] == "serve.batch"
+        assert any(
+            child["name"] == "serve.analyze"
+            for child in batch["children"]
+        )
+        # Scheduling attributes are lifted onto the record.
+        assert record["queue_wait_ms"] is not None
+        assert record["batch_size"] >= 1
+        assert isinstance(record["pool_shard"], int)
+        assert record["cache"] in {"hit", "miss"}
+        assert record["name"] == "spans.c"
+
+    def test_batched_and_unbatched_span_names_match(self):
+        """Micro-batching changes scheduling, not the shape of the
+        trace: span names agree between a zero-window and a wide-
+        window server."""
+        names_by_window = {}
+        for window_ms in (0.0, 8.0):
+            running = start_in_thread(
+                ServeConfig(
+                    port=0, workers=2, batch_window_ms=window_ms
+                )
+            )
+            try:
+                client = ServeClient(running.host, running.port)
+                client.wait_ready()
+                response = client.analyze(SOURCE, name="window.c")
+                assert response.status == 200
+                record = _find_record(client, response.trace_id)
+                names_by_window[window_ms] = _span_names(
+                    record["spans"]
+                )
+            finally:
+                running.shutdown()
+        assert names_by_window[0.0] == names_by_window[8.0]
+
+    def test_coalesced_requests_link_to_shared_job(self):
+        """Identical requests inside one window: one owner runs the
+        computation, the rest carry span links to the owner's trace
+        and the shared job id."""
+        running = start_in_thread(
+            ServeConfig(port=0, workers=2, batch_window_ms=50.0)
+        )
+        try:
+            client = ServeClient(running.host, running.port)
+            client.wait_ready()
+            client.analyze(SOURCE, name="warm.c")  # warm the pool
+            results: list[str] = []
+            lock = threading.Lock()
+
+            def post():
+                response = ServeClient(
+                    running.host, running.port, timeout=30
+                ).analyze(SOURCE, name="warm.c")
+                assert response.status == 200
+                with lock:
+                    results.append(response.trace_id)
+
+            threads = [
+                threading.Thread(target=post) for _ in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert len(results) == 4
+            records = [
+                _find_record(client, trace_id)
+                for trace_id in results
+            ]
+            coalesced = [r for r in records if r.get("coalesced")]
+            owners = [r for r in records if not r.get("coalesced")]
+            assert coalesced, "no request coalesced inside a 50ms window"
+            by_trace = {r["trace_id"]: r for r in owners}
+            for record in coalesced:
+                assert record["link_trace"] in by_trace
+                owner = by_trace[record["link_trace"]]
+                owner_request = owner["spans"][0]
+                assert (
+                    record["link_job"]
+                    == owner_request["attrs"]["link_job"]
+                )
+        finally:
+            running.shutdown()
+
+    def test_flight_retains_all_errors_in_mixed_burst(self, server):
+        """Tail sampling: a burst of mixed traffic cannot evict the
+        failures (the acceptance bar is 100% error retention)."""
+        client = ServeClient(server.host, server.port)
+        failures = set()
+        for index in range(30):
+            if index % 5 == 0:
+                response = client._request(
+                    "POST",
+                    "/v1/analyze",
+                    body=json.dumps(
+                        {"source": SOURCE, "backend": "nope"}
+                    ).encode(),
+                )
+                assert response.status == 400
+                failures.add(response.trace_id)
+            else:
+                assert (
+                    client.analyze(
+                        _tiny_source(index), name=f"burst{index}.c"
+                    ).status
+                    == 200
+                )
+        retained = {
+            record["trace_id"]
+            for record in client.traces(kind="errors").payload[
+                "traces"
+            ]
+        }
+        assert failures <= retained
+        stats = client.traces().payload["stats"]
+        assert stats["errors"] >= len(failures)
+
+    def test_debug_slow_returns_span_trees_slowest_first(
+        self, server, client
+    ):
+        for index in range(3):
+            assert (
+                client.analyze(
+                    _tiny_source(index) + f"\nint g{index}() {{ return 2; }}",
+                    name=f"slow{index}.c",
+                ).status
+                == 200
+            )
+        payload = client.slow(limit=3).payload
+        records = payload["traces"]
+        assert records
+        elapsed = [record["elapsed_ms"] for record in records]
+        assert elapsed == sorted(elapsed, reverse=True)
+        for record in records:
+            assert "serve.request" in _span_names(record["spans"])
+
+    def test_debug_profile_svg_and_collapsed(self, client):
+        response = client.profile(seconds=0.1, interval_ms=2.0)
+        assert response.status == 200
+        assert response.headers["content-type"] == "image/svg+xml"
+        assert response.text.startswith("<svg ")
+        assert "</svg>" in response.text
+        collapsed = client.profile(
+            seconds=0.1, interval_ms=2.0, format="collapsed"
+        )
+        assert collapsed.status == 200
+        assert "text/plain" in collapsed.headers["content-type"]
+
+    def test_debug_profile_rejects_bad_params(self, client):
+        response = client._request(
+            "GET", "/debug/profile?seconds=abc"
+        )
+        assert response.status == 400
+
+    def test_error_responses_carry_trace_id(self, client):
+        malformed = client._request(
+            "POST", "/v1/analyze", body=b"{not json"
+        )
+        assert malformed.status == 400
+        assert malformed.payload["trace_id"] == malformed.trace_id
+        bad_shape = client._request(
+            "POST",
+            "/v1/analyze",
+            body=json.dumps({"source": SOURCE, "backend": "x"}).encode(),
+        )
+        assert bad_shape.status == 400
+        assert bad_shape.payload["trace_id"] == bad_shape.trace_id
+
+    def test_unparseable_head_gets_trace_id(self, server):
+        import socket as socket_module
+
+        with socket_module.create_connection(
+            (server.host, server.port), timeout=10
+        ) as sock:
+            sock.sendall(b"NONSENSE\r\n\r\n")
+            data = sock.recv(65536).decode("utf-8", "replace")
+        assert " 400 " in data.splitlines()[0]
+        body = data.split("\r\n\r\n", 1)[1]
+        payload = json.loads(body)
+        assert len(payload["trace_id"]) == 32
+
+    def test_latency_histogram_has_exemplar(self, server, client):
+        response = client.analyze(SOURCE, name="exemplar.c")
+        assert response.status == 200
+        text = client.metrics()
+        # The RED latency series carries an exemplar trace id and
+        # quantile series computed from the sample reservoir.
+        assert "repro_serve_latency_ms_count" in text
+        assert '# {trace_id="' in text
+        assert 'repro_serve_latency_ms{' in text
+        assert 'quantile="0.95"' in text
+        assert "repro_serve_flight_recorded" in text
+
+
+class TestTracesCli:
+    def test_traces_command_renders_records(self, server, capsys):
+        client = ServeClient(server.host, server.port)
+        client.wait_ready()
+        response = client.analyze(SOURCE, name="cli.c")
+        assert response.status == 200
+        status = main([
+            "traces",
+            "--host", server.host,
+            "--port", str(server.port),
+        ])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert response.trace_id[:16] in out
+        assert "flight recorder:" in out
+
+    def test_traces_full_renders_span_tree(self, server, capsys):
+        client = ServeClient(server.host, server.port)
+        client.wait_ready()
+        assert client.analyze(SOURCE, name="tree.c").status == 200
+        status = main([
+            "traces",
+            "--host", server.host,
+            "--port", str(server.port),
+            "--full", "--limit", "1",
+        ])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "serve.request" in out
+        assert "serve.analyze" in out
+
+    def test_traces_json_mode(self, server, capsys):
+        client = ServeClient(server.host, server.port)
+        client.wait_ready()
+        assert client.analyze(SOURCE, name="json.c").status == 200
+        status = main([
+            "traces",
+            "--host", server.host,
+            "--port", str(server.port),
+            "--json",
+        ])
+        assert status == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "traces" in payload and "stats" in payload
+
+    def test_traces_unreachable_daemon_fails_cleanly(self, capsys):
+        status = main([
+            "traces", "--host", "127.0.0.1", "--port", "1",
+        ])
+        assert status == 2
+        assert "cannot reach daemon" in capsys.readouterr().err
+
+
+class TestProfileCli:
+    def test_profile_wraps_a_subcommand(self, tmp_path, capsys):
+        out = str(tmp_path / "flame.svg")
+        status = main(["profile", "--out", out, "--", "list"])
+        assert status == 0
+        svg = open(out, encoding="utf-8").read()
+        assert svg.startswith("<svg ")
+        assert (tmp_path / "flame.collapsed").exists()
+
+    def test_profile_requires_a_command(self, capsys):
+        assert main(["profile"]) == 2
+        assert "needs a command" in capsys.readouterr().err
+
+    def test_profile_refuses_nesting(self, capsys):
+        assert main(["profile", "--", "profile", "--", "list"]) == 2
+        assert "cannot nest" in capsys.readouterr().err
+
+
+class TestAccessLogEndToEnd:
+    def test_serve_writes_access_log_lines(self, tmp_path):
+        directory = str(tmp_path / "logs")
+        running = start_in_thread(
+            ServeConfig(port=0, workers=1, access_log_dir=directory)
+        )
+        try:
+            client = ServeClient(running.host, running.port)
+            client.wait_ready()
+            response = client.analyze(SOURCE, name="logged.c")
+            assert response.status == 200
+            running.app.access_log.flush()
+            with open(
+                f"{directory}/access.log", encoding="utf-8"
+            ) as handle:
+                entries = [json.loads(line) for line in handle]
+        finally:
+            running.shutdown()
+        analyze = [
+            entry for entry in entries
+            if entry.get("path") == "/v1/analyze"
+        ]
+        assert analyze
+        entry = analyze[-1]
+        assert entry["trace_id"] == response.trace_id
+        assert entry["status"] == 200
+        assert entry["name"] == "logged.c"
+        assert "spans" not in entry  # the log line is the summary
